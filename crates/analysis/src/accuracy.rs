@@ -1,0 +1,95 @@
+//! Fig. 2 — percentage of cycle predictions within specified confidence
+//! intervals of the true simulated value, per application, on the unseen
+//! 20% test split.
+
+use crate::report;
+use armdse_core::surrogate::TOLERANCES;
+use armdse_core::{DseDataset, SurrogateSuite};
+use serde::{Deserialize, Serialize};
+
+/// The reproduced Fig. 2 data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig2 {
+    /// (app, [(tolerance, fraction within)]).
+    pub curves: Vec<(String, Vec<(f64, f64)>)>,
+    /// Mean relative accuracy across apps (paper: 93.38%).
+    pub mean_accuracy_pct: f64,
+}
+
+/// Train the per-app surrogates and evaluate their tolerance curves.
+pub fn run(data: &DseDataset, seed: u64) -> Fig2 {
+    let suite = SurrogateSuite::train(data, 0.2, seed);
+    from_suite(&suite)
+}
+
+/// Extract Fig. 2 from an already-trained suite.
+pub fn from_suite(suite: &SurrogateSuite) -> Fig2 {
+    Fig2 {
+        curves: suite
+            .models
+            .iter()
+            .map(|m| (m.app.name().to_string(), m.metrics.tolerance_curve.clone()))
+            .collect(),
+        mean_accuracy_pct: suite.mean_accuracy_pct(),
+    }
+}
+
+impl Fig2 {
+    /// Render as a text table (rows = apps, columns = intervals).
+    pub fn to_table(&self) -> String {
+        let mut headers = vec!["App".to_string()];
+        headers.extend(TOLERANCES.iter().map(|t| format!("≤{}%", t * 100.0)));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = self
+            .curves
+            .iter()
+            .map(|(app, curve)| {
+                let mut r = vec![app.clone()];
+                r.extend(curve.iter().map(|(_, frac)| report::pct(100.0 * frac)));
+                r
+            })
+            .collect();
+        let mut t = report::format_table(
+            "Fig. 2: % of predictions within confidence interval of true cycles",
+            &headers_ref,
+            &rows,
+        );
+        t.push_str(&format!(
+            "Mean accuracy across applications: {} (paper: 93.38%)\n",
+            report::pct(self.mean_accuracy_pct)
+        ));
+        t
+    }
+
+    /// Fraction within `tol` for an app.
+    pub fn within(&self, app: &str, tol: f64) -> Option<f64> {
+        self.curves
+            .iter()
+            .find(|(a, _)| a == app)?
+            .1
+            .iter()
+            .find(|(t, _)| (*t - tol).abs() < 1e-12)
+            .map(|(_, f)| *f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset, ExpOptions};
+
+    #[test]
+    fn curves_cover_all_sampled_apps_and_are_monotone() {
+        let data = build_dataset(&ExpOptions::quick());
+        let f = run(&data, 3);
+        assert_eq!(f.curves.len(), 4);
+        for (_, curve) in &f.curves {
+            for w in curve.windows(2) {
+                assert!(w[1].1 >= w[0].1);
+            }
+        }
+        assert!(f.mean_accuracy_pct > 0.0);
+        let t = f.to_table();
+        assert!(t.contains("STREAM") && t.contains("93.38%"));
+    }
+}

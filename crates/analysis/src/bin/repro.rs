@@ -1,0 +1,225 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro <experiment> [--configs N] [--scale tiny|small|standard]
+//!                    [--seed N] [--sweep-configs N] [--threads N]
+//!                    [--out DIR]
+//!
+//! experiments:
+//!   fig1      SVE fraction of retired instructions per vector length
+//!   table1    simulated vs hardware-proxy cycles on the ThunderX2 baseline
+//!   dataset   generate and save the design-space dataset (CSV)
+//!   fig2      prediction-accuracy tolerance curves
+//!   fig3      permutation feature importances (full space)
+//!   fig4      importances with vector length fixed at 128
+//!   fig5      importances with vector length fixed at 2048
+//!   fig6      speedup vs vector length (STREAM, miniBUDE)
+//!   fig7      speedup vs ROB size
+//!   fig8      speedup vs FP/SVE register count
+//!   headline  paper-vs-measured headline numbers
+//!   unseen    extension: leave-one-app-out transfer accuracy
+//!   multicore extension: slowdown under shared-DRAM contention
+//!   crossval  extension: surrogate partial dependence vs fresh simulation
+//!   summary   distribution/coverage summary of the cached dataset
+//!   all       everything above, sharing one dataset
+//! ```
+
+use armdse_analysis::sweeps::SweepOptions;
+use armdse_analysis::{accuracy, crossval, fig1, headline, importance, multicore, sweeps, table1, unseen, ExpOptions};
+use armdse_core::orchestrator::GenOptions;
+use armdse_core::space::ParamSpace;
+use armdse_core::{DseDataset, SurrogateSuite};
+use armdse_kernels::{App, WorkloadScale};
+use std::path::PathBuf;
+use std::time::Instant;
+
+struct Cli {
+    experiment: String,
+    opts: ExpOptions,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut args = std::env::args().skip(1);
+    let experiment = args.next().ok_or("missing experiment name")?;
+    let mut opts = ExpOptions::default();
+    let mut out = PathBuf::from("results");
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--configs" => opts.configs = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--seed" => opts.seed = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--threads" => opts.threads = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--sweep-configs" => {
+                opts.sweep_configs = val()?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--scale" => {
+                opts.scale = match val()?.as_str() {
+                    "tiny" => WorkloadScale::Tiny,
+                    "small" => WorkloadScale::Small,
+                    "standard" => WorkloadScale::Standard,
+                    s => return Err(format!("unknown scale {s}")),
+                }
+            }
+            "--out" => out = PathBuf::from(val()?),
+            f => return Err(format!("unknown flag {f}")),
+        }
+    }
+    Ok(Cli { experiment, opts, out })
+}
+
+fn main() {
+    let cli = match parse_args() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR]");
+            std::process::exit(2);
+        }
+    };
+    std::fs::create_dir_all(&cli.out).expect("create output directory");
+    let t0 = Instant::now();
+    run(&cli);
+    eprintln!("[repro] {} finished in {:?}", cli.experiment, t0.elapsed());
+}
+
+fn run(cli: &Cli) {
+    let space = ParamSpace::paper();
+    let opts = &cli.opts;
+    let sweep = SweepOptions {
+        base_configs: opts.sweep_configs,
+        scale: opts.scale,
+        seed: opts.seed ^ 0x5EED_CAFE,
+    };
+    let gen_opts = GenOptions {
+        configs: opts.configs,
+        scale: opts.scale,
+        seed: opts.seed,
+        threads: opts.threads,
+        apps: App::ALL.to_vec(),
+    };
+
+    match cli.experiment.as_str() {
+        "fig1" => {
+            emit(cli, "fig1", &fig1::run(opts.scale).to_table());
+        }
+        "table1" => {
+            emit(cli, "table1", &table1::run(opts.scale).to_table());
+        }
+        "dataset" => {
+            let data = dataset(cli, &space, &gen_opts, true);
+            emit(cli, "dataset_summary", &data.summary().to_table());
+        }
+        "fig2" => {
+            let data = dataset(cli, &space, &gen_opts, false);
+            emit(cli, "fig2", &accuracy::run(&data, opts.seed).to_table());
+        }
+        "fig3" => {
+            let data = dataset(cli, &space, &gen_opts, false);
+            emit(cli, "fig3", &importance::fig3(&data, opts.seed).to_table());
+        }
+        "fig4" | "fig5" => {
+            let vl = if cli.experiment == "fig4" { 128 } else { 2048 };
+            let fig = importance::fig45(&space, &gen_opts, vl, opts.seed);
+            emit(cli, &cli.experiment, &fig.to_table());
+        }
+        "fig6" => {
+            let f = sweeps::fig6(&space, &sweep);
+            emit(cli, "fig6", &format!("{}\n{}", f.to_table(), f.to_chart()));
+        }
+        "fig7" => {
+            let f = sweeps::fig7(&space, &sweep);
+            emit(cli, "fig7", &format!("{}\n{}", f.to_table(), f.to_chart()));
+        }
+        "fig8" => {
+            let f = sweeps::fig8(&space, &sweep);
+            emit(cli, "fig8", &format!("{}\n{}", f.to_table(), f.to_chart()));
+        }
+        "summary" => {
+            let data = dataset(cli, &space, &gen_opts, false);
+            emit(cli, "dataset_summary", &data.summary().to_table());
+        }
+        "crossval" => {
+            let data = dataset(cli, &space, &gen_opts, false);
+            let f7 = sweeps::fig7(&space, &sweep);
+            emit(cli, "crossval", &crossval::run(&data, &f7, opts.seed).to_table());
+        }
+        "multicore" => {
+            emit(cli, "multicore", &multicore::run(opts.scale).to_table());
+        }
+        "unseen" => {
+            let data = dataset(cli, &space, &gen_opts, false);
+            emit(cli, "unseen", &unseen::run(&data, opts.seed).to_table());
+        }
+        "headline" => {
+            let data = dataset(cli, &space, &gen_opts, false);
+            emit(
+                cli,
+                "headline",
+                &headline::run(&data, &space, &sweep, opts.seed).to_table(),
+            );
+        }
+        "all" => {
+            emit(cli, "fig1", &fig1::run(opts.scale).to_table());
+            emit(cli, "table1", &table1::run(opts.scale).to_table());
+            let data = dataset(cli, &space, &gen_opts, false);
+            let suite = SurrogateSuite::train(&data, 0.2, opts.seed);
+            emit(cli, "fig2", &accuracy::from_suite(&suite).to_table());
+            emit(cli, "fig3", &importance::from_suite(&suite, "Fig. 3").to_table());
+            // Half-size pinned datasets for the constrained figures.
+            let mut pinned_opts = gen_opts.clone();
+            pinned_opts.configs = (gen_opts.configs / 2).clamp(20, 1500);
+            emit(
+                cli,
+                "fig4",
+                &importance::fig45(&space, &pinned_opts, 128, opts.seed).to_table(),
+            );
+            emit(
+                cli,
+                "fig5",
+                &importance::fig45(&space, &pinned_opts, 2048, opts.seed).to_table(),
+            );
+            let f6 = sweeps::fig6(&space, &sweep);
+            let f7 = sweeps::fig7(&space, &sweep);
+            let f8 = sweeps::fig8(&space, &sweep);
+            emit(cli, "fig6", &format!("{}\n{}", f6.to_table(), f6.to_chart()));
+            emit(cli, "fig7", &format!("{}\n{}", f7.to_table(), f7.to_chart()));
+            emit(cli, "fig8", &format!("{}\n{}", f8.to_table(), f8.to_chart()));
+            emit(cli, "headline", &headline::from_parts(&suite, &f7, &f8).to_table());
+            emit(cli, "unseen", &unseen::run(&data, opts.seed).to_table());
+            emit(cli, "multicore", &multicore::run(opts.scale).to_table());
+            emit(cli, "crossval", &crossval::run(&data, &f7, opts.seed).to_table());
+        }
+        e => {
+            eprintln!("unknown experiment '{e}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Load the dataset CSV if present, else generate it (and save when
+/// `force_save`).
+fn dataset(cli: &Cli, space: &ParamSpace, gen_opts: &GenOptions, force_save: bool) -> DseDataset {
+    let path = cli.out.join("dataset.csv");
+    if !force_save {
+        if let Ok(d) = DseDataset::load_csv(&path) {
+            eprintln!("[repro] loaded {} rows from {}", d.rows.len(), path.display());
+            return d;
+        }
+    }
+    eprintln!(
+        "[repro] generating dataset: {} configs x {} apps ...",
+        gen_opts.configs,
+        gen_opts.apps.len()
+    );
+    let d = armdse_core::orchestrator::generate_dataset(space, gen_opts);
+    d.save_csv(&path).expect("save dataset csv");
+    eprintln!("[repro] saved {} rows to {}", d.rows.len(), path.display());
+    d
+}
+
+/// Print a table and persist it under the output directory.
+fn emit(cli: &Cli, name: &str, table: &str) {
+    println!("{table}");
+    let path = cli.out.join(format!("{name}.txt"));
+    std::fs::write(&path, table).expect("write result file");
+}

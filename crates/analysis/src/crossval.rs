@@ -1,0 +1,136 @@
+//! Extension experiment: surrogate vs simulator on a parameter sweep.
+//!
+//! The paper's core value proposition is that the surrogate "permits us
+//! to more accurately extrapolate across the large search space, allowing
+//! us to model the space with a fraction of the data requirements". This
+//! experiment validates that claim head-on: the ROB-size sweep of Fig. 7
+//! is produced twice — once by fresh simulation (minutes) and once as the
+//! trained tree's partial-dependence curve over the dataset
+//! (microseconds) — and the two speedup curves are compared point by
+//! point.
+
+use crate::report;
+use crate::sweeps::{SweepFig, ROB_POINTS};
+use armdse_core::config::FEATURE_NAMES;
+use armdse_core::{DseDataset, SurrogateSuite};
+use armdse_kernels::App;
+use armdse_mltree::partial_dependence_speedup;
+use serde::{Deserialize, Serialize};
+
+/// Comparison of one app's simulated vs surrogate speedup curves.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CurveComparison {
+    /// Application name.
+    pub app: String,
+    /// (swept value, simulated speedup, surrogate-predicted speedup).
+    pub points: Vec<(u32, f64, f64)>,
+    /// Mean absolute difference between the two speedup curves.
+    pub mean_abs_diff: f64,
+}
+
+/// The full cross-validation result.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrossVal {
+    /// One comparison per application.
+    pub comparisons: Vec<CurveComparison>,
+}
+
+/// Compare the simulated Fig. 7 against the surrogate's ROB
+/// partial-dependence speedup.
+pub fn run(data: &DseDataset, fig7: &SweepFig, seed: u64) -> CrossVal {
+    let suite = SurrogateSuite::train(data, 0.2, seed);
+    let rob_feature = FEATURE_NAMES
+        .iter()
+        .position(|&n| n == "ROB-Size")
+        .expect("ROB-Size feature exists");
+    let grid: Vec<f64> = ROB_POINTS.iter().map(|&v| f64::from(v)).collect();
+
+    let comparisons = App::ALL
+        .iter()
+        .filter_map(|&app| {
+            let model = suite.model(app)?;
+            let ml = data.ml_dataset(app);
+            let pd = partial_dependence_speedup(&model.tree, &ml.x, rob_feature, &grid);
+            let points: Vec<(u32, f64, f64)> = ROB_POINTS
+                .iter()
+                .zip(&pd)
+                .filter_map(|(&v, &(_, surrogate))| {
+                    fig7.speedup(app, v).map(|sim| (v, sim, surrogate))
+                })
+                .collect();
+            let mean_abs_diff = points
+                .iter()
+                .map(|(_, sim, sur)| (sim - sur).abs())
+                .sum::<f64>()
+                / points.len().max(1) as f64;
+            Some(CurveComparison { app: app.name().to_string(), points, mean_abs_diff })
+        })
+        .collect();
+    CrossVal { comparisons }
+}
+
+impl CrossVal {
+    /// Render as a text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        for c in &self.comparisons {
+            let rows: Vec<Vec<String>> = c
+                .points
+                .iter()
+                .map(|(v, sim, sur)| {
+                    vec![v.to_string(), format!("{sim:.2}x"), format!("{sur:.2}x")]
+                })
+                .collect();
+            out.push_str(&report::format_table(
+                &format!(
+                    "Extension: surrogate vs simulator ROB sweep — {} (mean |Δ| {:.2})",
+                    c.app, c.mean_abs_diff
+                ),
+                &["ROB-Size", "Simulated", "Surrogate PD"],
+                &rows,
+            ));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Whether the surrogate's curves track the simulator within
+    /// `tolerance` mean absolute speedup difference for every app.
+    pub fn tracks_within(&self, tolerance: f64) -> bool {
+        self.comparisons.iter().all(|c| c.mean_abs_diff <= tolerance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweeps::{fig7, SweepOptions};
+    use crate::{build_dataset, ExpOptions};
+    use armdse_core::space::ParamSpace;
+    use armdse_kernels::WorkloadScale;
+
+    #[test]
+    fn surrogate_curve_has_correct_direction() {
+        let mut opts = ExpOptions::quick();
+        opts.configs = 150;
+        let data = build_dataset(&opts);
+        let sweep = SweepOptions { base_configs: 3, scale: WorkloadScale::Tiny, seed: 5 };
+        let f7 = fig7(&ParamSpace::paper(), &sweep);
+        let cv = run(&data, &f7, 5);
+        assert_eq!(cv.comparisons.len(), 4);
+        for c in &cv.comparisons {
+            // Surrogate speedup at the largest ROB must exceed 1 (the
+            // direction of the simulated effect), even with a small
+            // training set.
+            let last = c.points.last().unwrap();
+            assert!(
+                last.2 > 1.0,
+                "{}: surrogate missed the ROB direction: {:?}",
+                c.app,
+                c.points
+            );
+        }
+        let t = cv.to_table();
+        assert!(t.contains("Surrogate PD"));
+    }
+}

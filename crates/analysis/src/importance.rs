@@ -1,0 +1,158 @@
+//! Figs. 3, 4, 5 — permutation feature importance percentages.
+//!
+//! * Fig. 3: importances on the full design space.
+//! * Fig. 4: importances with vector length constrained to 128 bits.
+//! * Fig. 5: importances with vector length constrained to 2048 bits.
+//!
+//! The constrained variants answer the paper's question: "to ensure a
+//! fair comparison of other features we also analyse the importance of
+//! all other features when vector length is constrained."
+
+use crate::report;
+use armdse_core::orchestrator::{generate_dataset_pinned, GenOptions};
+use armdse_core::space::ParamSpace;
+use armdse_core::{DseDataset, SurrogateSuite};
+use armdse_kernels::App;
+use serde::{Deserialize, Serialize};
+
+/// Number of features shown per app (the paper plots the top ten).
+pub const TOP_K: usize = 10;
+
+/// Importance percentages for every app.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImportanceFig {
+    /// Figure label ("Fig. 3" / "Fig. 4" / "Fig. 5").
+    pub label: String,
+    /// (app, [(feature, importance %)]) — full set, descending by mean.
+    pub per_app: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Fig. 3: train on the full-space dataset and rank importances.
+pub fn fig3(data: &DseDataset, seed: u64) -> ImportanceFig {
+    let suite = SurrogateSuite::train(data, 0.2, seed);
+    from_suite(&suite, "Fig. 3")
+}
+
+/// Figs. 4/5: generate a dataset with vector length pinned, then train
+/// and rank. `vl` is 128 for Fig. 4 and 2048 for Fig. 5.
+pub fn fig45(space: &ParamSpace, opts: &GenOptions, vl: u32, seed: u64) -> ImportanceFig {
+    let data = generate_dataset_pinned(space, opts, &[("Vector-Length", f64::from(vl))]);
+    let suite = SurrogateSuite::train(&data, 0.2, seed);
+    let label = if vl == 128 { "Fig. 4 (VL=128)" } else { "Fig. 5 (VL=2048)" };
+    from_suite(&suite, label)
+}
+
+/// Build the figure from a trained suite.
+pub fn from_suite(suite: &SurrogateSuite, label: &str) -> ImportanceFig {
+    ImportanceFig {
+        label: label.to_string(),
+        per_app: suite
+            .models
+            .iter()
+            .map(|m| {
+                (
+                    m.app.name().to_string(),
+                    m.importance
+                        .ranked()
+                        .iter()
+                        .map(|f| (f.name.clone(), f.percent))
+                        .collect(),
+                )
+            })
+            .collect(),
+    }
+}
+
+impl ImportanceFig {
+    /// Importance % of `feature` for `app`.
+    pub fn percent_of(&self, app: App, feature: &str) -> Option<f64> {
+        self.per_app
+            .iter()
+            .find(|(a, _)| a == app.name())?
+            .1
+            .iter()
+            .find(|(f, _)| f == feature)
+            .map(|(_, p)| *p)
+    }
+
+    /// Mean importance % of `feature` across apps (0 when absent).
+    pub fn mean_percent_of(&self, feature: &str) -> f64 {
+        let vals: Vec<f64> = self
+            .per_app
+            .iter()
+            .map(|(_, fs)| fs.iter().find(|(f, _)| f == feature).map_or(0.0, |(_, p)| *p))
+            .collect();
+        vals.iter().sum::<f64>() / vals.len().max(1) as f64
+    }
+
+    /// Features ranked by mean importance across apps.
+    pub fn ranked_by_mean(&self) -> Vec<(String, f64)> {
+        let names: Vec<String> = self
+            .per_app
+            .first()
+            .map(|(_, fs)| fs.iter().map(|(f, _)| f.clone()).collect())
+            .unwrap_or_default();
+        let mut v: Vec<(String, f64)> = names
+            .iter()
+            .map(|n| (n.clone(), self.mean_percent_of(n)))
+            .collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// Render the top-K table: rows = features (ordered by mean, as the
+    /// paper does), columns = apps.
+    pub fn to_table(&self) -> String {
+        let apps: Vec<&str> = self.per_app.iter().map(|(a, _)| a.as_str()).collect();
+        let mut headers = vec!["Feature"];
+        headers.extend(apps.iter());
+        let ranked = self.ranked_by_mean();
+        let rows: Vec<Vec<String>> = ranked
+            .iter()
+            .take(TOP_K)
+            .map(|(feat, _)| {
+                let mut r = vec![feat.clone()];
+                for (_, fs) in &self.per_app {
+                    let p = fs.iter().find(|(f, _)| f == feat).map_or(0.0, |(_, p)| *p);
+                    r.push(report::pct(p));
+                }
+                r
+            })
+            .collect();
+        report::format_table(
+            &format!("{}: top-{TOP_K} permutation feature importances", self.label),
+            &headers,
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset, ExpOptions};
+
+    #[test]
+    fn fig3_reports_and_renders() {
+        let data = build_dataset(&ExpOptions::quick());
+        let f = fig3(&data, 11);
+        assert_eq!(f.per_app.len(), 4);
+        let t = f.to_table();
+        assert!(t.contains("Fig. 3"));
+        // Mean ranking produces 30 entries.
+        assert_eq!(f.ranked_by_mean().len(), 30);
+    }
+
+    #[test]
+    fn mean_percent_is_mean() {
+        let f = ImportanceFig {
+            label: "t".into(),
+            per_app: vec![
+                ("A".into(), vec![("X".into(), 10.0)]),
+                ("B".into(), vec![("X".into(), 30.0)]),
+            ],
+        };
+        assert!((f.mean_percent_of("X") - 20.0).abs() < 1e-12);
+        assert_eq!(f.mean_percent_of("missing"), 0.0);
+    }
+}

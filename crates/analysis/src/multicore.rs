@@ -1,0 +1,143 @@
+//! Extension experiment: multi-core memory contention (paper §VII).
+//!
+//! "Even on a node level, this study abstracts away the memory contention
+//! behaviour exhibited in multi-core systems. […] this work lays the
+//! foundation for future work into the impacts of parallel execution."
+//!
+//! This experiment implements that future work on the contended memory
+//! model: each application is simulated on the ThunderX2 baseline while
+//! 0–15 phantom co-runners saturate the shared DRAM controller. The
+//! paper's expectation — memory-bound codes degrade most, compute-bound
+//! codes barely notice — is checked by the accompanying tests.
+
+use crate::report;
+use armdse_core::DesignConfig;
+use armdse_kernels::{build_workload, App, WorkloadScale};
+use serde::{Deserialize, Serialize};
+
+/// Co-runner counts simulated (0 = the paper's single-core setting).
+pub const CO_RUNNERS: [u32; 5] = [0, 1, 3, 7, 15];
+
+/// Slowdown series for one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContentionSeries {
+    /// Application name.
+    pub app: String,
+    /// (co-runners, cycles, slowdown vs solo).
+    pub points: Vec<(u32, u64, f64)>,
+}
+
+/// The full contention experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MulticoreFig {
+    /// One series per application.
+    pub series: Vec<ContentionSeries>,
+}
+
+/// Run the contention sweep on the ThunderX2 baseline.
+pub fn run(scale: WorkloadScale) -> MulticoreFig {
+    let cfg = DesignConfig::thunderx2();
+    let series = App::ALL
+        .iter()
+        .map(|&app| {
+            let w = build_workload(app, scale, cfg.core.vector_length);
+            let mut points = Vec::new();
+            let mut solo = 0u64;
+            for &n in &CO_RUNNERS {
+                let s = armdse_simcore::simulate_contended(&w.program, &cfg.core, &cfg.mem, n);
+                assert!(s.validated, "{app:?} with {n} co-runners failed validation");
+                if n == 0 {
+                    solo = s.cycles;
+                }
+                points.push((n, s.cycles, s.cycles as f64 / solo as f64));
+            }
+            ContentionSeries { app: app.name().to_string(), points }
+        })
+        .collect();
+    MulticoreFig { series }
+}
+
+impl MulticoreFig {
+    /// Slowdown of `app` at `co_runners`.
+    pub fn slowdown(&self, app: App, co_runners: u32) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.app == app.name())?
+            .points
+            .iter()
+            .find(|(n, _, _)| *n == co_runners)
+            .map(|(_, _, s)| *s)
+    }
+
+    /// Render as a text table (rows = co-runner counts, columns = apps).
+    pub fn to_table(&self) -> String {
+        let mut headers = vec!["Co-runners"];
+        let names: Vec<&str> = self.series.iter().map(|s| s.app.as_str()).collect();
+        headers.extend(names.iter());
+        let rows: Vec<Vec<String>> = CO_RUNNERS
+            .iter()
+            .map(|&n| {
+                let mut r = vec![n.to_string()];
+                for s in &self.series {
+                    let sd = s
+                        .points
+                        .iter()
+                        .find(|(c, _, _)| *c == n)
+                        .map(|(_, _, s)| *s)
+                        .unwrap_or(f64::NAN);
+                    r.push(format!("{sd:.2}x"));
+                }
+                r
+            })
+            .collect();
+        report::format_table(
+            "Extension: slowdown under shared-DRAM contention (paper §VII future work)",
+            &headers,
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_bound_codes_degrade_most() {
+        // Standard scale so compulsory (cold) DRAM misses are amortised;
+        // at tiny inputs even compute-bound codes are cold-miss dominated.
+        let f = run(WorkloadScale::Standard);
+        // STREAM (sustained-bandwidth) must suffer more than the
+        // register/L1-resident miniBUDE.
+        let stream = f.slowdown(App::Stream, 15).unwrap();
+        let bude = f.slowdown(App::MiniBude, 15).unwrap();
+        assert!(
+            stream > bude * 1.2,
+            "STREAM ({stream}) should degrade clearly more than miniBUDE ({bude})"
+        );
+        assert!(stream > 1.3, "STREAM should clearly degrade ({stream})");
+    }
+
+    #[test]
+    fn slowdown_monotone_in_co_runners() {
+        let f = run(WorkloadScale::Tiny);
+        for s in &f.series {
+            for w in s.points.windows(2) {
+                assert!(
+                    w[1].2 >= w[0].2 * 0.999,
+                    "{}: slowdown must not shrink with contention: {:?}",
+                    s.app,
+                    s.points
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_renders_all_apps() {
+        let t = run(WorkloadScale::Tiny).to_table();
+        for app in App::ALL {
+            assert!(t.contains(app.name()));
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! ASCII chart rendering — the stand-in for the artifact's
+//! `graph-generation.py`.
+//!
+//! Every figure in the paper is a bar or line chart; these helpers render
+//! the same data as terminal plots so `repro` output is visually
+//! comparable with the paper without a plotting stack.
+
+/// Render horizontal bars: one labelled bar per entry, scaled to
+/// `width` columns at the maximum value.
+pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    if entries.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let max = entries.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max).max(1e-12);
+    for (label, v) in entries {
+        let filled = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} |{}{} {v:.2}\n",
+            "█".repeat(filled.min(width)),
+            " ".repeat(width - filled.min(width)),
+        ));
+    }
+    out
+}
+
+/// Render one or more line series over a shared integer x-axis as an
+/// ASCII grid (`height` rows tall). Series are marked `a`, `b`, `c`, …
+pub fn line_chart(
+    title: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    if all.is_empty() {
+        out.push_str("(no data)\n");
+        return out;
+    }
+    let (xmin, xmax) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
+    let (ymin, ymax) = all
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+    let xspan = (xmax - xmin).max(1e-12);
+    let yspan = (ymax - ymin).max(1e-12);
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let mark = (b'a' + (si % 26) as u8) as char;
+        for &(x, y) in pts {
+            let cx = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+            let cy = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            grid[height - 1 - cy][cx] = mark;
+        }
+    }
+    for (i, row) in grid.iter().enumerate() {
+        let ylabel = if i == 0 {
+            format!("{ymax:>8.2}")
+        } else if i == height - 1 {
+            format!("{ymin:>8.2}")
+        } else {
+            " ".repeat(8)
+        };
+        out.push_str(&format!("{ylabel} |{}\n", row.iter().collect::<String>()));
+    }
+    out.push_str(&format!("{} +{}\n", " ".repeat(8), "-".repeat(width)));
+    out.push_str(&format!("{}  {xmin:<10.0}{:>w$.0}\n", " ".repeat(8), xmax, w = width - 10));
+    for (si, (name, _)) in series.iter().enumerate() {
+        let mark = (b'a' + (si % 26) as u8) as char;
+        out.push_str(&format!("  {mark} = {name}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let c = bar_chart(
+            "t",
+            &[("big".into(), 10.0), ("half".into(), 5.0)],
+            20,
+        );
+        let lines: Vec<&str> = c.lines().collect();
+        assert_eq!(lines[1].matches('█').count(), 20);
+        assert_eq!(lines[2].matches('█').count(), 10);
+    }
+
+    #[test]
+    fn bar_chart_empty() {
+        assert!(bar_chart("t", &[], 10).contains("no data"));
+    }
+
+    #[test]
+    fn line_chart_places_extremes() {
+        let c = line_chart(
+            "t",
+            &[("s".into(), vec![(0.0, 0.0), (10.0, 5.0)])],
+            21,
+            5,
+        );
+        // Max value row carries the max label; the mark appears.
+        assert!(c.contains("5.00"));
+        assert!(c.contains("0.00"));
+        assert!(c.contains("a = s"));
+        assert!(c.matches('a').count() >= 2);
+    }
+
+    #[test]
+    fn line_chart_multiple_series_marks() {
+        let c = line_chart(
+            "t",
+            &[
+                ("one".into(), vec![(0.0, 1.0), (1.0, 2.0)]),
+                ("two".into(), vec![(0.0, 2.0), (1.0, 1.0)]),
+            ],
+            10,
+            4,
+        );
+        assert!(c.contains("a = one") && c.contains("b = two"));
+    }
+}

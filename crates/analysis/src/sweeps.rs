@@ -1,0 +1,355 @@
+//! Figs. 6, 7, 8 — mean speedup when sweeping one parameter.
+//!
+//! * Fig. 6: vector length 128→2048, STREAM and miniBUDE only (the two
+//!   vectorised codes), restricted to configurations whose load bandwidth
+//!   is at least 256 bytes "to ensure a fair comparison, given this is the
+//!   minimum a result with vector length 2048 has".
+//! * Fig. 7: ROB size 8→512, all applications.
+//! * Fig. 8: FP/SVE physical registers 38→512, all applications.
+//!
+//! Where the paper bins its random dataset by the swept parameter, we use
+//! the paired-sample equivalent: a set of random base configurations is
+//! re-simulated at every sweep value, and the speedup is the ratio of
+//! mean cycles against the sweep's reference value. Pairing removes the
+//! between-configuration variance that binning averages out with volume
+//! (we run thousands of simulations, not 180,000).
+
+use crate::report;
+use armdse_core::space::ParamSpace;
+use armdse_core::DesignConfig;
+use armdse_kernels::{build_workload, App, WorkloadScale};
+use serde::{Deserialize, Serialize};
+
+/// ROB sizes swept in Fig. 7 (includes the paper's knee at 152).
+pub const ROB_POINTS: [u32; 10] = [8, 16, 32, 64, 96, 128, 152, 256, 384, 512];
+
+/// FP/SVE register counts swept in Fig. 8 (includes the paper's knee at
+/// 144 and the minimum 38).
+pub const FP_POINTS: [u32; 9] = [38, 72, 104, 144, 176, 240, 320, 424, 512];
+
+/// Vector lengths swept in Fig. 6.
+pub const VL_POINTS: [u32; 5] = [128, 256, 512, 1024, 2048];
+
+/// One speedup series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSeries {
+    /// Application name.
+    pub app: String,
+    /// (swept value, mean cycles, speedup vs reference).
+    pub points: Vec<(u32, f64, f64)>,
+}
+
+/// A full sweep figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepFig {
+    /// Figure label.
+    pub label: String,
+    /// Name of the swept parameter.
+    pub param: String,
+    /// One series per application.
+    pub series: Vec<SweepSeries>,
+}
+
+/// Options for sweep experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Number of random base configurations (paired across sweep values).
+    pub base_configs: usize,
+    /// Workload scale.
+    pub scale: WorkloadScale,
+    /// Seed for base-configuration sampling.
+    pub seed: u64,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions { base_configs: 12, scale: WorkloadScale::Standard, seed: 61_803 }
+    }
+}
+
+fn mean_cycles(
+    app: App,
+    scale: WorkloadScale,
+    configs: &[DesignConfig],
+) -> f64 {
+    let mut total = 0u64;
+    let mut n = 0u64;
+    // Workload rebuilt only when VL changes across configs.
+    let mut cached: Option<(u32, armdse_kernels::Workload)> = None;
+    for cfg in configs {
+        let vl = cfg.core.vector_length;
+        if cached.as_ref().map(|(v, _)| *v) != Some(vl) {
+            cached = Some((vl, build_workload(app, scale, vl)));
+        }
+        let w = &cached.as_ref().expect("just set").1;
+        let s = armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem);
+        if s.validated {
+            total += s.cycles;
+            n += 1;
+        }
+    }
+    assert!(n > 0, "no validated runs for {app:?}");
+    total as f64 / n as f64
+}
+
+/// Fig. 6: speedup vs vector length for the vectorised codes.
+pub fn fig6(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
+    // Base configs with the paper's Load-Bandwidth >= 256 filter (applied
+    // to stores too, so every VL is admissible on every base config).
+    let bases: Vec<DesignConfig> = (0..opts.base_configs as u64)
+        .map(|i| {
+            let mut c = space.sample_seeded(opts.seed + i);
+            c.core.load_bandwidth = c.core.load_bandwidth.max(256);
+            c.core.store_bandwidth = c.core.store_bandwidth.max(256);
+            c
+        })
+        .collect();
+
+    let series = [App::Stream, App::MiniBude]
+        .iter()
+        .map(|&app| {
+            let mut points = Vec::new();
+            for &vl in &VL_POINTS {
+                let configs: Vec<DesignConfig> = bases
+                    .iter()
+                    .map(|b| {
+                        let mut c = *b;
+                        c.core.vector_length = vl;
+                        c
+                    })
+                    .collect();
+                points.push((vl, mean_cycles(app, opts.scale, &configs)));
+            }
+            to_series(app, points)
+        })
+        .collect();
+    SweepFig { label: "Fig. 6".into(), param: "Vector-Length".into(), series }
+}
+
+/// Fig. 7: speedup vs ROB size for all applications.
+pub fn fig7(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
+    sweep_all_apps(space, opts, "Fig. 7", "ROB-Size", &ROB_POINTS, |c, v| {
+        c.core.rob_size = v;
+    })
+}
+
+/// Fig. 8: speedup vs FP/SVE register count for all applications.
+pub fn fig8(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
+    sweep_all_apps(space, opts, "Fig. 8", "FP-SVE-Registers", &FP_POINTS, |c, v| {
+        c.core.fp_regs = v;
+    })
+}
+
+fn sweep_all_apps(
+    space: &ParamSpace,
+    opts: &SweepOptions,
+    label: &str,
+    param: &str,
+    points: &[u32],
+    apply: impl Fn(&mut DesignConfig, u32),
+) -> SweepFig {
+    let bases: Vec<DesignConfig> = (0..opts.base_configs as u64)
+        .map(|i| space.sample_seeded(opts.seed + i))
+        .collect();
+    let series = App::ALL
+        .iter()
+        .map(|&app| {
+            let mut pts = Vec::new();
+            for &v in points {
+                let configs: Vec<DesignConfig> = bases
+                    .iter()
+                    .map(|b| {
+                        let mut c = *b;
+                        apply(&mut c, v);
+                        c
+                    })
+                    .collect();
+                pts.push((v, mean_cycles(app, opts.scale, &configs)));
+            }
+            to_series(app, pts)
+        })
+        .collect();
+    SweepFig { label: label.into(), param: param.into(), series }
+}
+
+fn to_series(app: App, raw: Vec<(u32, f64)>) -> SweepSeries {
+    let reference = raw.first().expect("non-empty sweep").1;
+    SweepSeries {
+        app: app.name().to_string(),
+        points: raw
+            .into_iter()
+            .map(|(v, cycles)| (v, cycles, reference / cycles))
+            .collect(),
+    }
+}
+
+impl SweepFig {
+    /// Speedup of `app` at swept value `v`.
+    pub fn speedup(&self, app: App, v: u32) -> Option<f64> {
+        self.series
+            .iter()
+            .find(|s| s.app == app.name())?
+            .points
+            .iter()
+            .find(|(x, _, _)| *x == v)
+            .map(|(_, _, s)| *s)
+    }
+
+    /// The knee: smallest swept value whose speedup reaches `frac` of the
+    /// maximum speedup for `app`.
+    pub fn knee(&self, app: App, frac: f64) -> Option<u32> {
+        let s = self.series.iter().find(|s| s.app == app.name())?;
+        let max = s.points.iter().map(|(_, _, sp)| *sp).fold(f64::MIN, f64::max);
+        s.points
+            .iter()
+            .find(|(_, _, sp)| *sp >= frac * max)
+            .map(|(v, _, _)| *v)
+    }
+
+    /// Render the speedup curves as an ASCII line chart.
+    pub fn to_chart(&self) -> String {
+        let series: Vec<(String, Vec<(f64, f64)>)> = self
+            .series
+            .iter()
+            .map(|s| {
+                (
+                    s.app.clone(),
+                    s.points
+                        .iter()
+                        .map(|&(v, _, sp)| ((v as f64).log2(), sp))
+                        .collect(),
+                )
+            })
+            .collect();
+        crate::plot::line_chart(
+            &format!("{}: speedup vs log2({})", self.label, self.param),
+            &series,
+            60,
+            14,
+        )
+    }
+
+    /// Render as a text table (rows = swept values, columns = apps).
+    pub fn to_table(&self) -> String {
+        let mut headers = vec![self.param.as_str()];
+        let names: Vec<&str> = self.series.iter().map(|s| s.app.as_str()).collect();
+        headers.extend(names.iter());
+        let values: Vec<u32> = self.series[0].points.iter().map(|(v, _, _)| *v).collect();
+        let rows: Vec<Vec<String>> = values
+            .iter()
+            .map(|&v| {
+                let mut r = vec![v.to_string()];
+                for s in &self.series {
+                    let sp = s
+                        .points
+                        .iter()
+                        .find(|(x, _, _)| *x == v)
+                        .map(|(_, _, sp)| *sp)
+                        .unwrap_or(f64::NAN);
+                    r.push(format!("{sp:.2}x"));
+                }
+                r
+            })
+            .collect();
+        report::format_table(
+            &format!("{}: mean speedup vs {} (relative to {})", self.label, self.param, values[0]),
+            &headers,
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SweepOptions {
+        SweepOptions { base_configs: 3, scale: WorkloadScale::Tiny, seed: 55 }
+    }
+
+    #[test]
+    fn fig6_vectorised_codes_speed_up_strongly() {
+        // Small scale: Tiny inputs have too few poses/elements for long
+        // vectors to shrink the trip counts (the paper's effect needs a
+        // non-degenerate problem size).
+        let opts = SweepOptions { base_configs: 3, scale: WorkloadScale::Small, seed: 55 };
+        let f = fig6(&ParamSpace::paper(), &opts);
+        for app in [App::Stream, App::MiniBude] {
+            assert_eq!(f.speedup(app, 128), Some(1.0));
+            let s = f.speedup(app, 2048).unwrap();
+            assert!(s > 2.0, "{app:?} vl speedup only {s}");
+        }
+    }
+
+    #[test]
+    fn fig7_rob_speedup_saturates() {
+        let f = fig7(&ParamSpace::paper(), &quick());
+        for app in App::ALL {
+            let early = f.speedup(app, 8).unwrap();
+            let knee = f.speedup(app, 152).unwrap();
+            let late = f.speedup(app, 512).unwrap();
+            assert_eq!(early, 1.0);
+            assert!(knee >= 1.0);
+            // Beyond the knee the curve flattens.
+            assert!(late <= knee * 1.3, "{app:?}: {late} vs {knee}");
+        }
+    }
+
+    #[test]
+    fn fig8_fp_regs_monotoneish() {
+        let f = fig8(&ParamSpace::paper(), &quick());
+        for app in App::ALL {
+            assert_eq!(f.speedup(app, 38), Some(1.0));
+            let s = f.speedup(app, 512).unwrap();
+            assert!(s >= 0.95, "{app:?} fp sweep regressed: {s}");
+        }
+    }
+
+    #[test]
+    fn table_renders() {
+        let f = fig7(&ParamSpace::paper(), &quick());
+        let t = f.to_table();
+        assert!(t.contains("ROB-Size"));
+        assert!(t.contains("152"));
+    }
+
+    #[test]
+    fn knee_detection() {
+        let f = SweepFig {
+            label: "t".into(),
+            param: "p".into(),
+            series: vec![SweepSeries {
+                app: "STREAM".into(),
+                points: vec![(8, 100.0, 1.0), (16, 50.0, 2.0), (32, 48.0, 2.08)],
+            }],
+        };
+        assert_eq!(f.knee(App::Stream, 0.9), Some(16));
+    }
+}
+
+#[cfg(test)]
+mod chart_tests {
+    use super::*;
+
+    #[test]
+    fn chart_renders_series_legend() {
+        let f = SweepFig {
+            label: "Fig. T".into(),
+            param: "ROB-Size".into(),
+            series: vec![
+                SweepSeries {
+                    app: "STREAM".into(),
+                    points: vec![(8, 100.0, 1.0), (64, 25.0, 4.0), (512, 20.0, 5.0)],
+                },
+                SweepSeries {
+                    app: "TeaLeaf".into(),
+                    points: vec![(8, 50.0, 1.0), (64, 30.0, 1.7), (512, 25.0, 2.0)],
+                },
+            ],
+        };
+        let c = f.to_chart();
+        assert!(c.contains("a = STREAM"));
+        assert!(c.contains("b = TeaLeaf"));
+        assert!(c.contains("log2(ROB-Size)"));
+    }
+}

@@ -1,0 +1,160 @@
+//! Extension experiment: unseen-code prediction (the paper's stated
+//! limitation, §VII).
+//!
+//! "This approach is still limited to applications the model has been
+//! trained on, and cannot yet adapt to unseen codes as the model must
+//! learn the characteristics of each code to accurately predict
+//! otherwise."
+//!
+//! Protocol: each application's tree is trained on its own rows (80/20
+//! split, exactly as the paper does), then asked to predict every *other*
+//! application's cycles for the same configurations. Because the feature
+//! vector carries no program information, the model can only reproduce
+//! the cycle landscape of the code it was trained on; transfer accuracy
+//! collapses, confirming the limitation and motivating the paper's
+//! future-work direction of program-aware surrogates (Dubach et al.'s
+//! architecture-centric models).
+
+use crate::report;
+use armdse_core::DseDataset;
+use armdse_kernels::App;
+use armdse_mltree::{mean_relative_accuracy, train_test_split, DecisionTreeRegressor, Regressor};
+use serde::{Deserialize, Serialize};
+
+/// One source-model row of the transfer matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransferRow {
+    /// App the model was trained on.
+    pub trained_on: String,
+    /// Accuracy (%) on the training app's held-out test split.
+    pub in_distribution_pct: f64,
+    /// Accuracy (%) per target app (training app included, full rows).
+    pub per_target_pct: Vec<(String, f64)>,
+}
+
+/// The cross-application transfer matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnseenFig {
+    /// One row per source model.
+    pub rows: Vec<TransferRow>,
+}
+
+/// Run the cross-application transfer experiment.
+pub fn run(data: &DseDataset, seed: u64) -> UnseenFig {
+    let rows = App::ALL
+        .iter()
+        .map(|&source| {
+            let ml = data.ml_dataset(source);
+            let (train, test) = train_test_split(&ml, 0.2, seed);
+            let tree = DecisionTreeRegressor::fit(&train.x, &train.y);
+            let in_distribution_pct =
+                mean_relative_accuracy(&tree.predict(&test.x), &test.y);
+
+            let per_target_pct = App::ALL
+                .iter()
+                .map(|&target| {
+                    let t = data.ml_dataset(target);
+                    (
+                        target.name().to_string(),
+                        mean_relative_accuracy(&tree.predict(&t.x), &t.y),
+                    )
+                })
+                .collect();
+
+            TransferRow {
+                trained_on: source.name().to_string(),
+                in_distribution_pct,
+                per_target_pct,
+            }
+        })
+        .collect();
+    UnseenFig { rows }
+}
+
+impl UnseenFig {
+    /// Transfer accuracy from a model trained on `source` to `target`.
+    pub fn transfer(&self, source: App, target: App) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.trained_on == source.name())?
+            .per_target_pct
+            .iter()
+            .find(|(t, _)| t == target.name())
+            .map(|(_, p)| *p)
+    }
+
+    /// In-distribution accuracy of `source`'s model.
+    pub fn in_distribution(&self, source: App) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.trained_on == source.name())
+            .map(|r| r.in_distribution_pct)
+    }
+
+    /// The paper's limitation is confirmed when, for most models, every
+    /// cross-application prediction is materially worse than the model's
+    /// own in-distribution accuracy.
+    pub fn limitation_confirmed(&self) -> bool {
+        let confirmed = self
+            .rows
+            .iter()
+            .filter(|r| {
+                let worst_transfer = r
+                    .per_target_pct
+                    .iter()
+                    .filter(|(t, _)| *t != r.trained_on)
+                    .map(|(_, p)| *p)
+                    .fold(f64::MAX, f64::min);
+                worst_transfer + 10.0 < r.in_distribution_pct
+            })
+            .count();
+        confirmed * 2 > self.rows.len()
+    }
+
+    /// Render the transfer matrix (rows = source model, cols = target).
+    pub fn to_table(&self) -> String {
+        let mut headers = vec!["Trained on".to_string(), "In-dist.".to_string()];
+        headers.extend(App::ALL.iter().map(|a| format!("→ {}", a.name())));
+        let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.trained_on.clone(), report::pct(r.in_distribution_pct)];
+                row.extend(r.per_target_pct.iter().map(|(_, p)| report::pct(*p)));
+                row
+            })
+            .collect();
+        report::format_table(
+            "Extension: cross-application transfer accuracy (paper §VII limitation)",
+            &headers_ref,
+            &rows,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_dataset, ExpOptions};
+
+    #[test]
+    fn transfer_collapses_across_applications() {
+        let mut opts = ExpOptions::quick();
+        opts.configs = 80;
+        let data = build_dataset(&opts);
+        let f = run(&data, 3);
+        assert_eq!(f.rows.len(), 4);
+        assert!(
+            f.limitation_confirmed(),
+            "cross-app prediction should be clearly worse: {f:#?}"
+        );
+        // A model asked about its own training app (full rows, including
+        // rows it memorised) does far better than on a foreign app.
+        let self_acc = f.transfer(App::Stream, App::Stream).unwrap();
+        let cross_acc = f.transfer(App::Stream, App::MiniSweep).unwrap();
+        assert!(self_acc > cross_acc, "{self_acc} !> {cross_acc}");
+        let t = f.to_table();
+        assert!(t.contains("Trained on"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Microbenchmarks of the individual substrates.
+
+use armdse_bench::baseline;
+use armdse_core::space::ParamSpace;
+use armdse_kernels::{build_workload, App, WorkloadScale};
+use armdse_memsim::{Hierarchy, MemParams, MemoryModel};
+use armdse_mltree::{
+    permutation_importance, DecisionTreeRegressor, Matrix, Regressor,
+};
+use armdse_isa::TraceCursor;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Core-simulation throughput per application (retired instrs / second).
+fn bench_simulate(c: &mut Criterion) {
+    let cfg = baseline();
+    let mut g = c.benchmark_group("simulate");
+    for app in App::ALL {
+        let w = build_workload(app, WorkloadScale::Small, cfg.core.vector_length);
+        g.throughput(Throughput::Elements(w.summary.total()));
+        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &w, |b, w| {
+            b.iter(|| black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)))
+        });
+    }
+    g.finish();
+}
+
+/// Trace-cursor decode throughput.
+fn bench_cursor(c: &mut Criterion) {
+    let w = build_workload(App::Stream, WorkloadScale::Small, 128);
+    let mut g = c.benchmark_group("cursor");
+    g.throughput(Throughput::Elements(w.summary.total()));
+    g.bench_function("stream_small", |b| {
+        b.iter(|| {
+            let mut n = 0u64;
+            for di in TraceCursor::new(&w.program) {
+                n += u64::from(di.op.is_vector());
+            }
+            black_box(n)
+        })
+    });
+    g.finish();
+}
+
+/// Memory-hierarchy access throughput (hit-dominated streaming).
+fn bench_hierarchy(c: &mut Criterion) {
+    let params = MemParams::thunderx2();
+    let mut g = c.benchmark_group("hierarchy");
+    g.throughput(Throughput::Elements(4096));
+    g.bench_function("streaming_4k_lines", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::new(params);
+            let mut t = 0;
+            for i in 0..4096u64 {
+                t = h.access((i % 512) * 64, false, t);
+            }
+            black_box(t)
+        })
+    });
+    g.finish();
+}
+
+/// Design-space sampling throughput.
+fn bench_sampler(c: &mut Criterion) {
+    let space = ParamSpace::paper();
+    let mut g = c.benchmark_group("sampler");
+    g.throughput(Throughput::Elements(1000));
+    g.bench_function("sample_1000", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for seed in 0..1000 {
+                acc = acc.wrapping_add(u64::from(
+                    space.sample_seeded(seed).core.rob_size,
+                ));
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+fn synthetic_training_data(n: usize) -> (Matrix, Vec<f64>) {
+    let mut rows = Vec::with_capacity(n);
+    let mut y = Vec::with_capacity(n);
+    for i in 0..n as u64 {
+        let a = ((i * 2654435761) % 997) as f64;
+        let b = ((i * 40503) % 991) as f64;
+        let c = ((i * 9176) % 983) as f64;
+        rows.push(vec![a, b, c, (i % 13) as f64]);
+        y.push(3.0 * a + b * b / 100.0 + if c > 500.0 { 1000.0 } else { 0.0 });
+    }
+    (Matrix::from_rows(&rows), y)
+}
+
+/// Decision-tree training time ("training the machine learning model is
+/// extremely fast, taking less than 1 minute" — paper artifact appendix).
+fn bench_tree_fit(c: &mut Criterion) {
+    let (x, y) = synthetic_training_data(2000);
+    c.bench_function("tree_fit_2000x4", |b| {
+        b.iter(|| black_box(DecisionTreeRegressor::fit(&x, &y)))
+    });
+}
+
+/// Tree prediction throughput.
+fn bench_tree_predict(c: &mut Criterion) {
+    let (x, y) = synthetic_training_data(2000);
+    let t = DecisionTreeRegressor::fit(&x, &y);
+    let mut g = c.benchmark_group("tree_predict");
+    g.throughput(Throughput::Elements(2000));
+    g.bench_function("2000_rows", |b| b.iter(|| black_box(t.predict(&x))));
+    g.finish();
+}
+
+/// Permutation-importance cost (10 repeats, as the paper).
+fn bench_importance(c: &mut Criterion) {
+    let (x, y) = synthetic_training_data(500);
+    let t = DecisionTreeRegressor::fit(&x, &y);
+    let names: Vec<String> = (0..4).map(|i| format!("f{i}")).collect();
+    c.bench_function("permutation_importance_500x4", |b| {
+        b.iter(|| black_box(permutation_importance(&t, &x, &y, &names, 10, 1)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulate, bench_cursor, bench_hierarchy, bench_sampler,
+              bench_tree_fit, bench_tree_predict, bench_importance
+}
+criterion_main!(benches);

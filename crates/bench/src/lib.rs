@@ -1,0 +1,43 @@
+//! # armdse-bench — benchmark support
+//!
+//! The benches live in `benches/`:
+//!
+//! * `tables_figures` — one Criterion benchmark per paper table/figure,
+//!   each regenerating a reduced-size version of the experiment
+//!   end-to-end (workload generation → simulation → model → analysis).
+//! * `components` — microbenchmarks of the substrates: core simulation
+//!   throughput per app, cache hierarchy access rates, trace-cursor
+//!   throughput, sampler throughput, tree fit/predict, permutation
+//!   importance.
+//! * `ablations` — the design choices DESIGN.md calls out: decision tree
+//!   vs linear baseline vs random forest; per-app models vs one unified
+//!   model; prefetcher on/off; loop buffer on/off; infinite vs finite
+//!   banking.
+//!
+//! This library crate only hosts shared helpers.
+
+use armdse_core::DesignConfig;
+use armdse_core::orchestrator::{generate_dataset, GenOptions};
+use armdse_core::space::ParamSpace;
+use armdse_core::DseDataset;
+use armdse_kernels::{App, WorkloadScale};
+
+/// A small deterministic dataset for model benches (kept tiny so
+/// `cargo bench` completes quickly even single-core).
+pub fn bench_dataset(configs: usize) -> DseDataset {
+    generate_dataset(
+        &ParamSpace::paper(),
+        &GenOptions {
+            configs,
+            scale: WorkloadScale::Tiny,
+            seed: 0xBE7C,
+            threads: 1,
+            apps: App::ALL.to_vec(),
+        },
+    )
+}
+
+/// The baseline configuration used by simulation benches.
+pub fn baseline() -> DesignConfig {
+    DesignConfig::thunderx2()
+}

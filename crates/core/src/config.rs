@@ -1,0 +1,179 @@
+//! A complete design point: core parameters plus memory parameters, and
+//! its flattening to the 30-feature vector the surrogate model consumes.
+
+use armdse_memsim::MemParams;
+use armdse_simcore::CoreParams;
+use serde::{Deserialize, Serialize};
+
+/// The thirty feature names, in feature-vector order. Names follow the
+/// paper's figures (e.g. `Vector-Length`, `Cache-Line-Width`, `L1-Clock`).
+pub const FEATURE_NAMES: [&str; 30] = [
+    "Vector-Length",
+    "Fetch-Block-Size",
+    "Loop-Buffer-Size",
+    "GP-Registers",
+    "FP-SVE-Registers",
+    "Predicate-Registers",
+    "Conditional-Registers",
+    "Commit-Width",
+    "Frontend-Width",
+    "LSQ-Completion-Width",
+    "ROB-Size",
+    "Load-Queue-Size",
+    "Store-Queue-Size",
+    "Load-Bandwidth",
+    "Store-Bandwidth",
+    "Mem-Requests-Per-Cycle",
+    "Loads-Per-Cycle",
+    "Stores-Per-Cycle",
+    "Cache-Line-Width",
+    "L1-Size",
+    "L1-Assoc",
+    "L1-Latency",
+    "L1-Clock",
+    "L2-Size",
+    "L2-Assoc",
+    "L2-Latency",
+    "L2-Clock",
+    "RAM-Latency",
+    "RAM-Clock",
+    "Prefetch-Depth",
+];
+
+/// One sampled design point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignConfig {
+    /// Core-side parameters (Table II).
+    pub core: CoreParams,
+    /// Memory-side parameters (Table III).
+    pub mem: MemParams,
+}
+
+impl DesignConfig {
+    /// The ThunderX2-like baseline used for the Table I validation.
+    pub fn thunderx2() -> DesignConfig {
+        DesignConfig { core: CoreParams::thunderx2(), mem: MemParams::thunderx2() }
+    }
+
+    /// Validate both halves.
+    pub fn validate(&self) -> Result<(), String> {
+        self.core.validate()?;
+        self.mem.validate()
+    }
+
+    /// Flatten to the 30-feature vector (order = [`FEATURE_NAMES`]).
+    pub fn to_features(&self) -> [f64; 30] {
+        let c = &self.core;
+        let m = &self.mem;
+        [
+            f64::from(c.vector_length),
+            f64::from(c.fetch_block_bytes),
+            f64::from(c.loop_buffer_size),
+            f64::from(c.gp_regs),
+            f64::from(c.fp_regs),
+            f64::from(c.pred_regs),
+            f64::from(c.cond_regs),
+            f64::from(c.commit_width),
+            f64::from(c.frontend_width),
+            f64::from(c.lsq_completion_width),
+            f64::from(c.rob_size),
+            f64::from(c.load_queue),
+            f64::from(c.store_queue),
+            f64::from(c.load_bandwidth),
+            f64::from(c.store_bandwidth),
+            f64::from(c.mem_requests_per_cycle),
+            f64::from(c.loads_per_cycle),
+            f64::from(c.stores_per_cycle),
+            f64::from(m.line_bytes),
+            f64::from(m.l1_size_kib),
+            f64::from(m.l1_assoc),
+            f64::from(m.l1_latency),
+            m.l1_clock_ghz,
+            f64::from(m.l2_size_kib),
+            f64::from(m.l2_assoc),
+            f64::from(m.l2_latency),
+            m.l2_clock_ghz,
+            m.ram_access_ns,
+            m.ram_clock_ghz,
+            f64::from(m.prefetch_depth),
+        ]
+    }
+
+    /// Rebuild a config from a feature vector (inverse of
+    /// [`DesignConfig::to_features`]); used by the CSV loader.
+    pub fn from_features(f: &[f64]) -> DesignConfig {
+        assert_eq!(f.len(), 30, "feature vector must have 30 entries");
+        DesignConfig {
+            core: CoreParams {
+                vector_length: f[0] as u32,
+                fetch_block_bytes: f[1] as u32,
+                loop_buffer_size: f[2] as u32,
+                gp_regs: f[3] as u32,
+                fp_regs: f[4] as u32,
+                pred_regs: f[5] as u32,
+                cond_regs: f[6] as u32,
+                commit_width: f[7] as u32,
+                frontend_width: f[8] as u32,
+                lsq_completion_width: f[9] as u32,
+                rob_size: f[10] as u32,
+                load_queue: f[11] as u32,
+                store_queue: f[12] as u32,
+                load_bandwidth: f[13] as u32,
+                store_bandwidth: f[14] as u32,
+                mem_requests_per_cycle: f[15] as u32,
+                loads_per_cycle: f[16] as u32,
+                stores_per_cycle: f[17] as u32,
+            },
+            mem: MemParams {
+                line_bytes: f[18] as u32,
+                l1_size_kib: f[19] as u32,
+                l1_assoc: f[20] as u32,
+                l1_latency: f[21] as u32,
+                l1_clock_ghz: f[22],
+                l2_size_kib: f[23] as u32,
+                l2_assoc: f[24] as u32,
+                l2_latency: f[25] as u32,
+                l2_clock_ghz: f[26],
+                ram_access_ns: f[27],
+                ram_clock_ghz: f[28],
+                prefetch_depth: f[29] as u32,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_validates() {
+        DesignConfig::thunderx2().validate().unwrap();
+    }
+
+    #[test]
+    fn feature_roundtrip() {
+        let c = DesignConfig::thunderx2();
+        let f = c.to_features();
+        let back = DesignConfig::from_features(&f);
+        assert_eq!(c, back);
+    }
+
+    #[test]
+    fn names_match_width() {
+        assert_eq!(FEATURE_NAMES.len(), 30);
+        assert_eq!(DesignConfig::thunderx2().to_features().len(), 30);
+        // Names are unique.
+        let mut n: Vec<&str> = FEATURE_NAMES.to_vec();
+        n.sort_unstable();
+        n.dedup();
+        assert_eq!(n.len(), 30);
+    }
+
+    #[test]
+    fn vector_length_is_feature_zero() {
+        assert_eq!(FEATURE_NAMES[0], "Vector-Length");
+        let f = DesignConfig::thunderx2().to_features();
+        assert_eq!(f[0], 128.0);
+    }
+}

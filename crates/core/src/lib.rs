@@ -1,0 +1,53 @@
+//! # armdse-core — the design-space exploration framework
+//!
+//! The paper's contribution C1/C2 as a library: a thirty-feature
+//! constrained design space over the core and memory simulators, seeded
+//! uniform sampling, a parallel simulation orchestrator, dataset
+//! persistence, and the per-application decision-tree surrogate pipeline.
+//!
+//! ## Pipeline (paper workflow T1 → T2 → T3)
+//!
+//! ```text
+//! ParamSpace::paper() ──sample──► DesignConfig ──runner──► SimStats
+//!        │                                                    │
+//!        └──── orchestrator::generate_dataset ────────────────┘
+//!                              │
+//!                        DseDataset (CSV)
+//!                              │
+//!               SurrogateSuite::train (per-app trees,
+//!               tolerance curves, permutation importances)
+//! ```
+//!
+//! ## Example
+//!
+//! ```
+//! use armdse_core::{orchestrator::GenOptions, space::ParamSpace, surrogate::SurrogateSuite};
+//! use armdse_kernels::{App, WorkloadScale};
+//!
+//! let opts = GenOptions {
+//!     configs: 40,
+//!     scale: WorkloadScale::Tiny,
+//!     seed: 1,
+//!     threads: 2,
+//!     apps: vec![App::Stream],
+//! };
+//! let data = armdse_core::orchestrator::generate_dataset(&ParamSpace::paper(), &opts);
+//! assert!(data.rows.len() <= 40 && !data.rows.is_empty());
+//! let suite = SurrogateSuite::train(&data, 0.2, 7);
+//! assert_eq!(suite.models.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dataset;
+pub mod orchestrator;
+pub mod runner;
+pub mod space;
+pub mod summary;
+pub mod surrogate;
+
+pub use config::DesignConfig;
+pub use dataset::{DseDataset, Row};
+pub use space::{ParamSpace, FEATURE_COUNT};
+pub use surrogate::{AppModel, ModelMetrics, SurrogateSuite};

@@ -1,0 +1,57 @@
+//! Single-simulation runner: workload construction + core simulation.
+
+use crate::config::DesignConfig;
+use armdse_kernels::{build_workload, App, Workload, WorkloadScale};
+use armdse_simcore::SimStats;
+
+/// Build the workload and simulate it on the default (SST-like) memory
+/// hierarchy. One call = one of the paper's T2 simulation tasks.
+pub fn simulate(app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats {
+    let w = build_workload(app, scale, cfg.core.vector_length);
+    simulate_workload(&w, cfg)
+}
+
+/// Simulate a pre-built workload (callers that sweep non-VL parameters
+/// can reuse one workload across many configs).
+pub fn simulate_workload(w: &Workload, cfg: &DesignConfig) -> SimStats {
+    debug_assert!(!w.program.name.is_empty(), "workload must be lowered from a named kernel");
+    armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)
+}
+
+/// Simulate on the finite-banked hardware-proxy hierarchy (the Table I
+/// "hardware" side; see DESIGN.md substitution table).
+pub fn simulate_hardware_proxy(app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats {
+    let w = build_workload(app, scale, cfg.core.vector_length);
+    armdse_simcore::simulate_hardware_proxy(&w.program, &cfg.core, &cfg.mem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_runs_all_apps() {
+        let cfg = DesignConfig::thunderx2();
+        for app in App::ALL {
+            let s = simulate(app, WorkloadScale::Tiny, &cfg);
+            assert!(s.validated, "{app:?}");
+        }
+    }
+
+    #[test]
+    fn workload_reuse_matches_fresh_build() {
+        let cfg = DesignConfig::thunderx2();
+        let w = build_workload(App::Stream, WorkloadScale::Tiny, cfg.core.vector_length);
+        let a = simulate_workload(&w, &cfg);
+        let b = simulate(App::Stream, WorkloadScale::Tiny, &cfg);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn proxy_differs_from_simulator() {
+        let cfg = DesignConfig::thunderx2();
+        let sim = simulate(App::Stream, WorkloadScale::Small, &cfg);
+        let hw = simulate_hardware_proxy(App::Stream, WorkloadScale::Small, &cfg);
+        assert_ne!(sim.cycles, hw.cycles);
+    }
+}

@@ -1,0 +1,168 @@
+//! Dataset summary statistics — quick sanity analysis of a generated
+//! dataset before model training (the paper's dataset was sanity-checked
+//! the same way before `analysis.py` ran).
+
+use crate::config::FEATURE_NAMES;
+use crate::dataset::DseDataset;
+use armdse_kernels::App;
+use serde::{Deserialize, Serialize};
+
+/// Distribution summary of one app's cycle counts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AppSummary {
+    /// Application name.
+    pub app: String,
+    /// Row count.
+    pub rows: usize,
+    /// Minimum cycles.
+    pub min: u64,
+    /// Median cycles.
+    pub median: u64,
+    /// Arithmetic mean cycles.
+    pub mean: f64,
+    /// Maximum cycles.
+    pub max: u64,
+    /// Mean SVE fraction across rows.
+    pub mean_sve: f64,
+}
+
+/// Whole-dataset summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSummary {
+    /// One summary per application present.
+    pub apps: Vec<AppSummary>,
+    /// Per-feature (min, max) over all rows — confirms the sampler
+    /// covered each parameter's range.
+    pub feature_ranges: Vec<(String, f64, f64)>,
+}
+
+impl DseDataset {
+    /// Compute distribution and coverage summaries.
+    pub fn summary(&self) -> DatasetSummary {
+        let apps = App::ALL
+            .iter()
+            .filter_map(|&app| {
+                let mut cycles: Vec<u64> =
+                    self.for_app(app).iter().map(|r| r.cycles).collect();
+                if cycles.is_empty() {
+                    return None;
+                }
+                cycles.sort_unstable();
+                let n = cycles.len();
+                let sve: f64 = self
+                    .for_app(app)
+                    .iter()
+                    .map(|r| r.sve_fraction)
+                    .sum::<f64>()
+                    / n as f64;
+                Some(AppSummary {
+                    app: app.name().to_string(),
+                    rows: n,
+                    min: cycles[0],
+                    median: cycles[n / 2],
+                    mean: cycles.iter().sum::<u64>() as f64 / n as f64,
+                    max: cycles[n - 1],
+                    mean_sve: sve,
+                })
+            })
+            .collect();
+
+        let feature_ranges = FEATURE_NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, name)| {
+                let (lo, hi) = self.rows.iter().fold(
+                    (f64::INFINITY, f64::NEG_INFINITY),
+                    |(lo, hi), r| (lo.min(r.features[i]), hi.max(r.features[i])),
+                );
+                (name.to_string(), lo, hi)
+            })
+            .collect();
+
+        DatasetSummary { apps, feature_ranges }
+    }
+}
+
+impl DatasetSummary {
+    /// Render as a text report.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("Dataset summary\n");
+        out.push_str(&format!(
+            "{:>10} {:>7} {:>10} {:>10} {:>12} {:>10} {:>7}\n",
+            "App", "rows", "min", "median", "mean", "max", "SVE%"
+        ));
+        for a in &self.apps {
+            out.push_str(&format!(
+                "{:>10} {:>7} {:>10} {:>10} {:>12.0} {:>10} {:>6.1}%\n",
+                a.app,
+                a.rows,
+                a.min,
+                a.median,
+                a.mean,
+                a.max,
+                100.0 * a.mean_sve
+            ));
+        }
+        out
+    }
+
+    /// Spread of the target variable for one app (`max / min`), the
+    /// dynamic range the surrogate has to capture.
+    pub fn cycle_spread(&self, app: App) -> Option<f64> {
+        self.apps
+            .iter()
+            .find(|a| a.app == app.name())
+            .map(|a| a.max as f64 / a.min.max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Row;
+    use crate::DesignConfig;
+
+    fn data() -> DseDataset {
+        let f = DesignConfig::thunderx2().to_features();
+        DseDataset {
+            rows: vec![
+                Row { app: App::Stream, features: f, cycles: 100, sve_fraction: 0.5 },
+                Row { app: App::Stream, features: f, cycles: 300, sve_fraction: 0.6 },
+                Row { app: App::Stream, features: f, cycles: 200, sve_fraction: 0.4 },
+            ],
+        }
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = data().summary();
+        assert_eq!(s.apps.len(), 1);
+        let a = &s.apps[0];
+        assert_eq!((a.min, a.median, a.max), (100, 200, 300));
+        assert!((a.mean - 200.0).abs() < 1e-9);
+        assert!((a.mean_sve - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feature_ranges_cover_rows() {
+        let s = data().summary();
+        assert_eq!(s.feature_ranges.len(), 30);
+        let (name, lo, hi) = &s.feature_ranges[0];
+        assert_eq!(name, "Vector-Length");
+        assert_eq!((*lo, *hi), (128.0, 128.0));
+    }
+
+    #[test]
+    fn cycle_spread() {
+        let s = data().summary();
+        assert!((s.cycle_spread(App::Stream).unwrap() - 3.0).abs() < 1e-9);
+        assert!(s.cycle_spread(App::TeaLeaf).is_none());
+    }
+
+    #[test]
+    fn table_renders() {
+        let t = data().summary().to_table();
+        assert!(t.contains("STREAM"));
+        assert!(t.contains("median"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Kernel IR: affine loop nests over instruction templates.
+//!
+//! Each HPC workload is expressed as a small loop nest whose body is a list
+//! of instruction templates. Memory-accessing templates carry an
+//! [`AddrExpr`] — an affine function of the enclosing loop indices — so the
+//! trace cursor can materialise concrete byte addresses without storing the
+//! (potentially enormous) unrolled trace.
+
+use crate::instr::InstrTemplate;
+use serde::{Deserialize, Serialize};
+
+/// Maximum loop-nest depth supported by [`AddrExpr`] and the trace cursor.
+pub const MAX_LOOP_DEPTH: usize = 6;
+
+/// An affine address expression `base + Σ stride[d] * index[d]` over the
+/// enclosing loop indices (`d` = 0 for the outermost loop).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AddrExpr {
+    /// Base byte address (start of the array slice this template touches).
+    pub base: u64,
+    /// Per-loop-depth byte strides; entries beyond the actual nest depth
+    /// must be zero.
+    pub strides: [i64; MAX_LOOP_DEPTH],
+}
+
+impl AddrExpr {
+    /// A fixed address independent of every loop index.
+    pub const fn fixed(base: u64) -> AddrExpr {
+        AddrExpr { base, strides: [0; MAX_LOOP_DEPTH] }
+    }
+
+    /// Address varying along one loop depth.
+    pub fn linear(base: u64, depth: usize, stride: i64) -> AddrExpr {
+        let mut e = AddrExpr::fixed(base);
+        e.strides[depth] = stride;
+        e
+    }
+
+    /// Address varying along two loop depths.
+    pub fn bilinear(base: u64, d0: usize, s0: i64, d1: usize, s1: i64) -> AddrExpr {
+        let mut e = AddrExpr::fixed(base);
+        e.strides[d0] = s0;
+        e.strides[d1] = s1;
+        e
+    }
+
+    /// Evaluate at the given loop-index vector (outermost first).
+    #[inline]
+    pub fn eval(&self, indices: &[u64]) -> u64 {
+        let mut a = self.base as i64;
+        for (d, &idx) in indices.iter().enumerate().take(MAX_LOOP_DEPTH) {
+            a += self.strides[d] * idx as i64;
+        }
+        debug_assert!(a >= 0, "address expression went negative");
+        a as u64
+    }
+}
+
+/// A statement in the kernel IR: either a straight-line instruction template
+/// or a counted loop around a sub-body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Stmt {
+    /// One instruction template.
+    Instr(InstrTemplate),
+    /// A counted loop executing `body` `trip` times. Lowering appends the
+    /// loop-control overhead (induction increment, compare-and-branch) that
+    /// a real VLA loop retires each iteration.
+    Loop {
+        /// Trip count (≥ 1; zero-trip loops are dropped during lowering).
+        trip: u64,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+}
+
+impl Stmt {
+    /// Convenience constructor for a counted loop.
+    pub fn repeat(trip: u64, body: Vec<Stmt>) -> Stmt {
+        Stmt::Loop { trip, body }
+    }
+}
+
+/// A named kernel: metadata plus the IR body.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Kernel {
+    /// Human-readable name (e.g. `"stream-triad"`).
+    pub name: String,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Create a kernel from a body.
+    pub fn new(name: impl Into<String>, body: Vec<Stmt>) -> Kernel {
+        Kernel { name: name.into(), body }
+    }
+
+    /// Maximum loop-nest depth of the kernel body.
+    pub fn max_depth(&self) -> usize {
+        fn depth(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Instr(_) => 0,
+                    Stmt::Loop { body, .. } => 1 + depth(body),
+                })
+                .max()
+                .unwrap_or(0)
+        }
+        depth(&self.body)
+    }
+
+    /// Number of static instruction templates (excluding lowering-inserted
+    /// loop-control ops).
+    pub fn template_count(&self) -> usize {
+        fn count(stmts: &[Stmt]) -> usize {
+            stmts
+                .iter()
+                .map(|s| match s {
+                    Stmt::Instr(_) => 1,
+                    Stmt::Loop { body, .. } => count(body),
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrTemplate;
+    use crate::op::OpClass;
+
+    fn nop() -> Stmt {
+        Stmt::Instr(InstrTemplate::compute(OpClass::IntAlu, &[], &[]))
+    }
+
+    #[test]
+    fn addr_expr_fixed_ignores_indices() {
+        let e = AddrExpr::fixed(0x1000);
+        assert_eq!(e.eval(&[]), 0x1000);
+        assert_eq!(e.eval(&[5, 7]), 0x1000);
+    }
+
+    #[test]
+    fn addr_expr_linear() {
+        let e = AddrExpr::linear(0x1000, 0, 8);
+        assert_eq!(e.eval(&[0]), 0x1000);
+        assert_eq!(e.eval(&[3]), 0x1018);
+    }
+
+    #[test]
+    fn addr_expr_bilinear_negative_stride() {
+        let e = AddrExpr::bilinear(0x1000, 0, 256, 1, -8);
+        assert_eq!(e.eval(&[2, 4]), 0x1000 + 512 - 32);
+    }
+
+    #[test]
+    fn kernel_depth_and_template_count() {
+        let k = Kernel::new(
+            "k",
+            vec![
+                nop(),
+                Stmt::repeat(4, vec![nop(), Stmt::repeat(2, vec![nop(), nop()])]),
+            ],
+        );
+        assert_eq!(k.max_depth(), 2);
+        assert_eq!(k.template_count(), 4);
+    }
+
+    #[test]
+    fn empty_kernel_depth_zero() {
+        let k = Kernel::new("empty", vec![]);
+        assert_eq!(k.max_depth(), 0);
+        assert_eq!(k.template_count(), 0);
+    }
+}

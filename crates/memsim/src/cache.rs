@@ -1,0 +1,236 @@
+//! Set-associative cache tag array with true LRU replacement.
+
+/// One cache way: tag plus state bits.
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    /// Line tag (full line address for simplicity; memory is ample).
+    tag: u64,
+    /// Valid bit.
+    valid: bool,
+    /// Dirty bit (set by stores; write-back policy).
+    dirty: bool,
+    /// LRU timestamp (larger = more recently used).
+    lru: u64,
+}
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LookupResult {
+    /// Line present.
+    Hit,
+    /// Line absent; no line was displaced (an invalid way was filled).
+    MissFilled,
+    /// Line absent; a clean line was evicted to make room.
+    MissEvictClean,
+    /// Line absent; a dirty line was evicted (write-back traffic).
+    MissEvictDirty,
+}
+
+/// A set-associative, write-back, write-allocate cache tag array.
+///
+/// Timing lives in the hierarchy; this structure answers only *presence*
+/// questions and maintains replacement state.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    ways: Vec<Way>,
+    sets: u32,
+    assoc: u32,
+    line_bytes: u32,
+    tick: u64,
+}
+
+impl Cache {
+    /// Build a cache of `size_kib` KiB with `assoc` ways and
+    /// `line_bytes`-byte lines. Set count must be a power of two
+    /// (guaranteed by [`crate::MemParams::validate`]).
+    pub fn new(size_kib: u32, assoc: u32, line_bytes: u32) -> Cache {
+        let lines = size_kib as u64 * 1024 / u64::from(line_bytes);
+        let sets = (lines / u64::from(assoc)) as u32;
+        assert!(sets.is_power_of_two() && sets > 0, "invalid cache geometry");
+        Cache {
+            ways: vec![Way::default(); (sets * assoc) as usize],
+            sets,
+            assoc,
+            line_bytes,
+            tick: 0,
+        }
+    }
+
+    #[inline]
+    fn set_of(&self, line_addr: u64) -> usize {
+        ((line_addr / u64::from(self.line_bytes)) & u64::from(self.sets - 1)) as usize
+    }
+
+    /// Probe for `line_addr` without changing any state.
+    pub fn probe(&self, line_addr: u64) -> bool {
+        let s = self.set_of(line_addr);
+        self.set_ways(s).iter().any(|w| w.valid && w.tag == line_addr)
+    }
+
+    #[inline]
+    fn set_ways(&self, set: usize) -> &[Way] {
+        let a = self.assoc as usize;
+        &self.ways[set * a..(set + 1) * a]
+    }
+
+    #[inline]
+    fn set_ways_mut(&mut self, set: usize) -> &mut [Way] {
+        let a = self.assoc as usize;
+        &mut self.ways[set * a..(set + 1) * a]
+    }
+
+    /// Access `line_addr`, allocating on miss, updating LRU, and setting
+    /// the dirty bit for stores.
+    pub fn access(&mut self, line_addr: u64, is_store: bool) -> LookupResult {
+        self.tick += 1;
+        let tick = self.tick;
+        let set = self.set_of(line_addr);
+        let ways = self.set_ways_mut(set);
+
+        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line_addr) {
+            w.lru = tick;
+            w.dirty |= is_store;
+            return LookupResult::Hit;
+        }
+
+        // Miss: prefer an invalid way, otherwise evict the LRU way.
+        let (victim_idx, result) = match ways.iter().position(|w| !w.valid) {
+            Some(i) => (i, LookupResult::MissFilled),
+            None => {
+                let (i, v) = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .expect("assoc >= 1");
+                let r = if v.dirty {
+                    LookupResult::MissEvictDirty
+                } else {
+                    LookupResult::MissEvictClean
+                };
+                (i, r)
+            }
+        };
+        ways[victim_idx] = Way { tag: line_addr, valid: true, dirty: is_store, lru: tick };
+        result
+    }
+
+    /// Insert a line without classifying the access (prefetch fills).
+    /// Returns `true` if a dirty line was displaced.
+    pub fn fill(&mut self, line_addr: u64) -> bool {
+        matches!(self.access(line_addr, false), LookupResult::MissEvictDirty)
+    }
+
+    /// Invalidate every line (used between benchmark phases when modelling
+    /// a cold-cache run).
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            *w = Way::default();
+        }
+    }
+
+    /// Total line capacity.
+    pub fn capacity_lines(&self) -> u32 {
+        self.sets * self.assoc
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> u32 {
+        self.ways.iter().filter(|w| w.valid).count() as u32
+    }
+
+    /// Cache line width in bytes.
+    pub fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 1 KiB, 2-way, 64 B lines → 8 sets.
+        Cache::new(1, 2, 64)
+    }
+
+    #[test]
+    fn geometry() {
+        let c = tiny();
+        assert_eq!(c.capacity_lines(), 16);
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny();
+        assert_eq!(c.access(0x1000, false), LookupResult::MissFilled);
+        assert_eq!(c.access(0x1000, false), LookupResult::Hit);
+        assert!(c.probe(0x1000));
+        assert!(!c.probe(0x2000));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        // Three lines mapping to the same set (8 sets × 64 B stride ⇒
+        // addresses 512 B apart share a set).
+        let a = 0x0000;
+        let b = 0x0200;
+        let d = 0x0400;
+        c.access(a, false);
+        c.access(b, false);
+        c.access(a, false); // a most recent
+        assert_eq!(c.access(d, false), LookupResult::MissEvictClean); // evicts b
+        assert!(c.probe(a));
+        assert!(!c.probe(b));
+        assert!(c.probe(d));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = tiny();
+        c.access(0x0000, true); // dirty
+        c.access(0x0200, false);
+        let r = c.access(0x0400, false); // evicts dirty 0x0000
+        assert_eq!(r, LookupResult::MissEvictDirty);
+    }
+
+    #[test]
+    fn store_hit_sets_dirty() {
+        let mut c = tiny();
+        c.access(0x0000, false);
+        c.access(0x0000, true); // now dirty via store hit
+        c.access(0x0200, false);
+        assert_eq!(c.access(0x0400, false), LookupResult::MissEvictDirty);
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = tiny();
+        c.access(0x1000, false);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+        assert!(!c.probe(0x1000));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        // 16 lines in 16 distinct (set, way) slots: addresses 64 B apart.
+        for i in 0..16u64 {
+            c.access(i * 64, false);
+        }
+        assert_eq!(c.valid_lines(), 16);
+        for i in 0..16u64 {
+            assert!(c.probe(i * 64));
+        }
+    }
+
+    #[test]
+    fn fill_reports_dirty_writeback() {
+        let mut c = tiny();
+        c.access(0x0000, true);
+        c.access(0x0200, true);
+        assert!(c.fill(0x0400));
+    }
+}

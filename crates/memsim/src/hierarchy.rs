@@ -1,0 +1,233 @@
+//! Default (infinite-bank) two-level hierarchy timing model.
+
+use crate::cache::{Cache, LookupResult};
+use crate::params::MemParams;
+use crate::stats::MemStats;
+use crate::{Cycle, MemoryModel};
+use std::collections::HashMap;
+
+/// Two-level write-back hierarchy with next-line prefetch and outstanding
+/// request merging; unlimited internal banking, per the paper's note on
+/// SST's default behaviour.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    params: MemParams,
+    l1: Cache,
+    l2: Cache,
+    stats: MemStats,
+    /// Outstanding line fills: line address → completion cycle.
+    in_flight: HashMap<u64, Cycle>,
+    l1_lat: u64,
+    l2_lat: u64,
+    ram_lat: u64,
+}
+
+impl Hierarchy {
+    /// Build a hierarchy from validated parameters.
+    pub fn new(params: MemParams) -> Hierarchy {
+        debug_assert!(params.validate().is_ok(), "invalid MemParams");
+        Hierarchy {
+            l1: Cache::new(params.l1_size_kib, params.l1_assoc, params.line_bytes),
+            l2: Cache::new(params.l2_size_kib, params.l2_assoc, params.line_bytes),
+            l1_lat: params.l1_hit_core_cycles(),
+            l2_lat: params.l2_hit_core_cycles(),
+            ram_lat: params.ram_core_cycles(),
+            params,
+            stats: MemStats::default(),
+            in_flight: HashMap::new(),
+        }
+    }
+
+    /// The configuration this hierarchy was built from.
+    pub fn params(&self) -> &MemParams {
+        &self.params
+    }
+
+    /// Lazily trim completed in-flight entries.
+    fn maybe_trim(&mut self, now: Cycle) {
+        if self.in_flight.len() > 4096 {
+            self.in_flight.retain(|_, &mut c| c > now);
+        }
+    }
+
+    /// Resolve the latency path for a line that is absent from L1,
+    /// filling tags, counting stats, and returning the completion cycle.
+    fn miss_path(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+        let l2r = self.l2.access(line_addr, false);
+        let complete = match l2r {
+            LookupResult::Hit => {
+                self.stats.l2_hits += 1;
+                now + self.l1_lat + self.l2_lat
+            }
+            miss => {
+                self.stats.l2_misses += 1;
+                if miss == LookupResult::MissEvictDirty {
+                    self.stats.writebacks += 1;
+                }
+                now + self.l1_lat + self.l2_lat + self.ram_lat
+            }
+        };
+        if self.l1.access(line_addr, is_store) == LookupResult::MissEvictDirty {
+            self.stats.writebacks += 1;
+        }
+        self.in_flight.insert(line_addr, complete);
+        complete
+    }
+
+    /// Issue next-line prefetches after a demand miss at `line_addr`.
+    fn prefetch_after(&mut self, line_addr: u64, now: Cycle) {
+        for d in 1..=u64::from(self.params.prefetch_depth) {
+            let pf = line_addr + d * u64::from(self.params.line_bytes);
+            if self.l1.probe(pf) || self.in_flight.contains_key(&pf) {
+                continue;
+            }
+            self.stats.prefetches += 1;
+            self.miss_path(pf, false, now);
+        }
+    }
+}
+
+impl MemoryModel for Hierarchy {
+    fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+        debug_assert_eq!(line_addr % u64::from(self.params.line_bytes), 0);
+        self.stats.requests += 1;
+        self.maybe_trim(now);
+
+        // Merge into an outstanding fill of the same line.
+        if let Some(&complete) = self.in_flight.get(&line_addr) {
+            if complete > now {
+                self.stats.merged += 1;
+                // Tags were already filled by the original request;
+                // update LRU/dirty state.
+                self.l1.access(line_addr, is_store);
+                return complete;
+            }
+            self.in_flight.remove(&line_addr);
+        }
+
+        match self.l1.access(line_addr, is_store) {
+            LookupResult::Hit => {
+                self.stats.l1_hits += 1;
+                now + self.l1_lat
+            }
+            miss => {
+                self.stats.l1_misses += 1;
+                if miss == LookupResult::MissEvictDirty {
+                    self.stats.writebacks += 1;
+                }
+                // The L1 tag was allocated by `access`; resolve timing via
+                // L2/DRAM. (miss_path re-touches L1 — harmless LRU bump.)
+                let complete = self.miss_path(line_addr, is_store, now);
+                self.prefetch_after(line_addr, now);
+                complete
+            }
+        }
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.params.line_bytes
+    }
+
+    fn l1_hit_latency(&self) -> u64 {
+        self.l1_lat
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(prefetch: u32) -> Hierarchy {
+        let mut p = MemParams::thunderx2();
+        p.prefetch_depth = prefetch;
+        Hierarchy::new(p)
+    }
+
+    #[test]
+    fn cold_miss_costs_full_path() {
+        let mut m = h(0);
+        let t = m.access(0x1000, false, 100);
+        let p = MemParams::thunderx2();
+        assert_eq!(
+            t,
+            100 + p.l1_hit_core_cycles() + p.l2_hit_core_cycles() + p.ram_core_cycles()
+        );
+        assert_eq!(m.stats().l1_misses, 1);
+        assert_eq!(m.stats().l2_misses, 1);
+    }
+
+    #[test]
+    fn second_access_hits_l1() {
+        let mut m = h(0);
+        let t1 = m.access(0x1000, false, 0);
+        let t2 = m.access(0x1000, false, t1);
+        assert_eq!(t2, t1 + MemParams::thunderx2().l1_hit_core_cycles());
+        assert_eq!(m.stats().l1_hits, 1);
+    }
+
+    #[test]
+    fn same_line_request_merges_while_in_flight() {
+        let mut m = h(0);
+        let t1 = m.access(0x1000, false, 0);
+        // Second request to the same line before the fill completes.
+        let t2 = m.access(0x1000, false, 1);
+        assert_eq!(t1, t2);
+        assert_eq!(m.stats().merged, 1);
+    }
+
+    #[test]
+    fn prefetch_hides_next_line_latency() {
+        let mut m = h(2);
+        let t1 = m.access(0x1000, false, 0);
+        assert_eq!(m.stats().prefetches, 2);
+        // Demand for the prefetched next line merges into the prefetch.
+        let t2 = m.access(0x1040, false, 1);
+        assert!(t2 <= t1, "prefetched line should not pay a fresh miss");
+        assert_eq!(m.stats().merged, 1);
+    }
+
+    #[test]
+    fn l2_hit_cheaper_than_ram() {
+        let p = MemParams::thunderx2();
+        let mut m = h(0);
+        // Fill L1 far beyond capacity so an early line falls out of L1 but
+        // stays in the (8×) larger L2.
+        let lines = u64::from(p.l1_size_kib) * 1024 / u64::from(p.line_bytes);
+        let mut now = 0;
+        for i in 0..(lines * 2) {
+            now = m.access(i * u64::from(p.line_bytes), false, now);
+        }
+        let s_before = *m.stats();
+        let t = m.access(0, false, now); // evicted from L1, resident in L2
+        assert_eq!(m.stats().l1_misses, s_before.l1_misses + 1);
+        assert_eq!(m.stats().l2_hits, s_before.l2_hits + 1);
+        assert_eq!(t, now + p.l1_hit_core_cycles() + p.l2_hit_core_cycles());
+    }
+
+    #[test]
+    fn store_then_eviction_writes_back() {
+        let mut m = h(0);
+        let p = MemParams::thunderx2();
+        m.access(0, true, 0);
+        // Walk enough conflicting lines to evict line 0 from both levels.
+        let stride = u64::from(p.line_bytes) * u64::from(p.l2_sets());
+        let mut now = 1000;
+        for i in 1..=u64::from(p.l2_assoc + 1) {
+            now = m.access(i * stride, false, now);
+        }
+        assert!(m.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn request_count_tracks_all_accesses() {
+        let mut m = h(1);
+        m.access(0x0, false, 0);
+        m.access(0x40, false, 1);
+        m.access(0x40, false, 2);
+        assert_eq!(m.stats().requests, 3);
+    }
+}

@@ -1,0 +1,79 @@
+//! Memory-hierarchy statistics counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated by a memory model over one simulation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemStats {
+    /// Demand accesses that hit in L1.
+    pub l1_hits: u64,
+    /// Demand accesses that missed in L1.
+    pub l1_misses: u64,
+    /// L1 misses that hit in L2.
+    pub l2_hits: u64,
+    /// L1 misses that also missed in L2 (DRAM accesses).
+    pub l2_misses: u64,
+    /// Demand accesses merged into an outstanding same-line request.
+    pub merged: u64,
+    /// Prefetch fills issued.
+    pub prefetches: u64,
+    /// Dirty-line writebacks (either level).
+    pub writebacks: u64,
+    /// Total demand line requests (hits + misses + merged).
+    pub requests: u64,
+}
+
+impl MemStats {
+    /// L1 demand hit rate in [0, 1]; `None` when no accesses occurred.
+    pub fn l1_hit_rate(&self) -> Option<f64> {
+        let total = self.l1_hits + self.l1_misses;
+        (total > 0).then(|| self.l1_hits as f64 / total as f64)
+    }
+
+    /// L2 local hit rate in [0, 1]; `None` when L2 saw no accesses.
+    pub fn l2_hit_rate(&self) -> Option<f64> {
+        let total = self.l2_hits + self.l2_misses;
+        (total > 0).then(|| self.l2_hits as f64 / total as f64)
+    }
+
+    /// Fold another stats block into this one (parallel shard merging).
+    pub fn merge(&mut self, other: &MemStats) {
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.merged += other.merged;
+        self.prefetches += other.prefetches;
+        self.writebacks += other.writebacks;
+        self.requests += other.requests;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rates_none_when_empty() {
+        let s = MemStats::default();
+        assert!(s.l1_hit_rate().is_none());
+        assert!(s.l2_hit_rate().is_none());
+    }
+
+    #[test]
+    fn hit_rates_computed() {
+        let s = MemStats { l1_hits: 3, l1_misses: 1, l2_hits: 1, l2_misses: 0, ..Default::default() };
+        assert!((s.l1_hit_rate().unwrap() - 0.75).abs() < 1e-12);
+        assert!((s.l2_hit_rate().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = MemStats { l1_hits: 1, requests: 2, ..Default::default() };
+        let b = MemStats { l1_hits: 4, writebacks: 7, requests: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.l1_hits, 5);
+        assert_eq!(a.writebacks, 7);
+        assert_eq!(a.requests, 7);
+    }
+}

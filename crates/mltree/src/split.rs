@@ -1,0 +1,72 @@
+//! Seeded randomised train/test splitting (the paper's 80/20 split).
+
+use crate::matrix::Dataset;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `data` into (train, test) with `test_frac` of rows in the test
+/// set, shuffled deterministically by `seed`.
+pub fn train_test_split(data: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
+    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0, 1)");
+    let n = data.len();
+    assert!(n >= 2, "need at least two samples to split");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_frac).round() as usize;
+    let n_test = n_test.clamp(1, n - 1);
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    (data.select(train_idx), data.select(test_idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn data(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        Dataset::new(
+            Matrix::from_rows(&rows),
+            (0..n).map(|i| i as f64).collect(),
+            vec!["f".into()],
+        )
+    }
+
+    #[test]
+    fn sizes_add_up() {
+        let d = data(100);
+        let (train, test) = train_test_split(&d, 0.2, 42);
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_complete() {
+        let d = data(50);
+        let (train, test) = train_test_split(&d, 0.2, 7);
+        let mut seen: Vec<f64> = train.y.iter().chain(test.y.iter()).copied().collect();
+        seen.sort_by(f64::total_cmp);
+        let expect: Vec<f64> = (0..50).map(|i| i as f64).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn deterministic_per_seed_and_varies_across_seeds() {
+        let d = data(64);
+        let (a1, _) = train_test_split(&d, 0.25, 1);
+        let (a2, _) = train_test_split(&d, 0.25, 1);
+        let (b, _) = train_test_split(&d, 0.25, 2);
+        assert_eq!(a1.y, a2.y);
+        assert_ne!(a1.y, b.y);
+    }
+
+    #[test]
+    fn never_produces_empty_side() {
+        let d = data(3);
+        let (train, test) = train_test_split(&d, 0.01, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+        let (train, test) = train_test_split(&d, 0.99, 0);
+        assert!(!train.is_empty() && !test.is_empty());
+    }
+}

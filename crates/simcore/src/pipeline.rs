@@ -1,0 +1,711 @@
+//! The out-of-order pipeline model.
+//!
+//! A cycle-driven model of a modern superscalar out-of-order core in the
+//! style of SimEng: fetch (fetch-block windows plus a loop buffer), decode/
+//! rename (four physical register files with free lists), dispatch into a
+//! unified 60-entry reservation station at 4 instructions/cycle, issue to
+//! the paper's fixed port layout (3 load/store, 2 vector, 1 predicate,
+//! 3 scalar), a load/store queue with store-to-load forwarding and
+//! in-order store drain at commit, and in-order commit from the reorder
+//! buffer.
+//!
+//! Branches are resolved at fetch (the instruction stream is the retired
+//! path, i.e. perfect branch prediction); the frontend is instead
+//! throttled by the fetch-block size, the loop buffer, and the frontend
+//! width — the structures the paper varies. This matches the paper's
+//! focus: its design space contains no branch-predictor parameters.
+
+use crate::params::{CoreParams, DISPATCH_RATE, FETCH_QUEUE_CAP, MIN_FORWARD_LATENCY, RENAME_BUFFER_CAP, RS_SIZE};
+use crate::regfile::{RenameUnit, RenamedDest, Seq};
+use crate::stats::SimStats;
+use armdse_isa::instr::{DynInstr, MemPattern, MemRef};
+use armdse_isa::op::{OpClass, PortClass};
+use armdse_isa::reg::RegClass;
+use armdse_isa::{Program, TraceCursor, INSTR_BYTES};
+use armdse_memsim::{split_lines, MemoryModel};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Lifecycle stage of an in-flight micro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stage {
+    /// Renamed, waiting in the rename buffer for dispatch.
+    Renamed,
+    /// In the reservation station (ready when `srcs_remaining == 0`).
+    InRs,
+    /// Issued to a port, executing.
+    Issued,
+    /// Load: address generated, waiting to issue memory requests.
+    PendingMem,
+    /// Load: all line requests issued, waiting for data.
+    MemWait,
+    /// Load: data arrived, waiting for an LSQ completion slot.
+    WbWait,
+    /// Finished; eligible for commit.
+    Done,
+}
+
+/// An in-flight micro-op.
+#[derive(Debug, Clone)]
+struct Uop {
+    op: OpClass,
+    stage: Stage,
+    dests: [RenamedDest; 2],
+    ndests: u8,
+    srcs_remaining: u8,
+    mem: Option<MemRef>,
+    /// Memory request-issue state: next request address, requests left,
+    /// byte step between requests (line width for contiguous accesses,
+    /// element stride for gathers), and bandwidth debit per request.
+    next_addr: u64,
+    reqs_left: u16,
+    req_step: i64,
+    bytes_share: u32,
+    mem_complete: u64,
+}
+
+/// A store-queue entry (lives from dispatch until drained to memory).
+#[derive(Debug, Clone, Copy)]
+struct SqEntry {
+    seq: Seq,
+    /// Base address and the span of bytes the store may touch.
+    span_lo: u64,
+    span_hi: u64,
+    /// Whether the store is a scatter (no forwarding from scatters).
+    scattered: bool,
+    /// Store executed: address and data known (forwarding possible).
+    data_ready: bool,
+    /// Store committed: eligible to drain.
+    committed: bool,
+    /// Drain state (mirrors the load-side request plan).
+    next_addr: u64,
+    reqs_left: u16,
+    req_step: i64,
+    bytes_share: u32,
+}
+
+impl SqEntry {
+    fn overlaps(&self, lo: u64, hi: u64) -> bool {
+        self.span_lo < hi && lo < self.span_hi
+    }
+
+    fn covers(&self, lo: u64, hi: u64) -> bool {
+        !self.scattered && self.span_lo <= lo && self.span_hi >= hi
+    }
+}
+
+/// Request-issue plan for a memory access: (first request address,
+/// request count, byte step between requests, bandwidth debit/request).
+fn request_plan(m: &MemRef, line_bytes: u32) -> (u64, u16, i64, u32) {
+    match m.pattern {
+        MemPattern::Contiguous => {
+            let lines = split_lines(m.addr, m.bytes, line_bytes).count() as u16;
+            (
+                m.addr & !(u64::from(line_bytes) - 1),
+                lines,
+                i64::from(line_bytes),
+                m.bytes.div_ceil(u32::from(lines)),
+            )
+        }
+        MemPattern::Strided { elem_bytes, stride, count } => {
+            // One request per element: the defining gather/scatter cost.
+            (m.addr, count as u16, stride, elem_bytes)
+        }
+    }
+}
+
+/// Byte span `[lo, hi)` an access may touch.
+fn span_of(m: &MemRef) -> (u64, u64) {
+    match m.pattern {
+        MemPattern::Contiguous => (m.addr, m.addr + u64::from(m.bytes)),
+        MemPattern::Strided { elem_bytes, stride, count } => {
+            let last = m.addr as i64 + stride * (i64::from(count) - 1);
+            let lo = (m.addr as i64).min(last).max(0) as u64;
+            let hi = (m.addr as i64).max(last) as u64 + u64::from(elem_bytes);
+            (lo, hi)
+        }
+    }
+}
+
+/// The pipeline state machine.
+pub struct Pipeline<'p, M: MemoryModel> {
+    params: CoreParams,
+    mem: M,
+    cursor: TraceCursor<'p>,
+    /// One-instruction lookahead between the cursor and fetch.
+    pending_fetch: Option<DynInstr>,
+    now: u64,
+
+    // Frontend.
+    fetch_q: VecDeque<DynInstr>,
+    loop_mode: Option<(u64, u64)>,
+    loop_candidate: Option<u64>,
+
+    // In-flight window: uops from `window_base` (oldest, next to commit).
+    window: VecDeque<Uop>,
+    window_base: Seq,
+    next_seq: Seq,
+    rename: RenameUnit,
+    rename_q: VecDeque<Seq>,
+
+    // Backend.
+    rs: Vec<Seq>,
+    rob_count: u32,
+    port_busy: [Vec<u64>; 4],
+    exec_done: BinaryHeap<Reverse<(u64, Seq)>>,
+
+    // LSQ.
+    lq_count: u32,
+    sq: VecDeque<SqEntry>,
+    pending_loads: VecDeque<Seq>,
+    mem_done: BinaryHeap<Reverse<(u64, Seq)>>,
+    completed_loads: VecDeque<Seq>,
+
+    stats: SimStats,
+}
+
+impl<'p, M: MemoryModel> Pipeline<'p, M> {
+    /// Build a pipeline over `program` with the given core configuration
+    /// and memory backend.
+    pub fn new(program: &'p Program, params: CoreParams, mem: M) -> Pipeline<'p, M> {
+        debug_assert!(params.validate().is_ok(), "invalid CoreParams");
+        let phys = [
+            params.gp_regs,
+            params.fp_regs,
+            params.pred_regs,
+            params.cond_regs,
+        ];
+        let mut cursor = TraceCursor::new(program);
+        let pending_fetch = cursor.next_instr();
+        Pipeline {
+            rename: RenameUnit::new(phys),
+            port_busy: [
+                vec![0; PortClass::LoadStore.default_count()],
+                vec![0; PortClass::Vector.default_count()],
+                vec![0; PortClass::Predicate.default_count()],
+                vec![0; PortClass::Scalar.default_count()],
+            ],
+            params,
+            mem,
+            cursor,
+            pending_fetch,
+            now: 0,
+            fetch_q: VecDeque::with_capacity(FETCH_QUEUE_CAP),
+            loop_mode: None,
+            loop_candidate: None,
+            window: VecDeque::new(),
+            window_base: 0,
+            next_seq: 0,
+            rename_q: VecDeque::with_capacity(RENAME_BUFFER_CAP),
+            rs: Vec::with_capacity(RS_SIZE),
+            rob_count: 0,
+            exec_done: BinaryHeap::new(),
+            lq_count: 0,
+            sq: VecDeque::new(),
+            pending_loads: VecDeque::new(),
+            mem_done: BinaryHeap::new(),
+            completed_loads: VecDeque::new(),
+            stats: SimStats::default(),
+        }
+    }
+
+    #[inline]
+    fn uop(&self, seq: Seq) -> &Uop {
+        &self.window[(seq - self.window_base) as usize]
+    }
+
+    #[inline]
+    fn uop_mut(&mut self, seq: Seq) -> &mut Uop {
+        &mut self.window[(seq - self.window_base) as usize]
+    }
+
+    /// Run to completion; returns the statistics. `max_cycles` guards
+    /// against modelling deadlocks — if it fires, `hit_cycle_limit` is set
+    /// and the run must be discarded (failed validation).
+    pub fn run(mut self, max_cycles: u64) -> SimStats {
+        while !self.finished() {
+            if self.now >= max_cycles {
+                self.stats.hit_cycle_limit = true;
+                break;
+            }
+            self.step();
+        }
+        self.stats.cycles = self.now;
+        self.stats.mem = *self.mem.stats();
+        self.stats
+    }
+
+    fn finished(&self) -> bool {
+        self.pending_fetch.is_none()
+            && self.fetch_q.is_empty()
+            && self.window.is_empty()
+            && self.sq.is_empty()
+    }
+
+    /// Advance one core cycle.
+    pub fn step(&mut self) {
+        self.writeback();
+        self.lsq_memory();
+        self.commit();
+        self.issue();
+        self.dispatch();
+        self.rename_stage();
+        self.fetch();
+        self.now += 1;
+    }
+
+    // ---------------------------------------------------------- writeback
+
+    fn writeback(&mut self) {
+        // Execution-port completions.
+        let mut woken: Vec<Seq> = Vec::new();
+        while let Some(&Reverse((t, seq))) = self.exec_done.peek() {
+            if t > self.now {
+                break;
+            }
+            self.exec_done.pop();
+            let op = self.uop(seq).op;
+            if op.is_load() {
+                self.uop_mut(seq).stage = Stage::PendingMem;
+                self.pending_loads.push_back(seq);
+            } else if op.is_store() {
+                // Store executed: data+address ready; completes in ROB now,
+                // memory write happens post-commit.
+                self.uop_mut(seq).stage = Stage::Done;
+                if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
+                    e.data_ready = true;
+                }
+            } else {
+                self.complete_dests(seq, &mut woken);
+                self.uop_mut(seq).stage = Stage::Done;
+            }
+        }
+
+        // Memory completions feed the LSQ completion stage.
+        while let Some(&Reverse((t, seq))) = self.mem_done.peek() {
+            if t > self.now {
+                break;
+            }
+            self.mem_done.pop();
+            self.uop_mut(seq).stage = Stage::WbWait;
+            self.completed_loads.push_back(seq);
+        }
+
+        // LSQ completion width: loads writing back per cycle.
+        for _ in 0..self.params.lsq_completion_width {
+            let Some(seq) = self.completed_loads.pop_front() else { break };
+            self.complete_dests(seq, &mut woken);
+            self.uop_mut(seq).stage = Stage::Done;
+        }
+
+        self.wake(&woken);
+    }
+
+    fn complete_dests(&mut self, seq: Seq, woken: &mut Vec<Seq>) {
+        let (dests, n) = {
+            let u = self.uop(seq);
+            (u.dests, u.ndests as usize)
+        };
+        for d in &dests[..n] {
+            self.rename.complete(d.class, d.phys, woken);
+        }
+    }
+
+    fn wake(&mut self, woken: &[Seq]) {
+        for &seq in woken {
+            let u = self.uop_mut(seq);
+            debug_assert!(u.srcs_remaining > 0);
+            u.srcs_remaining -= 1;
+        }
+    }
+
+    // --------------------------------------------------------- LSQ memory
+
+    fn lsq_memory(&mut self) {
+        let line = u64::from(self.mem.line_bytes());
+        let mut reqs = self.params.mem_requests_per_cycle;
+        let mut store_reqs = self.params.stores_per_cycle;
+        let mut load_reqs = self.params.loads_per_cycle;
+        let mut store_bw = self.params.store_bandwidth;
+        let mut load_bw = self.params.load_bandwidth;
+
+        // In-order drain of committed stores. (Not a while-let: the
+        // front borrow must end before `self.mem.access` below.)
+        #[allow(clippy::while_let_loop)]
+        loop {
+            let Some(front) = self.sq.front() else { break };
+            if !(front.committed && front.data_ready) {
+                break;
+            }
+            let share = front.bytes_share;
+            loop {
+                let f = self.sq.front().expect("front exists");
+                if f.reqs_left == 0 || reqs == 0 || store_reqs == 0 || store_bw < share {
+                    break;
+                }
+                reqs -= 1;
+                store_reqs -= 1;
+                store_bw -= share;
+                let addr = f.next_addr & !(line - 1);
+                // Completion time of the write is not load-bearing for the
+                // pipeline (no coherence), so the return value is unused.
+                let _ = self.mem.access(addr, true, self.now);
+                let f = self.sq.front_mut().expect("front exists");
+                f.next_addr = (f.next_addr as i64 + f.req_step) as u64;
+                f.reqs_left -= 1;
+            }
+            if self.sq.front().expect("front exists").reqs_left == 0 {
+                self.sq.pop_front();
+            } else {
+                break; // budget exhausted
+            }
+        }
+
+        // Load issue (program order across pending loads, but younger
+        // loads may proceed past a blocked older one — our model permits
+        // this because forwarding correctness is enforced per-load).
+        let mut still_pending: VecDeque<Seq> = VecDeque::new();
+        while let Some(seq) = self.pending_loads.pop_front() {
+            if reqs == 0 || load_reqs == 0 {
+                still_pending.push_back(seq);
+                continue;
+            }
+            let mref = self.uop(seq).mem.expect("load has mem");
+            match self.classify_against_stores(seq, &mref) {
+                StoreHazard::Blocked => {
+                    still_pending.push_back(seq);
+                    continue;
+                }
+                StoreHazard::Forward => {
+                    let complete =
+                        self.now + self.mem.l1_hit_latency().max(MIN_FORWARD_LATENCY);
+                    let u = self.uop_mut(seq);
+                    u.mem_complete = complete;
+                    u.stage = Stage::MemWait;
+                    u.reqs_left = 0;
+                    self.mem_done.push(Reverse((complete, seq)));
+                    continue;
+                }
+                StoreHazard::Clear => {}
+            }
+            // Issue as many requests as budgets allow.
+            let share = self.uop(seq).bytes_share;
+            let mut issued_any = false;
+            loop {
+                let u = self.uop(seq);
+                if u.reqs_left == 0 {
+                    break;
+                }
+                if reqs == 0 || load_reqs == 0 || load_bw < share {
+                    break;
+                }
+                reqs -= 1;
+                load_reqs -= 1;
+                load_bw -= share;
+                let addr = self.uop(seq).next_addr & !(line - 1);
+                let done = self.mem.access(addr, false, self.now);
+                let u = self.uop_mut(seq);
+                u.next_addr = (u.next_addr as i64 + u.req_step) as u64;
+                u.reqs_left -= 1;
+                u.mem_complete = u.mem_complete.max(done);
+                issued_any = true;
+            }
+            let u = self.uop_mut(seq);
+            if u.reqs_left == 0 && issued_any {
+                u.stage = Stage::MemWait;
+                let t = u.mem_complete;
+                self.mem_done.push(Reverse((t, seq)));
+            } else if u.reqs_left == 0 {
+                // Degenerate: zero-request access (cannot happen; bytes >= 1).
+                u.stage = Stage::MemWait;
+                self.mem_done.push(Reverse((self.now + 1, seq)));
+            } else {
+                still_pending.push_back(seq);
+            }
+        }
+        self.pending_loads = still_pending;
+    }
+
+    fn classify_against_stores(&self, seq: Seq, mref: &MemRef) -> StoreHazard {
+        // Youngest older store overlapping the load's span decides.
+        // Gathers never forward (their elements cannot all come from one
+        // store's data), so an overlapping gather load is simply blocked
+        // until the store drains.
+        let (lo, hi) = span_of(mref);
+        let load_is_gather = !matches!(mref.pattern, MemPattern::Contiguous);
+        let mut decision = StoreHazard::Clear;
+        for e in self.sq.iter() {
+            if e.seq >= seq {
+                break;
+            }
+            if e.overlaps(lo, hi) {
+                decision = if !load_is_gather && e.data_ready && e.covers(lo, hi) {
+                    StoreHazard::Forward
+                } else {
+                    StoreHazard::Blocked
+                };
+            }
+        }
+        decision
+    }
+
+    // -------------------------------------------------------------- commit
+
+    fn commit(&mut self) {
+        for _ in 0..self.params.commit_width {
+            let Some(front) = self.window.front() else { break };
+            if front.stage != Stage::Done {
+                break;
+            }
+            let seq = self.window_base;
+            let u = self.window.pop_front().expect("front exists");
+            self.window_base += 1;
+            self.rob_count -= 1;
+            for d in &u.dests[..u.ndests as usize] {
+                self.rename.free_prev(*d);
+            }
+            if u.op.is_load() {
+                self.lq_count -= 1;
+            }
+            if u.op.is_store() {
+                if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
+                    e.committed = true;
+                }
+            }
+            self.stats.retired += 1;
+            self.stats.observed.record(
+                u.op,
+                u.mem.map_or(0, |m| u64::from(m.bytes)),
+                u.mem.map(|m| m.kind),
+            );
+        }
+    }
+
+    // --------------------------------------------------------------- issue
+
+    fn issue(&mut self) {
+        if self.rs.is_empty() {
+            return;
+        }
+        let now = self.now;
+        let mut issued: Vec<Seq> = Vec::new();
+        for idx in 0..self.rs.len() {
+            let seq = self.rs[idx];
+            let u = self.uop(seq);
+            if u.srcs_remaining != 0 {
+                continue;
+            }
+            let class = u.op.port();
+            let lat = u64::from(u.op.exec_latency());
+            let occupancy = if u.op.pipelined() { 1 } else { lat };
+            // Find a free port of this class.
+            let Some(pi) = self.port_busy[class.index()].iter().position(|b| *b <= now)
+            else {
+                continue;
+            };
+            self.port_busy[class.index()][pi] = now + occupancy;
+            self.exec_done.push(Reverse((now + lat, seq)));
+            self.uop_mut(seq).stage = Stage::Issued;
+            issued.push(seq);
+        }
+        if !issued.is_empty() {
+            self.rs.retain(|s| !issued.contains(s));
+        }
+    }
+
+    // ------------------------------------------------------------ dispatch
+
+    fn dispatch(&mut self) {
+        for _ in 0..DISPATCH_RATE {
+            let Some(&seq) = self.rename_q.front() else { break };
+            if self.rob_count >= self.params.rob_size {
+                self.stats.stalls.rob_full += 1;
+                break;
+            }
+            if self.rs.len() >= RS_SIZE {
+                self.stats.stalls.rs_full += 1;
+                break;
+            }
+            let (op, mem) = {
+                let u = self.uop(seq);
+                (u.op, u.mem)
+            };
+            if op.is_load() && self.lq_count >= self.params.load_queue {
+                self.stats.stalls.lq_full += 1;
+                break;
+            }
+            if op.is_store() && self.sq.len() as u32 >= self.params.store_queue {
+                self.stats.stalls.sq_full += 1;
+                break;
+            }
+            self.rename_q.pop_front();
+            self.rob_count += 1;
+            self.rs.push(seq);
+            self.uop_mut(seq).stage = Stage::InRs;
+            if op.is_load() {
+                self.lq_count += 1;
+            }
+            if op.is_store() {
+                let m = mem.expect("store has mem");
+                let (next_addr, reqs_left, req_step, bytes_share) =
+                    request_plan(&m, self.mem.line_bytes());
+                let (span_lo, span_hi) = span_of(&m);
+                self.sq.push_back(SqEntry {
+                    seq,
+                    span_lo,
+                    span_hi,
+                    scattered: !matches!(m.pattern, MemPattern::Contiguous),
+                    data_ready: false,
+                    committed: false,
+                    next_addr,
+                    reqs_left,
+                    req_step,
+                    bytes_share,
+                });
+            }
+        }
+    }
+
+    // -------------------------------------------------------------- rename
+
+    fn rename_stage(&mut self) {
+        for _ in 0..self.params.frontend_width {
+            if self.rename_q.len() >= RENAME_BUFFER_CAP {
+                break;
+            }
+            let Some(di) = self.fetch_q.front() else {
+                if self.pending_fetch.is_some() || !self.window.is_empty() {
+                    self.stats.stalls.fetch_starved += 1;
+                }
+                break;
+            };
+            if !self.rename.can_rename(di.dests.as_slice()) {
+                let counts = self.rename.stall_counts;
+                self.stats.stalls.rename_gp = counts[RegClass::Gp.index()];
+                self.stats.stalls.rename_fp = counts[RegClass::Fp.index()];
+                self.stats.stalls.rename_pred = counts[RegClass::Pred.index()];
+                self.stats.stalls.rename_cond = counts[RegClass::Cond.index()];
+                break;
+            }
+            let di = self.fetch_q.pop_front().expect("front exists");
+            let seq = self.next_seq;
+            self.next_seq += 1;
+
+            // Resolve sources first (reads see the pre-rename mapping).
+            let mut srcs_remaining = 0u8;
+            for s in di.srcs.iter() {
+                let (_, ready) = self.rename.resolve_src(s, seq);
+                if !ready {
+                    srcs_remaining += 1;
+                }
+            }
+            // Rename destinations.
+            let mut dests = [RenamedDest { class: RegClass::Gp, phys: 0, prev: 0 }; 2];
+            let mut ndests = 0u8;
+            for d in di.dests.iter() {
+                dests[ndests as usize] = self.rename.rename_dest(d);
+                ndests += 1;
+            }
+
+            // Request-issue plan for loads.
+            let (next_addr, reqs_left, req_step, bytes_share) = match di.mem {
+                Some(m) if di.op.is_load() => request_plan(&m, self.mem.line_bytes()),
+                _ => (0, 0, 0, 0),
+            };
+
+            self.window.push_back(Uop {
+                op: di.op,
+                stage: Stage::Renamed,
+                dests,
+                ndests,
+                srcs_remaining,
+                mem: di.mem,
+                next_addr,
+                reqs_left,
+                req_step,
+                bytes_share,
+                mem_complete: 0,
+            });
+            self.rename_q.push_back(seq);
+        }
+    }
+
+    // --------------------------------------------------------------- fetch
+
+    fn fetch(&mut self) {
+        if self.pending_fetch.is_none() {
+            return;
+        }
+        let fb = u64::from(self.params.fetch_block_bytes);
+        let in_loop = self.loop_mode.is_some();
+        if in_loop {
+            self.stats.stalls.loop_buffer_cycles += 1;
+        }
+        let budget = if in_loop {
+            self.params.frontend_width as usize
+        } else {
+            // Instructions available in the aligned fetch-block window
+            // containing the next PC.
+            let pc = self.pending_fetch.as_ref().expect("checked").pc;
+            let window_end = (pc & !(fb - 1)) + fb;
+            ((window_end - pc) / INSTR_BYTES) as usize
+        };
+
+        for _ in 0..budget {
+            if self.fetch_q.len() >= FETCH_QUEUE_CAP {
+                break;
+            }
+            let Some(di) = self.pending_fetch.take() else { break };
+            self.pending_fetch = self.cursor.next_instr();
+            let taken = di.branch.map(|b| b.taken).unwrap_or(false);
+            let pc = di.pc;
+            self.fetch_q.push_back(di);
+
+            if let Some(b) = di.branch {
+                if b.taken && b.target < pc {
+                    let body_len = (pc - b.target) / INSTR_BYTES + 1;
+                    if body_len <= u64::from(self.params.loop_buffer_size) {
+                        if self.loop_candidate == Some(pc) {
+                            self.loop_mode = Some((b.target, pc));
+                        } else {
+                            self.loop_candidate = Some(pc);
+                        }
+                    }
+                } else if !b.taken && self.loop_candidate == Some(pc) {
+                    // Loop exit: leave streaming mode.
+                    self.loop_mode = None;
+                    self.loop_candidate = None;
+                } else if !b.taken && self.loop_mode.map(|(_, bp)| bp) == Some(pc) {
+                    self.loop_mode = None;
+                    self.loop_candidate = None;
+                }
+            }
+
+            // In block mode a taken branch ends the fetch group.
+            if self.loop_mode.is_none() && taken {
+                break;
+            }
+            // Fell out of the loop-buffer range: drop back to block fetch.
+            if let (Some((lo, hi)), Some(next)) = (self.loop_mode, self.pending_fetch.as_ref())
+            {
+                if next.pc < lo || next.pc > hi {
+                    self.loop_mode = None;
+                    self.loop_candidate = None;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Store-hazard classification for a load about to access memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StoreHazard {
+    /// No older overlapping store: go to memory.
+    Clear,
+    /// Youngest older overlapping store fully covers the load and its data
+    /// is ready: forward from the store queue.
+    Forward,
+    /// Overlapping store with unknown data or partial overlap: wait.
+    Blocked,
+}

@@ -1,0 +1,224 @@
+//! Register renaming: per-class physical register files with free lists,
+//! ready bits, and waiter lists.
+
+use armdse_isa::reg::{Reg, RegClass};
+
+/// Sequence number of an in-flight micro-op (monotonic, program order).
+pub type Seq = u64;
+
+/// One class's physical register file.
+#[derive(Debug, Clone)]
+struct ClassFile {
+    /// Current architectural → physical mapping.
+    map: Vec<u32>,
+    /// Free physical registers.
+    free: Vec<u32>,
+    /// Ready bit per physical register (value produced).
+    ready: Vec<bool>,
+    /// Micro-ops waiting on each physical register.
+    waiters: Vec<Vec<Seq>>,
+}
+
+impl ClassFile {
+    fn new(arch: u32, phys: u32) -> ClassFile {
+        assert!(phys > arch, "physical file smaller than architectural state");
+        ClassFile {
+            map: (0..arch).collect(),
+            free: (arch..phys).rev().collect(),
+            ready: vec![true; phys as usize],
+            waiters: vec![Vec::new(); phys as usize],
+        }
+    }
+}
+
+/// The rename unit: all four class files.
+#[derive(Debug, Clone)]
+pub struct RenameUnit {
+    files: [ClassFile; 4],
+    /// Rename stalls attributed to each class's free list being empty.
+    pub stall_counts: [u64; 4],
+}
+
+/// Result of renaming one destination operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RenamedDest {
+    /// Register class.
+    pub class: RegClass,
+    /// Newly allocated physical register.
+    pub phys: u32,
+    /// Previous mapping of the architectural register (freed at commit).
+    pub prev: u32,
+}
+
+impl RenameUnit {
+    /// Build with per-class physical register counts
+    /// (indexed by `RegClass::index()`).
+    pub fn new(phys_counts: [u32; 4]) -> RenameUnit {
+        let f = |c: RegClass| ClassFile::new(u32::from(c.arch_count()), phys_counts[c.index()]);
+        RenameUnit {
+            files: [
+                f(RegClass::Gp),
+                f(RegClass::Fp),
+                f(RegClass::Pred),
+                f(RegClass::Cond),
+            ],
+            stall_counts: [0; 4],
+        }
+    }
+
+    /// Whether dests (given as registers) can all be renamed right now.
+    /// Counts a stall against the first exhausted class if not.
+    pub fn can_rename(&mut self, dests: &[Reg]) -> bool {
+        // Count needed per class (an instruction may have two dests of
+        // different classes, e.g. `adds` writing GP + NZCV).
+        let mut need = [0u32; 4];
+        for d in dests {
+            need[d.class.index()] += 1;
+        }
+        for (i, &n) in need.iter().enumerate() {
+            if (self.files[i].free.len() as u32) < n {
+                self.stall_counts[i] += 1;
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Rename one destination: allocate a physical register, remember the
+    /// previous mapping, and mark the new register not-ready.
+    pub fn rename_dest(&mut self, d: Reg) -> RenamedDest {
+        let file = &mut self.files[d.class.index()];
+        let phys = file.free.pop().expect("can_rename checked");
+        let prev = file.map[d.index as usize];
+        file.map[d.index as usize] = phys;
+        file.ready[phys as usize] = false;
+        debug_assert!(file.waiters[phys as usize].is_empty());
+        RenamedDest { class: d.class, phys, prev }
+    }
+
+    /// Resolve a source operand: returns the physical register and whether
+    /// its value is ready. If not ready, registers `seq` as a waiter.
+    pub fn resolve_src(&mut self, s: Reg, seq: Seq) -> (u32, bool) {
+        let file = &mut self.files[s.class.index()];
+        let phys = file.map[s.index as usize];
+        let ready = file.ready[phys as usize];
+        if !ready {
+            file.waiters[phys as usize].push(seq);
+        }
+        (phys, ready)
+    }
+
+    /// Producer completed: mark ready and drain the waiter list.
+    pub fn complete(&mut self, class: RegClass, phys: u32, woken: &mut Vec<Seq>) {
+        let file = &mut self.files[class.index()];
+        file.ready[phys as usize] = true;
+        woken.append(&mut file.waiters[phys as usize]);
+    }
+
+    /// Commit-time free of the previous mapping.
+    pub fn free_prev(&mut self, d: RenamedDest) {
+        let file = &mut self.files[d.class.index()];
+        debug_assert!(!file.free.contains(&d.prev), "double free of phys reg");
+        file.waiters[d.prev as usize].clear();
+        file.free.push(d.prev);
+    }
+
+    /// Free physical registers in a class (diagnostics / invariants).
+    pub fn free_count(&self, class: RegClass) -> usize {
+        self.files[class.index()].free.len()
+    }
+
+    /// Invariant check: every physical register is exactly one of
+    /// {mapped, free, in-flight-dest}. `in_flight` is the number of
+    /// renamed-but-not-committed destinations in the class.
+    pub fn check_conservation(&self, class: RegClass, in_flight: usize) -> bool {
+        let f = &self.files[class.index()];
+        f.map.len() + f.free.len() + in_flight == f.ready.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armdse_isa::reg::Reg;
+
+    fn unit() -> RenameUnit {
+        RenameUnit::new([40, 40, 24, 8])
+    }
+
+    #[test]
+    fn fresh_unit_sources_are_ready() {
+        let mut u = unit();
+        let (phys, ready) = u.resolve_src(Reg::gp(3), 0);
+        assert_eq!(phys, 3);
+        assert!(ready);
+    }
+
+    #[test]
+    fn rename_creates_dependency() {
+        let mut u = unit();
+        let d = u.rename_dest(Reg::gp(3));
+        assert_eq!(d.prev, 3);
+        let (phys, ready) = u.resolve_src(Reg::gp(3), 7);
+        assert_eq!(phys, d.phys);
+        assert!(!ready);
+        let mut woken = Vec::new();
+        u.complete(RegClass::Gp, d.phys, &mut woken);
+        assert_eq!(woken, vec![7]);
+        let (_, ready2) = u.resolve_src(Reg::gp(3), 8);
+        assert!(ready2);
+    }
+
+    #[test]
+    fn free_list_exhaustion_stalls() {
+        let mut u = unit();
+        // 8 free GP regs (40 - 32). Allocate them all.
+        let mut renames = Vec::new();
+        for _ in 0..8 {
+            assert!(u.can_rename(&[Reg::gp(0)]));
+            renames.push(u.rename_dest(Reg::gp(0)));
+        }
+        assert!(!u.can_rename(&[Reg::gp(0)]));
+        assert_eq!(u.stall_counts[RegClass::Gp.index()], 1);
+        // Committing the oldest rename frees its previous mapping.
+        u.free_prev(renames.remove(0));
+        assert!(u.can_rename(&[Reg::gp(0)]));
+    }
+
+    #[test]
+    fn multi_class_dest_requirement() {
+        let mut u = RenameUnit::new([34, 40, 24, 2]);
+        // Cond has 2 phys for 1 arch: one free.
+        assert!(u.can_rename(&[Reg::gp(0), Reg::nzcv()]));
+        let _g = u.rename_dest(Reg::gp(0));
+        let _c = u.rename_dest(Reg::nzcv());
+        // Cond free list now empty.
+        assert!(!u.can_rename(&[Reg::nzcv()]));
+    }
+
+    #[test]
+    fn conservation_invariant() {
+        let mut u = unit();
+        let mut in_flight = Vec::new();
+        for i in 0..5 {
+            in_flight.push(u.rename_dest(Reg::gp(i)));
+        }
+        assert!(u.check_conservation(RegClass::Gp, in_flight.len()));
+        for d in in_flight.drain(..) {
+            u.free_prev(d);
+        }
+        assert!(u.check_conservation(RegClass::Gp, 0));
+    }
+
+    #[test]
+    fn waw_rename_chain_frees_correctly() {
+        let mut u = unit();
+        let d1 = u.rename_dest(Reg::fp(0));
+        let d2 = u.rename_dest(Reg::fp(0));
+        assert_eq!(d2.prev, d1.phys);
+        let before = u.free_count(RegClass::Fp);
+        u.free_prev(d1); // frees architectural phys 0
+        u.free_prev(d2); // frees d1's phys
+        assert_eq!(u.free_count(RegClass::Fp), before + 2);
+    }
+}

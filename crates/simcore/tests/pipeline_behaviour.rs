@@ -1,0 +1,396 @@
+//! Behavioural tests of individual pipeline mechanisms, driven by
+//! handcrafted kernels so each structure is isolated.
+
+use armdse_isa::kir::{AddrExpr, Kernel, Stmt};
+use armdse_isa::{op::OpClass, InstrTemplate, Program, Reg};
+use armdse_memsim::MemParams;
+use armdse_simcore::{simulate, CoreParams, SimStats};
+
+fn run(kernel: &Kernel, core: &CoreParams, mem: &MemParams) -> SimStats {
+    let p = Program::lower(kernel);
+    simulate(&p, core, mem)
+}
+
+/// A loop of `trip` iterations whose body is `n_alu` independent ALU ops.
+fn alu_loop(trip: u64, n_alu: usize) -> Kernel {
+    let body: Vec<Stmt> = (0..n_alu)
+        .map(|i| {
+            Stmt::Instr(InstrTemplate::compute(
+                OpClass::IntAlu,
+                &[Reg::gp((i % 8) as u8)],
+                &[Reg::gp(((i + 8) % 16) as u8)],
+            ))
+        })
+        .collect();
+    Kernel::new("alu", vec![Stmt::repeat(trip, body)])
+}
+
+#[test]
+fn ipc_bounded_by_scalar_ports() {
+    // 3 scalar ports; a pure-ALU loop can't exceed ~3 ALU IPC even with
+    // huge frontend/commit widths... plus 2 loop-control ops per iter
+    // that also use scalar ports. Total scalar throughput <= 3/cycle.
+    let mut c = CoreParams::thunderx2();
+    c.frontend_width = 16;
+    c.commit_width = 16;
+    let s = run(&alu_loop(500, 8), &c, &MemParams::thunderx2());
+    assert!(s.ipc() <= 3.05, "ipc {} exceeds scalar port count", s.ipc());
+    assert!(s.ipc() > 2.0, "ipc {} suspiciously low for independent ALUs", s.ipc());
+}
+
+#[test]
+fn store_to_load_forwarding_beats_cold_memory() {
+    // A loop that stores then immediately loads the same address: with
+    // forwarding, the load never waits for DRAM.
+    let addr = AddrExpr::fixed(0x4_0000);
+    let body = vec![
+        Stmt::Instr(InstrTemplate::store(
+            OpClass::Store,
+            &[Reg::fp(0), Reg::gp(1)],
+            addr,
+            8,
+        )),
+        Stmt::Instr(InstrTemplate::load(OpClass::Load, Reg::fp(1), &[Reg::gp(1)], addr, 8)),
+        Stmt::Instr(InstrTemplate::compute(OpClass::FpAdd, &[Reg::fp(0)], &[Reg::fp(1)])),
+    ];
+    let k = Kernel::new("fwd", vec![Stmt::repeat(200, body)]);
+    let mut mem = MemParams::thunderx2();
+    mem.ram_access_ns = 200.0; // punishing DRAM
+    let s = run(&k, &CoreParams::thunderx2(), &mem);
+    assert!(s.validated);
+    // The chain is ~store-exec + forward + FpAdd per iteration; even
+    // serialised that is far under DRAM latency per iteration.
+    let cpi = s.cycles as f64 / s.retired as f64;
+    assert!(cpi < 10.0, "forwarding failed, cpi {cpi}");
+}
+
+#[test]
+fn lsq_completion_width_throttles_load_writebacks() {
+    // Many independent L1-hitting loads: completion width 1 caps load
+    // writebacks at 1/cycle; width 8 should be clearly faster.
+    let body: Vec<Stmt> = (0u64..8)
+        .map(|i| {
+            Stmt::Instr(InstrTemplate::load(
+                OpClass::Load,
+                Reg::fp(i as u8),
+                &[Reg::gp(1)],
+                AddrExpr::linear(0x1_0000 + i * 8, 0, 64),
+                8,
+            ))
+        })
+        .collect();
+    let k = Kernel::new("lsqw", vec![Stmt::repeat(300, body)]);
+    let mut c = CoreParams::thunderx2();
+    c.loads_per_cycle = 8;
+    c.mem_requests_per_cycle = 16;
+    c.lsq_completion_width = 1;
+    let narrow = run(&k, &c, &MemParams::thunderx2());
+    c.lsq_completion_width = 8;
+    let wide = run(&k, &c, &MemParams::thunderx2());
+    assert!(
+        wide.cycles < narrow.cycles,
+        "wide {} !< narrow {}",
+        wide.cycles,
+        narrow.cycles
+    );
+    // Width 1 with 8 loads + 2 control ops per iteration: at most one
+    // load completes per cycle, so >= 8 cycles per iteration.
+    assert!(narrow.cycles >= 8 * 300);
+}
+
+#[test]
+fn loads_per_cycle_limits_memory_issue() {
+    let body: Vec<Stmt> = (0u64..6)
+        .map(|i| {
+            Stmt::Instr(InstrTemplate::load(
+                OpClass::Load,
+                Reg::fp(i as u8),
+                &[Reg::gp(1)],
+                AddrExpr::linear(0x1_0000 + i * 2048, 0, 8),
+                8,
+            ))
+        })
+        .collect();
+    let k = Kernel::new("lpc", vec![Stmt::repeat(300, body)]);
+    let mut c = CoreParams::thunderx2();
+    c.lsq_completion_width = 8;
+    c.mem_requests_per_cycle = 16;
+    c.loads_per_cycle = 1;
+    let one = run(&k, &c, &MemParams::thunderx2());
+    c.loads_per_cycle = 6;
+    let six = run(&k, &c, &MemParams::thunderx2());
+    assert!(six.cycles < one.cycles, "six {} !< one {}", six.cycles, one.cycles);
+}
+
+#[test]
+fn wide_vector_store_splits_into_line_requests() {
+    // One 256-byte vector store per iteration over 64-byte lines: 4 line
+    // requests each. stores_per_cycle=1 means a store drains over >= 4
+    // cycles; the store queue should back-pressure a tight loop.
+    let body = vec![
+        Stmt::Instr(InstrTemplate::store(
+            OpClass::VecStore,
+            &[Reg::fp(0), Reg::gp(1)],
+            AddrExpr::linear(0x10_0000, 0, 256),
+            256,
+        )),
+    ];
+    let k = Kernel::new("wides", vec![Stmt::repeat(200, body)]);
+    let mut c = CoreParams::thunderx2();
+    c.vector_length = 2048;
+    c.load_bandwidth = 256;
+    c.store_bandwidth = 256;
+    c.mem_requests_per_cycle = 8;
+    c.stores_per_cycle = 1;
+    let slow = run(&k, &c, &MemParams::thunderx2());
+    c.stores_per_cycle = 8;
+    let fast = run(&k, &c, &MemParams::thunderx2());
+    assert!(slow.validated && fast.validated);
+    assert!(
+        fast.cycles < slow.cycles,
+        "fast {} !< slow {}",
+        fast.cycles,
+        slow.cycles
+    );
+    // 4 line requests per store at 1/cycle: at least 4 cycles/iteration.
+    assert!(slow.cycles >= 4 * 200);
+}
+
+#[test]
+fn loop_buffer_engages_on_second_iteration() {
+    let mut c = CoreParams::thunderx2();
+    c.fetch_block_bytes = 4; // 1 instruction per fetch otherwise
+    c.loop_buffer_size = 64;
+    let s = run(&alu_loop(100, 6), &c, &MemParams::thunderx2());
+    assert!(
+        s.stalls.loop_buffer_cycles > 50,
+        "loop buffer never engaged: {:?}",
+        s.stalls
+    );
+}
+
+#[test]
+fn loop_buffer_too_small_never_engages() {
+    let mut c = CoreParams::thunderx2();
+    c.fetch_block_bytes = 4;
+    c.loop_buffer_size = 4; // body is 8 instructions
+    let s = run(&alu_loop(100, 6), &c, &MemParams::thunderx2());
+    assert_eq!(s.stalls.loop_buffer_cycles, 0);
+}
+
+#[test]
+fn rename_stalls_attributed_to_starved_class() {
+    // Long FP dependency chains with minimal FP registers: the FP free
+    // list empties while GP stays healthy.
+    let body: Vec<Stmt> = (0..8)
+        .map(|i| {
+            Stmt::Instr(InstrTemplate::compute(
+                OpClass::FpFma,
+                &[Reg::fp(i as u8)],
+                &[Reg::fp(i as u8), Reg::fp(((i + 1) % 8) as u8)],
+            ))
+        })
+        .collect();
+    let k = Kernel::new("fpchain", vec![Stmt::repeat(200, body)]);
+    let mut c = CoreParams::thunderx2();
+    c.fp_regs = 38;
+    let s = run(&k, &c, &MemParams::thunderx2());
+    assert!(s.stalls.rename_fp > 0, "expected FP rename stalls");
+    assert_eq!(s.stalls.rename_pred, 0);
+}
+
+#[test]
+fn unpipelined_divides_throttle_throughput() {
+    let div_body = vec![Stmt::Instr(InstrTemplate::compute(
+        OpClass::FpDiv,
+        &[Reg::fp(0)],
+        &[Reg::fp(1)],
+    ))];
+    let fma_body = vec![Stmt::Instr(InstrTemplate::compute(
+        OpClass::FpFma,
+        &[Reg::fp(0)],
+        &[Reg::fp(1)],
+    ))];
+    let c = CoreParams::thunderx2();
+    let m = MemParams::thunderx2();
+    let divs = run(&Kernel::new("d", vec![Stmt::repeat(200, div_body)]), &c, &m);
+    let fmas = run(&Kernel::new("f", vec![Stmt::repeat(200, fma_body)]), &c, &m);
+    // Independent divides still serialise on port occupancy.
+    assert!(
+        divs.cycles > fmas.cycles * 2,
+        "divides {} should be much slower than FMAs {}",
+        divs.cycles,
+        fmas.cycles
+    );
+}
+
+#[test]
+fn stats_report_loads_and_stores_bytes() {
+    let body = vec![
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::Load,
+            Reg::fp(0),
+            &[Reg::gp(1)],
+            AddrExpr::linear(0x1_0000, 0, 8),
+            8,
+        )),
+        Stmt::Instr(InstrTemplate::store(
+            OpClass::Store,
+            &[Reg::fp(0), Reg::gp(2)],
+            AddrExpr::linear(0x2_0000, 0, 8),
+            8,
+        )),
+    ];
+    let k = Kernel::new("bytes", vec![Stmt::repeat(100, body)]);
+    let s = run(&k, &CoreParams::thunderx2(), &MemParams::thunderx2());
+    assert_eq!(s.observed.load_bytes, 800);
+    assert_eq!(s.observed.store_bytes, 800);
+    assert!(s.mem.requests > 0);
+}
+
+#[test]
+fn commit_is_in_order_and_complete() {
+    // Mixed kernel: every instruction must retire exactly once even when
+    // completion order is scrambled by latencies.
+    let body = vec![
+        Stmt::Instr(InstrTemplate::compute(OpClass::FpDiv, &[Reg::fp(0)], &[Reg::fp(1)])),
+        Stmt::Instr(InstrTemplate::compute(OpClass::IntAlu, &[Reg::gp(0)], &[Reg::gp(1)])),
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::Load,
+            Reg::fp(2),
+            &[Reg::gp(1)],
+            AddrExpr::linear(0x3_0000, 0, 64),
+            8,
+        )),
+        Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[Reg::pred(0)], &[Reg::gp(0)])),
+    ];
+    let k = Kernel::new("mix", vec![Stmt::repeat(123, body)]);
+    let p = Program::lower(&k);
+    let s = simulate(&p, &CoreParams::thunderx2(), &MemParams::thunderx2());
+    assert!(s.validated);
+    assert_eq!(s.retired, p.dynamic_len());
+}
+
+mod gather {
+    use super::*;
+    use armdse_isa::instr::MemPattern;
+
+    /// A loop of gathers: `count` elements `elem_stride` bytes apart,
+    /// with the base advancing `base_step` bytes per iteration.
+    fn gather_loop(trip: u64, count: u32, elem_stride: i64, base_step: i64) -> Kernel {
+        let body = vec![Stmt::Instr(InstrTemplate::gather(
+            Reg::fp(0),
+            &[Reg::gp(1)],
+            AddrExpr::linear(0x20_0000, 0, base_step),
+            8,
+            elem_stride,
+            count,
+        ))];
+        Kernel::new("gather", vec![Stmt::repeat(trip, body)])
+    }
+
+    /// A loop of contiguous vector loads re-reading a cached buffer.
+    fn contiguous_loop(trip: u64, bytes: u32) -> Kernel {
+        let body = vec![Stmt::Instr(InstrTemplate::load(
+            OpClass::VecLoad,
+            Reg::fp(0),
+            &[Reg::gp(1)],
+            AddrExpr::fixed(0x20_0000),
+            bytes,
+        ))];
+        Kernel::new("contig", vec![Stmt::repeat(trip, body)])
+    }
+
+    #[test]
+    fn gather_pattern_survives_lowering() {
+        let p = Program::lower(&gather_loop(1, 8, 256, 8));
+        let m = p.ops[0].template.mem.unwrap();
+        assert!(matches!(
+            m.pattern,
+            MemPattern::Strided { elem_bytes: 8, stride: 256, count: 8 }
+        ));
+        assert_eq!(m.bytes, 64);
+    }
+
+    #[test]
+    fn gathers_cost_more_than_contiguous_loads() {
+        // Same bytes per iteration (64 B), but the gather's 8 scattered
+        // elements are 8 requests against loads/requests-per-cycle, while
+        // the contiguous load is 1 line request.
+        let mut c = CoreParams::thunderx2();
+        c.vector_length = 512;
+        c.load_bandwidth = 64;
+        c.store_bandwidth = 64;
+        c.loads_per_cycle = 2;
+        c.mem_requests_per_cycle = 2;
+        // Both loops hit L1 after warmup (fixed working set), so the
+        // only difference is the request count: 8 element requests for
+        // the gather, 1 line request for the contiguous load.
+        let m = MemParams::thunderx2();
+        let g = run(&gather_loop(300, 8, 4096, 0), &c, &m);
+        let l = run(&contiguous_loop(300, 64), &c, &m);
+        assert!(g.validated && l.validated);
+        assert!(
+            g.cycles > l.cycles * 2,
+            "gather {} should cost much more than contiguous {}",
+            g.cycles,
+            l.cycles
+        );
+    }
+
+    #[test]
+    fn dense_gather_benefits_from_line_locality() {
+        // Elements 8 B apart share cache lines; elements 4 KiB apart
+        // always miss to distinct lines.
+        // Dense: elements share a line and the base walks slowly.
+        // Sparse: every element lands on a fresh line in fresh territory.
+        let c = CoreParams::thunderx2();
+        let m = MemParams::thunderx2();
+        let dense = run(&gather_loop(300, 8, 8, 64), &c, &m);
+        let sparse = run(&gather_loop(300, 8, 4096, 32768), &c, &m);
+        assert!(
+            sparse.cycles > dense.cycles,
+            "sparse {} !> dense {}",
+            sparse.cycles,
+            dense.cycles
+        );
+        assert!(sparse.mem.l1_misses > dense.mem.l1_misses);
+    }
+
+    #[test]
+    fn gather_counts_as_sve_instruction() {
+        let p = Program::lower(&gather_loop(10, 4, 64, 8));
+        let s = armdse_isa::OpSummary::of(&p);
+        assert!(s.sve_fraction() > 0.3);
+        assert_eq!(s.count(OpClass::VecGather), 10);
+        assert_eq!(s.load_bytes, 10 * 32);
+    }
+
+    #[test]
+    fn scatter_then_gather_is_ordered() {
+        // A scatter followed by an overlapping gather must not produce a
+        // stale read ordering deadlock: the run completes and validates.
+        let body = vec![
+            Stmt::Instr(InstrTemplate::scatter(
+                &[Reg::fp(0), Reg::gp(1)],
+                AddrExpr::fixed(0x30_0000),
+                8,
+                128,
+                4,
+            )),
+            Stmt::Instr(InstrTemplate::gather(
+                Reg::fp(1),
+                &[Reg::gp(1)],
+                AddrExpr::fixed(0x30_0000),
+                8,
+                128,
+                4,
+            )),
+        ];
+        let k = Kernel::new("sg", vec![Stmt::repeat(100, body)]);
+        let s = run(&k, &CoreParams::thunderx2(), &MemParams::thunderx2());
+        assert!(s.validated, "{s:?}");
+        assert_eq!(s.observed.count(OpClass::VecScatter), 100);
+        assert_eq!(s.observed.count(OpClass::VecGather), 100);
+    }
+}

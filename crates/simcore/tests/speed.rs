@@ -1,0 +1,18 @@
+use armdse_kernels::{build_workload, App, WorkloadScale};
+use armdse_simcore::{simulate, CoreParams};
+use armdse_memsim::MemParams;
+use std::time::Instant;
+
+#[test]
+fn speed() {
+    let c = CoreParams::thunderx2();
+    let m = MemParams::thunderx2();
+    for app in App::ALL {
+        let w = build_workload(app, WorkloadScale::Standard, 128);
+        let t = Instant::now();
+        let s = simulate(&w.program, &c, &m);
+        let dt = t.elapsed();
+        println!("{:10} instrs={:7} cycles={:8} ipc={:.2} wall={:?} validated={}",
+            app.name(), s.retired, s.cycles, s.ipc(), dt, s.validated);
+    }
+}

@@ -1,0 +1,72 @@
+//! Bottleneck analysis: use the simulator's stall attribution to explain
+//! *why* a configuration is slow — the mechanism behind the paper's
+//! findings that small ROBs, register files, and frontends "limit
+//! performance by up to a factor of five … due to limiting ILP".
+//!
+//! ```sh
+//! cargo run --release --example bottleneck_analysis
+//! ```
+
+use armdse::core::DesignConfig;
+use armdse::kernels::{build_workload, App, WorkloadScale};
+use armdse::simcore::SimStats;
+
+fn run(label: &str, cfg: &DesignConfig) -> SimStats {
+    let w = build_workload(App::MiniBude, WorkloadScale::Small, cfg.core.vector_length);
+    let s = armdse::simcore::simulate(&w.program, &cfg.core, &cfg.mem);
+    println!(
+        "{label:28} cycles={:>8}  IPC={:.2}  stalls: rob_full={:>6} rs_full={:>6} \
+         rename_fp={:>6} fetch_starved={:>6}",
+        s.cycles,
+        s.ipc(),
+        s.stalls.rob_full,
+        s.stalls.rs_full,
+        s.stalls.rename_fp,
+        s.stalls.fetch_starved,
+    );
+    s
+}
+
+fn main() {
+    println!("miniBUDE on progressively crippled configurations:\n");
+
+    let healthy = DesignConfig::thunderx2();
+    let base = run("baseline (TX2-like)", &healthy);
+
+    let mut tiny_rob = healthy;
+    tiny_rob.core.rob_size = 8;
+    let s = run("ROB = 8", &tiny_rob);
+    println!("  -> {:.1}x slower; dispatch stalled on a full ROB\n", ratio(&s, &base));
+
+    let mut few_regs = healthy;
+    few_regs.core.fp_regs = 38;
+    let s = run("FP/SVE registers = 38", &few_regs);
+    println!(
+        "  -> {:.1}x slower; rename starved for FP registers (the paper's Fig. 8 wall)\n",
+        ratio(&s, &base)
+    );
+
+    let mut thin_frontend = healthy;
+    thin_frontend.core.fetch_block_bytes = 4;
+    thin_frontend.core.loop_buffer_size = 1;
+    let s = run("fetch block 4 B, no loop buf", &thin_frontend);
+    println!("  -> {:.1}x slower; decode starved by one-instruction fetches\n", ratio(&s, &base));
+
+    let mut fixed_by_loop_buffer = thin_frontend;
+    fixed_by_loop_buffer.core.loop_buffer_size = 256;
+    let s = run("  + loop buffer 256", &fixed_by_loop_buffer);
+    println!(
+        "  -> recovered to {:.2}x of baseline; the loop buffer bypasses the fetch block\n",
+        s.cycles as f64 / base.cycles as f64
+    );
+
+    println!(
+        "Each wall shifts the bottleneck rather than removing it — the paper's\n\
+         conclusion: \"the performance bottleneck will continuously shift onto\n\
+         our memory subsystem; it always comes back to memory.\""
+    );
+}
+
+fn ratio(slow: &SimStats, fast: &SimStats) -> f64 {
+    slow.cycles as f64 / fast.cycles as f64
+}

@@ -1,0 +1,44 @@
+//! Quickstart: sample one CPU design point, simulate an HPC workload on
+//! it, and inspect the result.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use armdse::core::space::ParamSpace;
+use armdse::core::{runner, DesignConfig};
+use armdse::kernels::{App, WorkloadScale};
+
+fn main() {
+    // The paper's design space (Tables II + III).
+    let space = ParamSpace::paper();
+
+    // A random design point — every sampled point satisfies the paper's
+    // constraints (bandwidth covers one vector, L2 dominates L1).
+    let sampled = space.sample_seeded(2024);
+    println!("sampled design point:\n{sampled:#?}\n");
+
+    // And the fixed ThunderX2-like baseline the paper validates against.
+    let baseline = DesignConfig::thunderx2();
+
+    for cfg in [("sampled", &sampled), ("thunderx2", &baseline)] {
+        println!("--- {} ---", cfg.0);
+        for app in App::ALL {
+            let stats = runner::simulate(app, WorkloadScale::Small, cfg.1);
+            assert!(stats.validated, "simulation failed validation");
+            println!(
+                "{:10}  cycles={:>9}  retired={:>7}  IPC={:.2}  SVE={:.1}%  L1 hit={:.1}%",
+                app.name(),
+                stats.cycles,
+                stats.retired,
+                stats.ipc(),
+                100.0 * stats.sve_fraction(),
+                100.0 * stats.mem.l1_hit_rate().unwrap_or(0.0),
+            );
+        }
+        println!();
+    }
+
+    println!("try `cargo run --release -p armdse-analysis --bin repro -- all`");
+    println!("to regenerate every table and figure of the paper.");
+}

@@ -1,0 +1,135 @@
+//! SpMV with SVE gathers: characterising an irregular-memory kernel.
+//!
+//! Sparse matrix-vector multiply (CSR) is the canonical gather-bound HPC
+//! kernel: for each row, the values stream contiguously, but the `x`
+//! vector is read through the column-index array — an SVE gather that
+//! issues one memory request per lane. This example builds a synthetic
+//! CSR SpMV on the kernel IR twice — once with real gathers, once with an
+//! idealised contiguous-`x` variant — and measures the "gather tax"
+//! across vector lengths and request-rate limits.
+//!
+//! ```sh
+//! cargo run --release --example spmv_gather
+//! ```
+
+use armdse::core::DesignConfig;
+use armdse::isa::kir::{AddrExpr, Kernel, Stmt};
+use armdse::isa::{lanes, op::OpClass, InstrTemplate, OpSummary, Program, Reg};
+
+/// A synthetic CSR SpMV: `rows` rows of `nnz_per_row` nonzeros; the
+/// gathered `x` accesses are spread with `spread` bytes between
+/// consecutive touched elements (modelling the matrix's bandwidth).
+/// With `idealised = true`, the gather is replaced by a contiguous
+/// vector load of the same width — the "perfectly sorted matrix" bound.
+fn spmv_kernel(
+    rows: u64,
+    nnz_per_row: u64,
+    spread: i64,
+    vl_bits: u32,
+    idealised: bool,
+) -> Kernel {
+    let lanes64 = lanes(vl_bits, 64);
+    let vb = vl_bits / 8;
+    let vals = 0x1000_0000u64; // matrix values (streamed)
+    let xvec = 0x3000_0000u64; // dense vector (gathered)
+    let yvec = 0x5000_0000u64; // result (streamed)
+
+    let p0 = Reg::pred(0);
+    // Depths: 0 = row, 1 = nnz block within the row.
+    let blocks = nnz_per_row.div_ceil(lanes64);
+    let block_body = vec![
+        Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[p0], &[Reg::gp(5)])),
+        // Stream the matrix values.
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::VecLoad,
+            Reg::fp(0),
+            &[Reg::gp(1), p0],
+            AddrExpr::bilinear(vals, 0, (nnz_per_row * 8) as i64, 1, (lanes64 * 8) as i64),
+            vb,
+        )),
+        // Gather x[col[j]] — one request per lane — or its idealised
+        // contiguous stand-in.
+        if idealised {
+            Stmt::Instr(InstrTemplate::load(
+                OpClass::VecLoad,
+                Reg::fp(1),
+                &[Reg::gp(2), p0],
+                AddrExpr::bilinear(xvec, 0, spread * 3, 1, spread * lanes64 as i64),
+                vb,
+            ))
+        } else {
+            Stmt::Instr(InstrTemplate::gather(
+                Reg::fp(1),
+                &[Reg::gp(2), p0],
+                AddrExpr::bilinear(xvec, 0, spread * 3, 1, spread * lanes64 as i64),
+                8,
+                spread,
+                lanes64 as u32,
+            ))
+        },
+        // Accumulate val * x.
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::VecFma,
+            &[Reg::fp(2)],
+            &[Reg::fp(0), Reg::fp(1), p0],
+        )),
+    ];
+    let row_body = vec![
+        Stmt::repeat(blocks, block_body),
+        // Horizontal reduce + store y[row].
+        Stmt::Instr(InstrTemplate::compute(OpClass::VecAlu, &[Reg::fp(3)], &[Reg::fp(2)])),
+        Stmt::Instr(InstrTemplate::store(
+            OpClass::Store,
+            &[Reg::fp(3), Reg::gp(3)],
+            AddrExpr::linear(yvec, 0, 8),
+            8,
+        )),
+    ];
+    Kernel::new("spmv", vec![Stmt::repeat(rows, row_body)])
+}
+
+fn run(vl: u32, spread: i64, idealised: bool, loads_per_cycle: u32) -> u64 {
+    let program = Program::lower(&spmv_kernel(256, 32, spread, vl, idealised));
+    let summary = OpSummary::of(&program);
+    let mut cfg = DesignConfig::thunderx2();
+    cfg.core.vector_length = vl;
+    cfg.core.load_bandwidth = cfg.core.load_bandwidth.max(vl / 8);
+    cfg.core.store_bandwidth = cfg.core.store_bandwidth.max(vl / 8);
+    cfg.core.loads_per_cycle = loads_per_cycle;
+    cfg.core.mem_requests_per_cycle = loads_per_cycle + 1;
+    let stats = armdse::simcore::simulate(&program, &cfg.core, &cfg.mem);
+    assert!(stats.validated);
+    assert!(summary.total() == stats.retired);
+    stats.cycles
+}
+
+fn main() {
+    println!("CSR SpMV (rows=256, nnz/row=32): the gather tax\n");
+
+    // Real gathers vs the idealised "perfectly sorted matrix" with
+    // contiguous x accesses — the difference is purely the per-element
+    // request cost of the irregular access pattern.
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "VL", "gather cycles", "contig cycles", "tax"
+    );
+    for vl in [128u32, 512, 2048] {
+        let g = run(vl, 512, false, 2);
+        let c = run(vl, 512, true, 2);
+        println!("{:>8} {:>14} {:>14} {:>9.2}x", vl, g, c, g as f64 / c as f64);
+    }
+
+    // The tax is paid in memory requests, so it responds to the
+    // request-rate design parameters the paper varies.
+    println!("\ngather-version sensitivity to loads-per-cycle (VL=2048):");
+    for lpc in [1u32, 2, 4, 8, 16] {
+        println!("  loads/cycle {lpc:>2} -> {:>8} cycles", run(2048, 512, false, lpc));
+    }
+
+    println!(
+        "\nIrregular access shifts the bottleneck from the knobs the paper\n\
+         finds dominant for regular codes (vector length, ROB) to the\n\
+         memory request path — a design consequence the gather/scatter\n\
+         extension of this reproduction makes measurable."
+    );
+}

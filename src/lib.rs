@@ -1,0 +1,34 @@
+//! # armdse — AI-Assisted Design-Space Analysis of High-Performance Arm Processors
+//!
+//! Umbrella crate re-exporting the full reproduction stack:
+//!
+//! * [`isa`] — Arm-like ISA model, kernel IR, trace cursor.
+//! * [`memsim`] — SST-like memory hierarchy (L1D/L2/DRAM).
+//! * [`kernels`] — VLA workload generators (STREAM, miniBUDE, TeaLeaf, MiniSweep).
+//! * [`simcore`] — SimEng-like out-of-order core simulator.
+//! * [`mltree`] — decision-tree regression, random forest, linear regression,
+//!   permutation feature importance.
+//! * [`core`] — design-space parameter space, constrained sampling, parallel
+//!   orchestration, dataset handling, and the surrogate-analysis pipeline.
+//! * [`analysis`] — experiment harness regenerating every table and figure.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use armdse::core::{config::DesignConfig, runner, space::ParamSpace};
+//! use armdse::kernels::{App, WorkloadScale};
+//!
+//! // Sample one design point and simulate STREAM on it.
+//! let space = ParamSpace::paper();
+//! let cfg = space.sample_seeded(42);
+//! let stats = runner::simulate(App::Stream, WorkloadScale::Tiny, &cfg);
+//! assert!(stats.cycles > 0);
+//! ```
+
+pub use armdse_analysis as analysis;
+pub use armdse_core as core;
+pub use armdse_isa as isa;
+pub use armdse_kernels as kernels;
+pub use armdse_memsim as memsim;
+pub use armdse_mltree as mltree;
+pub use armdse_simcore as simcore;

@@ -1,0 +1,100 @@
+//! Ablation: surrogate-model family accuracy comparison.
+//!
+//! The paper chooses a decision tree over linear regression because
+//! "complex parameter relationships lead to non-linear trends that can be
+//! modelled within the tree", and names richer models as future work.
+//! This test pins the ordering on a real simulated dataset: the tree must
+//! beat the linear baseline, and the random forest must be at least
+//! competitive with a single tree.
+
+use armdse::core::orchestrator::{generate_dataset, GenOptions};
+use armdse::core::space::ParamSpace;
+use armdse::kernels::{App, WorkloadScale};
+use armdse::mltree::{
+    mae, train_test_split, DecisionTreeRegressor, LinearRegression, RandomForest, Regressor,
+};
+
+#[test]
+fn tree_beats_linear_baseline_on_simulated_cycles() {
+    // STREAM at Small scale: cycles respond hyperbolically to vector
+    // length (∝ 1/VL over a 16x range) and with a saturating knee to ROB
+    // size — exactly the non-linear trends the paper argues for trees.
+    // A linear model cannot fit either; the tree can, given enough data.
+    let data = generate_dataset(
+        &ParamSpace::paper(),
+        &GenOptions {
+            configs: 400,
+            scale: WorkloadScale::Small,
+            seed: 2_2024,
+            threads: 2,
+            apps: vec![App::Stream],
+        },
+    );
+    let ml = data.ml_dataset(App::Stream);
+    let (train, test) = train_test_split(&ml, 0.25, 11);
+
+    let tree = DecisionTreeRegressor::fit(&train.x, &train.y);
+    let linear = LinearRegression::fit(&train.x, &train.y);
+    let forest = RandomForest::fit(&train.x, &train.y, 11);
+
+    let mae_tree = mae(&tree.predict(&test.x), &test.y);
+    let mae_linear = mae(&linear.predict(&test.x), &test.y);
+    let mae_forest = mae(&forest.predict(&test.x), &test.y);
+
+    assert!(
+        mae_tree < mae_linear,
+        "tree ({mae_tree:.0}) must beat linear ({mae_linear:.0}): cycles are non-linear in the parameters"
+    );
+    assert!(
+        mae_forest < mae_linear,
+        "forest ({mae_forest:.0}) must beat linear ({mae_linear:.0})"
+    );
+}
+
+#[test]
+fn unified_model_is_not_better_than_per_app_models() {
+    // The paper: "a decision tree regressor trained on multiple
+    // applications would likely branch based on a given application …
+    // without necessarily improving learned trends." Check the per-app
+    // split loses nothing: mean per-app MAE <= unified-model MAE * 1.25.
+    let data = generate_dataset(
+        &ParamSpace::paper(),
+        &GenOptions {
+            configs: 120,
+            scale: WorkloadScale::Tiny,
+            seed: 77,
+            threads: 2,
+            apps: vec![App::Stream, App::MiniSweep],
+        },
+    );
+
+    // Per-app trees.
+    let mut per_app_maes = Vec::new();
+    for app in [App::Stream, App::MiniSweep] {
+        let ml = data.ml_dataset(app);
+        let (train, test) = train_test_split(&ml, 0.25, 3);
+        let tree = DecisionTreeRegressor::fit(&train.x, &train.y);
+        per_app_maes.push(mae(&tree.predict(&test.x), &test.y));
+    }
+    let per_app = per_app_maes.iter().sum::<f64>() / per_app_maes.len() as f64;
+
+    // Unified tree with the app id as a 31st feature.
+    let mut x = armdse::mltree::Matrix::new(31);
+    let mut y = Vec::new();
+    for r in &data.rows {
+        let mut row = r.features.to_vec();
+        row.push(r.app.index() as f64);
+        x.push_row(&row);
+        y.push(r.cycles as f64);
+    }
+    let names: Vec<String> = (0..31).map(|i| format!("f{i}")).collect();
+    let unified_ds = armdse::mltree::Dataset::new(x, y, names);
+    let (train, test) = train_test_split(&unified_ds, 0.25, 3);
+    let unified_tree = DecisionTreeRegressor::fit(&train.x, &train.y);
+    let unified = mae(&unified_tree.predict(&test.x), &test.y);
+
+    assert!(
+        per_app <= unified * 1.25,
+        "per-app models ({per_app:.0}) should not lose to unified ({unified:.0})"
+    );
+}

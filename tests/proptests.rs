@@ -1,0 +1,138 @@
+//! Property-based tests over the core invariants (proptest).
+
+use armdse::core::space::ParamSpace;
+use armdse::core::DesignConfig;
+use armdse::isa::instr::InstrTemplate;
+use armdse::isa::kir::{AddrExpr, Kernel, Stmt};
+use armdse::isa::op::OpClass;
+use armdse::isa::{OpSummary, Program, Reg, TraceCursor};
+use armdse::memsim::{split_lines, Cache, MemParams, MemoryModel};
+use armdse::mltree::{DecisionTreeRegressor, Matrix, Regressor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Every seed produces a valid design point (constraint satisfaction).
+    #[test]
+    fn sampler_always_valid(seed in 0u64..100_000) {
+        let cfg = ParamSpace::paper().sample_seeded(seed);
+        prop_assert!(cfg.validate().is_ok());
+    }
+
+    /// Feature flattening round-trips for any sampled config.
+    #[test]
+    fn feature_vector_roundtrip(seed in 0u64..100_000) {
+        let cfg = ParamSpace::paper().sample_seeded(seed);
+        let back = DesignConfig::from_features(&cfg.to_features());
+        prop_assert_eq!(cfg, back);
+    }
+
+    /// Line splitting conserves coverage: the union of the returned lines
+    /// covers [addr, addr+bytes) and every line is aligned and in range.
+    #[test]
+    fn split_lines_covers_access(
+        addr in 0u64..1_000_000,
+        bytes in 1u32..4096,
+        line_pow in 4u32..9, // 16..256
+    ) {
+        let line = 1u32 << line_pow;
+        let lines: Vec<u64> = split_lines(addr, bytes, line).collect();
+        prop_assert!(!lines.is_empty());
+        // Aligned, consecutive, covering.
+        for w in lines.windows(2) {
+            prop_assert_eq!(w[1] - w[0], u64::from(line));
+        }
+        prop_assert_eq!(lines[0] % u64::from(line), 0);
+        prop_assert!(lines[0] <= addr);
+        let end = lines.last().unwrap() + u64::from(line);
+        prop_assert!(end >= addr + u64::from(bytes));
+        // Minimal: removing either end line would uncover bytes.
+        prop_assert!(lines[0] + u64::from(line) > addr);
+        prop_assert!(*lines.last().unwrap() < addr + u64::from(bytes));
+    }
+
+    /// LRU cache: after accessing any sequence, a probe of the most
+    /// recently accessed line always hits, and valid lines never exceed
+    /// capacity.
+    #[test]
+    fn cache_lru_properties(addrs in proptest::collection::vec(0u64..1u64<<20, 1..200)) {
+        let mut c = Cache::new(4, 2, 64); // 4 KiB, 2-way
+        for &a in &addrs {
+            let line = a & !63;
+            c.access(line, false);
+            prop_assert!(c.probe(line), "just-accessed line must be resident");
+            prop_assert!(c.valid_lines() <= c.capacity_lines());
+        }
+    }
+
+    /// Memory model timing is causal and monotone: completions never
+    /// precede issue, and a second access to the same line at a later
+    /// time never completes earlier than the data's availability.
+    #[test]
+    fn hierarchy_completions_causal(addrs in proptest::collection::vec(0u64..1u64<<18, 1..100)) {
+        let mut h = armdse::memsim::Hierarchy::new(MemParams::thunderx2());
+        for (now, &a) in addrs.iter().enumerate() {
+            let now = now as u64;
+            let line = a & !63;
+            let done = h.access(line, false, now);
+            prop_assert!(done > now, "completion {done} must follow issue {now}");
+        }
+    }
+
+    /// Tree predictions always lie within the hull of training targets.
+    #[test]
+    fn tree_prediction_hull(
+        ys in proptest::collection::vec(0.0f64..1e6, 2..60),
+        q in -100.0f64..100.0,
+    ) {
+        let rows: Vec<Vec<f64>> = (0..ys.len()).map(|i| vec![i as f64]).collect();
+        let x = Matrix::from_rows(&rows);
+        let t = DecisionTreeRegressor::fit(&x, &ys);
+        let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = t.predict_one(&[q]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// The trace cursor retires exactly the analytic dynamic length for
+    /// arbitrary (small) loop nests.
+    #[test]
+    fn cursor_length_matches_analytic(
+        t1 in 1u64..6, t2 in 1u64..6, t3 in 1u64..6, tail in 0usize..4,
+    ) {
+        let body3 = vec![Stmt::Instr(InstrTemplate::compute(
+            OpClass::FpAdd, &[Reg::fp(0)], &[Reg::fp(1)],
+        ))];
+        let mut body2 = vec![Stmt::repeat(t3, body3)];
+        for _ in 0..tail {
+            body2.push(Stmt::Instr(InstrTemplate::load(
+                OpClass::Load, Reg::gp(2), &[Reg::gp(3)],
+                AddrExpr::linear(0x1000, 1, 8), 8,
+            )));
+        }
+        let k = Kernel::new("p", vec![Stmt::repeat(t1, vec![Stmt::repeat(t2, body2)])]);
+        let p = Program::lower(&k);
+        let traced = TraceCursor::new(&p).count() as u64;
+        prop_assert_eq!(traced, p.dynamic_len());
+        // And the analytic summary matches the traced one.
+        let mut observed = OpSummary::default();
+        for d in TraceCursor::new(&p) {
+            observed.record(d.op, d.mem.map_or(0, |m| u64::from(m.bytes)), d.mem.map(|m| m.kind));
+        }
+        prop_assert_eq!(observed, OpSummary::of(&p));
+    }
+
+    /// Simulation conserves instructions for arbitrary sampled configs:
+    /// retired == analytic count, and the run validates.
+    #[test]
+    fn simulation_conserves_instructions(seed in 0u64..400) {
+        let cfg = ParamSpace::paper().sample_seeded(seed);
+        let w = armdse::kernels::build_workload(
+            armdse::kernels::App::TeaLeaf,
+            armdse::kernels::WorkloadScale::Tiny,
+            cfg.core.vector_length,
+        );
+        let s = armdse::simcore::simulate(&w.program, &cfg.core, &cfg.mem);
+        prop_assert!(s.validated, "seed {seed} failed validation: {s:?}");
+        prop_assert_eq!(s.retired, w.summary.total());
+    }
+}
