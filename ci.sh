@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gauntlet: the workspace must build, test, and compile its benches
+# fully offline — zero external dependencies is a hard guarantee.
+set -eux
+
+cd "$(dirname "$0")"
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+cargo bench --no-run --offline --workspace

@@ -5,10 +5,9 @@
 use crate::report;
 use armdse_core::surrogate::TOLERANCES;
 use armdse_core::{DseDataset, SurrogateSuite};
-use serde::{Deserialize, Serialize};
 
 /// The reproduced Fig. 2 data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig2 {
     /// (app, [(tolerance, fraction within)]).
     pub curves: Vec<(String, Vec<(f64, f64)>)>,
@@ -37,6 +36,11 @@ pub fn from_suite(suite: &SurrogateSuite) -> Fig2 {
 impl Fig2 {
     /// Render as a text table (rows = apps, columns = intervals).
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact (rows = apps, columns = intervals).
+    pub fn table(&self) -> report::Table {
         let mut headers = vec!["App".to_string()];
         headers.extend(TOLERANCES.iter().map(|t| format!("≤{}%", t * 100.0)));
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -49,16 +53,15 @@ impl Fig2 {
                 r
             })
             .collect();
-        let mut t = report::format_table(
+        report::Table::new(
             "Fig. 2: % of predictions within confidence interval of true cycles",
             &headers_ref,
-            &rows,
-        );
-        t.push_str(&format!(
-            "Mean accuracy across applications: {} (paper: 93.38%)\n",
+            rows,
+        )
+        .note(format!(
+            "Mean accuracy across applications: {} (paper: 93.38%)",
             report::pct(self.mean_accuracy_pct)
-        ));
-        t
+        ))
     }
 
     /// Fraction within `tol` for an app.

@@ -24,6 +24,7 @@
 //!   all       everything above, sharing one dataset
 //! ```
 
+use armdse_analysis::report::{tables_to_json, Table};
 use armdse_analysis::sweeps::SweepOptions;
 use armdse_analysis::{accuracy, crossval, fig1, headline, importance, multicore, sweeps, table1, unseen, ExpOptions};
 use armdse_core::orchestrator::GenOptions;
@@ -100,94 +101,94 @@ fn run(cli: &Cli) {
 
     match cli.experiment.as_str() {
         "fig1" => {
-            emit(cli, "fig1", &fig1::run(opts.scale).to_table());
+            emit_table(cli, "fig1", &fig1::run(opts.scale).table());
         }
         "table1" => {
-            emit(cli, "table1", &table1::run(opts.scale).to_table());
+            emit_table(cli, "table1", &table1::run(opts.scale).table());
         }
         "dataset" => {
             let data = dataset(cli, &space, &gen_opts, true);
-            emit(cli, "dataset_summary", &data.summary().to_table());
+            emit_text(cli, "dataset_summary", &data.summary().to_table());
         }
         "fig2" => {
             let data = dataset(cli, &space, &gen_opts, false);
-            emit(cli, "fig2", &accuracy::run(&data, opts.seed).to_table());
+            emit_table(cli, "fig2", &accuracy::run(&data, opts.seed).table());
         }
         "fig3" => {
             let data = dataset(cli, &space, &gen_opts, false);
-            emit(cli, "fig3", &importance::fig3(&data, opts.seed).to_table());
+            emit_table(cli, "fig3", &importance::fig3(&data, opts.seed).table());
         }
         "fig4" | "fig5" => {
             let vl = if cli.experiment == "fig4" { 128 } else { 2048 };
             let fig = importance::fig45(&space, &gen_opts, vl, opts.seed);
-            emit(cli, &cli.experiment, &fig.to_table());
+            emit_table(cli, &cli.experiment, &fig.table());
         }
         "fig6" => {
             let f = sweeps::fig6(&space, &sweep);
-            emit(cli, "fig6", &format!("{}\n{}", f.to_table(), f.to_chart()));
+            emit_chart(cli, "fig6", &f.table(), &f.to_chart());
         }
         "fig7" => {
             let f = sweeps::fig7(&space, &sweep);
-            emit(cli, "fig7", &format!("{}\n{}", f.to_table(), f.to_chart()));
+            emit_chart(cli, "fig7", &f.table(), &f.to_chart());
         }
         "fig8" => {
             let f = sweeps::fig8(&space, &sweep);
-            emit(cli, "fig8", &format!("{}\n{}", f.to_table(), f.to_chart()));
+            emit_chart(cli, "fig8", &f.table(), &f.to_chart());
         }
         "summary" => {
             let data = dataset(cli, &space, &gen_opts, false);
-            emit(cli, "dataset_summary", &data.summary().to_table());
+            emit_text(cli, "dataset_summary", &data.summary().to_table());
         }
         "crossval" => {
             let data = dataset(cli, &space, &gen_opts, false);
             let f7 = sweeps::fig7(&space, &sweep);
-            emit(cli, "crossval", &crossval::run(&data, &f7, opts.seed).to_table());
+            emit_tables(cli, "crossval", &crossval::run(&data, &f7, opts.seed).tables(), None);
         }
         "multicore" => {
-            emit(cli, "multicore", &multicore::run(opts.scale).to_table());
+            emit_table(cli, "multicore", &multicore::run(opts.scale).table());
         }
         "unseen" => {
             let data = dataset(cli, &space, &gen_opts, false);
-            emit(cli, "unseen", &unseen::run(&data, opts.seed).to_table());
+            emit_table(cli, "unseen", &unseen::run(&data, opts.seed).table());
         }
         "headline" => {
             let data = dataset(cli, &space, &gen_opts, false);
-            emit(
+            emit_table(
                 cli,
                 "headline",
-                &headline::run(&data, &space, &sweep, opts.seed).to_table(),
+                &headline::run(&data, &space, &sweep, opts.seed).table(),
             );
         }
         "all" => {
-            emit(cli, "fig1", &fig1::run(opts.scale).to_table());
-            emit(cli, "table1", &table1::run(opts.scale).to_table());
+            emit_table(cli, "fig1", &fig1::run(opts.scale).table());
+            emit_table(cli, "table1", &table1::run(opts.scale).table());
             let data = dataset(cli, &space, &gen_opts, false);
             let suite = SurrogateSuite::train(&data, 0.2, opts.seed);
-            emit(cli, "fig2", &accuracy::from_suite(&suite).to_table());
-            emit(cli, "fig3", &importance::from_suite(&suite, "Fig. 3").to_table());
+            emit_table(cli, "fig2", &accuracy::from_suite(&suite).table());
+            emit_table(cli, "fig3", &importance::from_suite(&suite, "Fig. 3").table());
             // Half-size pinned datasets for the constrained figures.
             let mut pinned_opts = gen_opts.clone();
             pinned_opts.configs = (gen_opts.configs / 2).clamp(20, 1500);
-            emit(
+            emit_table(
                 cli,
                 "fig4",
-                &importance::fig45(&space, &pinned_opts, 128, opts.seed).to_table(),
+                &importance::fig45(&space, &pinned_opts, 128, opts.seed).table(),
             );
-            emit(
+            emit_table(
                 cli,
                 "fig5",
-                &importance::fig45(&space, &pinned_opts, 2048, opts.seed).to_table(),
+                &importance::fig45(&space, &pinned_opts, 2048, opts.seed).table(),
             );
             let f6 = sweeps::fig6(&space, &sweep);
             let f7 = sweeps::fig7(&space, &sweep);
             let f8 = sweeps::fig8(&space, &sweep);
-            emit(cli, "fig6", &format!("{}\n{}", f6.to_table(), f6.to_chart()));
-            emit(cli, "fig7", &format!("{}\n{}", f7.to_table(), f7.to_chart()));
-            emit(cli, "fig8", &format!("{}\n{}", f8.to_table(), f8.to_chart()));
-            emit(cli, "headline", &headline::from_parts(&suite, &f7, &f8).to_table());
-            emit(cli, "unseen", &unseen::run(&data, opts.seed).to_table());
-            emit(cli, "multicore", &multicore::run(opts.scale).to_table());
-            emit(cli, "crossval", &crossval::run(&data, &f7, opts.seed).to_table());
+            emit_chart(cli, "fig6", &f6.table(), &f6.to_chart());
+            emit_chart(cli, "fig7", &f7.table(), &f7.to_chart());
+            emit_chart(cli, "fig8", &f8.table(), &f8.to_chart());
+            emit_table(cli, "headline", &headline::from_parts(&suite, &f7, &f8).table());
+            emit_table(cli, "unseen", &unseen::run(&data, opts.seed).table());
+            emit_table(cli, "multicore", &multicore::run(opts.scale).table());
+            emit_tables(cli, "crossval", &crossval::run(&data, &f7, opts.seed).tables(), None);
         }
         e => {
             eprintln!("unknown experiment '{e}'");
@@ -217,9 +218,45 @@ fn dataset(cli: &Cli, space: &ParamSpace, gen_opts: &GenOptions, force_save: boo
     d
 }
 
-/// Print a table and persist it under the output directory.
-fn emit(cli: &Cli, name: &str, table: &str) {
-    println!("{table}");
+/// Persist one experiment table as `.txt` + `.csv` + `.json`.
+fn emit_table(cli: &Cli, name: &str, table: &Table) {
+    emit_tables(cli, name, std::slice::from_ref(table), None);
+}
+
+/// Persist a table with an ASCII chart appended to the text artifact.
+fn emit_chart(cli: &Cli, name: &str, table: &Table, chart: &str) {
+    emit_tables(cli, name, std::slice::from_ref(table), Some(chart));
+}
+
+/// Print an experiment's tables and persist them under the output
+/// directory in all three formats: aligned text (`.txt`, diffable
+/// against EXPERIMENTS.md), CSV (`.csv`), and JSON (`.json`).
+fn emit_tables(cli: &Cli, name: &str, tables: &[Table], chart: Option<&str>) {
+    let mut text = String::new();
+    for t in tables {
+        text.push_str(&t.to_text());
+        if tables.len() > 1 {
+            text.push('\n');
+        }
+    }
+    if let Some(c) = chart {
+        text.push('\n');
+        text.push_str(c);
+    }
+    println!("{text}");
+    let write = |ext: &str, body: &str| {
+        let path = cli.out.join(format!("{name}.{ext}"));
+        std::fs::write(&path, body).expect("write result file");
+    };
+    write("txt", &text);
+    let csv: Vec<String> = tables.iter().map(|t| t.to_csv()).collect();
+    write("csv", &csv.join("\n"));
+    write("json", &tables_to_json(tables));
+}
+
+/// Print and persist a preformatted text artifact (`.txt` only).
+fn emit_text(cli: &Cli, name: &str, text: &str) {
+    println!("{text}");
     let path = cli.out.join(format!("{name}.txt"));
-    std::fs::write(&path, table).expect("write result file");
+    std::fs::write(&path, text).expect("write result file");
 }

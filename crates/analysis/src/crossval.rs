@@ -15,10 +15,9 @@ use armdse_core::config::FEATURE_NAMES;
 use armdse_core::{DseDataset, SurrogateSuite};
 use armdse_kernels::App;
 use armdse_mltree::partial_dependence_speedup;
-use serde::{Deserialize, Serialize};
 
 /// Comparison of one app's simulated vs surrogate speedup curves.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CurveComparison {
     /// Application name.
     pub app: String,
@@ -29,7 +28,7 @@ pub struct CurveComparison {
 }
 
 /// The full cross-validation result.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CrossVal {
     /// One comparison per application.
     pub comparisons: Vec<CurveComparison>,
@@ -73,25 +72,35 @@ impl CrossVal {
     /// Render as a text table.
     pub fn to_table(&self) -> String {
         let mut out = String::new();
-        for c in &self.comparisons {
-            let rows: Vec<Vec<String>> = c
-                .points
-                .iter()
-                .map(|(v, sim, sur)| {
-                    vec![v.to_string(), format!("{sim:.2}x"), format!("{sur:.2}x")]
-                })
-                .collect();
-            out.push_str(&report::format_table(
-                &format!(
-                    "Extension: surrogate vs simulator ROB sweep — {} (mean |Δ| {:.2})",
-                    c.app, c.mean_abs_diff
-                ),
-                &["ROB-Size", "Simulated", "Surrogate PD"],
-                &rows,
-            ));
+        for t in self.tables() {
+            out.push_str(&t.to_text());
             out.push('\n');
         }
         out
+    }
+
+    /// The structured artifacts, one table per application.
+    pub fn tables(&self) -> Vec<report::Table> {
+        self.comparisons
+            .iter()
+            .map(|c| {
+                let rows: Vec<Vec<String>> = c
+                    .points
+                    .iter()
+                    .map(|(v, sim, sur)| {
+                        vec![v.to_string(), format!("{sim:.2}x"), format!("{sur:.2}x")]
+                    })
+                    .collect();
+                report::Table::new(
+                    &format!(
+                        "Extension: surrogate vs simulator ROB sweep — {} (mean |Δ| {:.2})",
+                        c.app, c.mean_abs_diff
+                    ),
+                    &["ROB-Size", "Simulated", "Surrogate PD"],
+                    rows,
+                )
+            })
+            .collect()
     }
 
     /// Whether the surrogate's curves track the simulator within
@@ -112,7 +121,11 @@ mod tests {
     #[test]
     fn surrogate_curve_has_correct_direction() {
         let mut opts = ExpOptions::quick();
-        opts.configs = 150;
+        // 300 configs (up from 150): with fewer samples the tree sees
+        // too few high-ROB points and its partial dependence at the
+        // largest ROB can dip below 1.0 for one app — a data-sparsity
+        // artefact, not a direction error.
+        opts.configs = 300;
         let data = build_dataset(&opts);
         let sweep = SweepOptions { base_configs: 3, scale: WorkloadScale::Tiny, seed: 5 };
         let f7 = fig7(&ParamSpace::paper(), &sweep);

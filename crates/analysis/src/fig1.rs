@@ -10,13 +10,12 @@
 use crate::report;
 use armdse_core::DesignConfig;
 use armdse_kernels::{build_workload, App, WorkloadScale};
-use serde::{Deserialize, Serialize};
 
 /// Vector lengths plotted in Fig. 1.
 pub const VLS: [u32; 5] = [128, 256, 512, 1024, 2048];
 
 /// Result: per app, per VL, the SVE percentage of retired instructions.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig1 {
     /// (app name, [(vl, sve %)]).
     pub series: Vec<(String, Vec<(u32, f64)>)>,
@@ -50,6 +49,11 @@ pub fn run(scale: WorkloadScale) -> Fig1 {
 impl Fig1 {
     /// Render the figure as a text table (rows = apps, columns = VLs).
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact (rows = apps, columns = VLs).
+    pub fn table(&self) -> report::Table {
         let mut headers = vec!["App".to_string()];
         headers.extend(VLS.iter().map(|v| format!("VL={v}")));
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -62,10 +66,10 @@ impl Fig1 {
                 r
             })
             .collect();
-        report::format_table(
+        report::Table::new(
             "Fig. 1: % of retired instructions that are SVE instructions",
             &headers_ref,
-            &rows,
+            rows,
         )
     }
 

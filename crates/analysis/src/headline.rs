@@ -11,10 +11,9 @@ use crate::sweeps::{SweepFig, SweepOptions};
 use armdse_core::space::ParamSpace;
 use armdse_core::{DseDataset, SurrogateSuite};
 use armdse_kernels::App;
-use serde::{Deserialize, Serialize};
 
 /// The reproduced headline numbers beside the paper's.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Headline {
     /// Mean accuracy across per-app models (paper: 93.38%).
     pub mean_accuracy_pct: f64,
@@ -80,6 +79,11 @@ pub fn from_parts(suite: &SurrogateSuite, fig7: &SweepFig, fig8: &SweepFig) -> H
 impl Headline {
     /// Render as a paper-vs-measured table.
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured paper-vs-measured artifact.
+    pub fn table(&self) -> report::Table {
         let rows = vec![
             vec![
                 "Mean prediction accuracy".to_string(),
@@ -107,10 +111,10 @@ impl Headline {
                 self.fp_knee.to_string(),
             ],
         ];
-        report::format_table(
+        report::Table::new(
             "Headline results (paper vs this reproduction)",
             &["Quantity", "Paper", "Measured"],
-            &rows,
+            rows,
         )
     }
 }

@@ -13,13 +13,12 @@ use armdse_core::orchestrator::{generate_dataset_pinned, GenOptions};
 use armdse_core::space::ParamSpace;
 use armdse_core::{DseDataset, SurrogateSuite};
 use armdse_kernels::App;
-use serde::{Deserialize, Serialize};
 
 /// Number of features shown per app (the paper plots the top ten).
 pub const TOP_K: usize = 10;
 
 /// Importance percentages for every app.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImportanceFig {
     /// Figure label ("Fig. 3" / "Fig. 4" / "Fig. 5").
     pub label: String,
@@ -103,6 +102,12 @@ impl ImportanceFig {
     /// Render the top-K table: rows = features (ordered by mean, as the
     /// paper does), columns = apps.
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact: rows = features (ordered by mean),
+    /// columns = apps.
+    pub fn table(&self) -> report::Table {
         let apps: Vec<&str> = self.per_app.iter().map(|(a, _)| a.as_str()).collect();
         let mut headers = vec!["Feature"];
         headers.extend(apps.iter());
@@ -119,10 +124,10 @@ impl ImportanceFig {
                 r
             })
             .collect();
-        report::format_table(
+        report::Table::new(
             &format!("{}: top-{TOP_K} permutation feature importances", self.label),
             &headers,
-            &rows,
+            rows,
         )
     }
 }

@@ -13,13 +13,12 @@
 use crate::report;
 use armdse_core::DesignConfig;
 use armdse_kernels::{build_workload, App, WorkloadScale};
-use serde::{Deserialize, Serialize};
 
 /// Co-runner counts simulated (0 = the paper's single-core setting).
 pub const CO_RUNNERS: [u32; 5] = [0, 1, 3, 7, 15];
 
 /// Slowdown series for one application.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ContentionSeries {
     /// Application name.
     pub app: String,
@@ -28,7 +27,7 @@ pub struct ContentionSeries {
 }
 
 /// The full contention experiment.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MulticoreFig {
     /// One series per application.
     pub series: Vec<ContentionSeries>,
@@ -71,6 +70,11 @@ impl MulticoreFig {
 
     /// Render as a text table (rows = co-runner counts, columns = apps).
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact (rows = co-runner counts, columns = apps).
+    pub fn table(&self) -> report::Table {
         let mut headers = vec!["Co-runners"];
         let names: Vec<&str> = self.series.iter().map(|s| s.app.as_str()).collect();
         headers.extend(names.iter());
@@ -90,10 +94,10 @@ impl MulticoreFig {
                 r
             })
             .collect();
-        report::format_table(
+        report::Table::new(
             "Extension: slowdown under shared-DRAM contention (paper §VII future work)",
             &headers,
-            &rows,
+            rows,
         )
     }
 }

@@ -1,4 +1,122 @@
-//! Text-table and CSV rendering shared by the experiments.
+//! Result-emission: structured tables with text, CSV, and JSON
+//! rendering, shared by all experiments.
+//!
+//! Everything here is hand-rolled on `std` (no serde): experiment
+//! results are plain (title, headers, rows) tables plus optional note
+//! lines, and the three renderers keep `repro` artifacts diffable
+//! (text), machine-readable (CSV), and self-describing (JSON).
+
+/// A rendered experiment artifact: one titled table plus free-form
+/// notes (footer lines such as headline summaries).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Table title (one line).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; each row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+    /// Footer notes appended after the table in text output and kept
+    /// as a JSON array in structured output.
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Build a table from borrowed parts.
+    pub fn new(title: &str, headers: &[&str], rows: Vec<Vec<String>>) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a footer note line.
+    pub fn note(mut self, line: impl Into<String>) -> Table {
+        self.notes.push(line.into());
+        self
+    }
+
+    /// Render as an aligned text table (plus notes).
+    pub fn to_text(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(|s| s.as_str()).collect();
+        let mut out = format_table(&self.title, &headers, &self.rows);
+        for n in &self.notes {
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render the data rows as CSV with a header line.
+    pub fn to_csv(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(|s| s.as_str()).collect();
+        format_csv(&headers, &self.rows)
+    }
+
+    /// Render as a JSON object:
+    /// `{"title": ..., "headers": [...], "rows": [[...]], "notes": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"title\":");
+        json_string(&self.title, &mut out);
+        out.push_str(",\"headers\":");
+        json_string_array(&self.headers, &mut out);
+        out.push_str(",\"rows\":[");
+        for (i, row) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json_string_array(row, &mut out);
+        }
+        out.push_str("],\"notes\":");
+        json_string_array(&self.notes, &mut out);
+        out.push('}');
+        out
+    }
+}
+
+/// Render several tables as one JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let mut out = String::from("[");
+    for (i, t) in tables.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&t.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// Write a JSON string literal (RFC 8259 escaping) into `out`.
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn json_string_array(items: &[String], out: &mut String) {
+    out.push('[');
+    for (i, s) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(s, out);
+    }
+    out.push(']');
+}
 
 /// Render an aligned text table.
 pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -32,12 +150,20 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     out
 }
 
-/// Render rows as CSV with a header.
+/// Render rows as CSV with a header. Cells containing commas, quotes,
+/// or newlines are quoted per RFC 4180.
 pub fn format_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
-    let mut out = headers.join(",");
+    let cell = |s: &str| {
+        if s.contains(',') || s.contains('"') || s.contains('\n') {
+            format!("\"{}\"", s.replace('"', "\"\""))
+        } else {
+            s.to_string()
+        }
+    };
+    let mut out = headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(",");
     out.push('\n');
     for row in rows {
-        out.push_str(&row.join(","));
+        out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
         out.push('\n');
     }
     out
@@ -78,8 +204,51 @@ mod tests {
     }
 
     #[test]
+    fn csv_quotes_special_cells() {
+        let c = format_csv(&["x"], &[vec!["a,b".into()], vec!["say \"hi\"".into()]]);
+        assert_eq!(c, "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
     fn number_formatting() {
         assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(pct(25.913), "25.91%");
+    }
+
+    #[test]
+    fn structured_table_renders_all_three_formats() {
+        let t = Table::new(
+            "Demo",
+            &["k", "v"],
+            vec![vec!["a".into(), "1".into()], vec!["b".into(), "2".into()]],
+        )
+        .note("footer line");
+        let text = t.to_text();
+        assert!(text.starts_with("Demo\n"));
+        assert!(text.ends_with("footer line\n"));
+        assert_eq!(t.to_csv(), "k,v\na,1\nb,2\n");
+        assert_eq!(
+            t.to_json(),
+            r#"{"title":"Demo","headers":["k","v"],"rows":[["a","1"],["b","2"]],"notes":["footer line"]}"#
+        );
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_control_chars() {
+        let t = Table::new("q\"t\n", &["h"], vec![vec!["\t\\".into()]]);
+        let j = t.to_json();
+        assert!(j.contains(r#""q\"t\n""#));
+        assert!(j.contains(r#""\t\\""#));
+        // Valid JSON shape: balanced braces/brackets at the ends.
+        assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn tables_to_json_is_an_array() {
+        let a = Table::new("A", &["h"], vec![]);
+        let b = Table::new("B", &["h"], vec![]);
+        let j = tables_to_json(&[a, b]);
+        assert!(j.starts_with("[{") && j.ends_with("}]"));
+        assert!(j.contains(r#""title":"A""#) && j.contains(r#""title":"B""#));
     }
 }

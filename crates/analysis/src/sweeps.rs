@@ -18,7 +18,6 @@ use crate::report;
 use armdse_core::space::ParamSpace;
 use armdse_core::DesignConfig;
 use armdse_kernels::{build_workload, App, WorkloadScale};
-use serde::{Deserialize, Serialize};
 
 /// ROB sizes swept in Fig. 7 (includes the paper's knee at 152).
 pub const ROB_POINTS: [u32; 10] = [8, 16, 32, 64, 96, 128, 152, 256, 384, 512];
@@ -31,7 +30,7 @@ pub const FP_POINTS: [u32; 9] = [38, 72, 104, 144, 176, 240, 320, 424, 512];
 pub const VL_POINTS: [u32; 5] = [128, 256, 512, 1024, 2048];
 
 /// One speedup series.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSeries {
     /// Application name.
     pub app: String,
@@ -40,7 +39,7 @@ pub struct SweepSeries {
 }
 
 /// A full sweep figure.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepFig {
     /// Figure label.
     pub label: String,
@@ -231,6 +230,11 @@ impl SweepFig {
 
     /// Render as a text table (rows = swept values, columns = apps).
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact (rows = swept values, columns = apps).
+    pub fn table(&self) -> report::Table {
         let mut headers = vec![self.param.as_str()];
         let names: Vec<&str> = self.series.iter().map(|s| s.app.as_str()).collect();
         headers.extend(names.iter());
@@ -251,10 +255,10 @@ impl SweepFig {
                 r
             })
             .collect();
-        report::format_table(
+        report::Table::new(
             &format!("{}: mean speedup vs {} (relative to {})", self.label, self.param, values[0]),
             &headers,
-            &rows,
+            rows,
         )
     }
 }

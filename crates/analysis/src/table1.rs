@@ -11,7 +11,6 @@
 use crate::report;
 use armdse_core::DesignConfig;
 use armdse_kernels::{build_workload, App, WorkloadScale};
-use serde::{Deserialize, Serialize};
 
 /// The paper's published Table I values (for EXPERIMENTS.md comparison).
 pub const PAPER_TABLE1: [(&str, u64, u64, f64); 4] = [
@@ -22,7 +21,7 @@ pub const PAPER_TABLE1: [(&str, u64, u64, f64); 4] = [
 ];
 
 /// One validation row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ValidationRow {
     /// Application name.
     pub app: String,
@@ -35,7 +34,7 @@ pub struct ValidationRow {
 }
 
 /// The reproduced Table I.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1 {
     /// One row per application.
     pub rows: Vec<ValidationRow>,
@@ -67,6 +66,11 @@ pub fn run(scale: WorkloadScale) -> Table1 {
 impl Table1 {
     /// Render as a text table mirroring the paper's layout.
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact mirroring the paper's layout.
+    pub fn table(&self) -> report::Table {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
@@ -79,10 +83,10 @@ impl Table1 {
                 ]
             })
             .collect();
-        report::format_table(
+        report::Table::new(
             "Table I: simulated vs hardware-proxy cycles (ThunderX2 baseline)",
             &["App", "Simulated Cycles", "Hardware Cycles", "% Difference"],
-            &rows,
+            rows,
         )
     }
 

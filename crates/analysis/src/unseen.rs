@@ -19,10 +19,9 @@ use crate::report;
 use armdse_core::DseDataset;
 use armdse_kernels::App;
 use armdse_mltree::{mean_relative_accuracy, train_test_split, DecisionTreeRegressor, Regressor};
-use serde::{Deserialize, Serialize};
 
 /// One source-model row of the transfer matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct TransferRow {
     /// App the model was trained on.
     pub trained_on: String,
@@ -33,7 +32,7 @@ pub struct TransferRow {
 }
 
 /// The cross-application transfer matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct UnseenFig {
     /// One row per source model.
     pub rows: Vec<TransferRow>,
@@ -113,6 +112,11 @@ impl UnseenFig {
 
     /// Render the transfer matrix (rows = source model, cols = target).
     pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured transfer matrix (rows = source, cols = target).
+    pub fn table(&self) -> report::Table {
         let mut headers = vec!["Trained on".to_string(), "In-dist.".to_string()];
         headers.extend(App::ALL.iter().map(|a| format!("→ {}", a.name())));
         let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
@@ -125,10 +129,10 @@ impl UnseenFig {
                 row
             })
             .collect();
-        report::format_table(
+        report::Table::new(
             "Extension: cross-application transfer accuracy (paper §VII limitation)",
             &headers_ref,
-            &rows,
+            rows,
         )
     }
 }

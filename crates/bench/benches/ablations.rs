@@ -1,4 +1,5 @@
-//! Ablation benches for the design choices DESIGN.md calls out.
+//! Ablation benches for the design choices DESIGN.md calls out
+//! (std-only harness; bench IDs unchanged from the Criterion era).
 //!
 //! * Surrogate family: the paper's single decision tree vs the linear
 //!   baseline of prior work vs a random-forest extension (time; the
@@ -9,13 +10,11 @@
 //! * Memory-model choices: prefetcher on/off, infinite vs finite banking.
 //! * Frontend choices: loop buffer on/off.
 
+use armdse_bench::harness::Harness;
 use armdse_bench::{baseline, bench_dataset};
 use armdse_core::DseDataset;
 use armdse_kernels::{build_workload, App, WorkloadScale};
-use armdse_mltree::{
-    DecisionTreeRegressor, LinearRegression, Matrix, RandomForest,
-};
-use criterion::{criterion_group, criterion_main, Criterion};
+use armdse_mltree::{DecisionTreeRegressor, LinearRegression, Matrix, RandomForest};
 use std::hint::black_box;
 
 fn app_xy(data: &DseDataset, app: App) -> (Matrix, Vec<f64>) {
@@ -37,88 +36,67 @@ fn unified_xy(data: &DseDataset) -> (Matrix, Vec<f64>) {
     (x, y)
 }
 
-fn bench_surrogate_families(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("ablations");
     let data = bench_dataset(32);
-    let (x, y) = app_xy(&data, App::Stream);
-    let mut g = c.benchmark_group("surrogate_fit");
-    g.bench_function("decision_tree", |b| {
-        b.iter(|| black_box(DecisionTreeRegressor::fit(&x, &y)))
-    });
-    g.bench_function("linear_baseline", |b| {
-        b.iter(|| black_box(LinearRegression::fit(&x, &y)))
-    });
-    g.bench_function("random_forest_32", |b| {
-        b.iter(|| black_box(RandomForest::fit(&x, &y, 1)))
-    });
-    g.finish();
-}
 
-fn bench_per_app_vs_unified(c: &mut Criterion) {
-    let data = bench_dataset(32);
-    let mut g = c.benchmark_group("model_partitioning");
-    g.bench_function("four_per_app_trees", |b| {
-        b.iter(|| {
-            for app in App::ALL {
-                let (x, y) = app_xy(&data, app);
-                black_box(DecisionTreeRegressor::fit(&x, &y));
-            }
-        })
+    // Surrogate families.
+    let (x, y) = app_xy(&data, App::Stream);
+    h.bench("surrogate_fit/decision_tree", || {
+        black_box(DecisionTreeRegressor::fit(&x, &y))
+    });
+    h.bench("surrogate_fit/linear_baseline", || {
+        black_box(LinearRegression::fit(&x, &y))
+    });
+    h.bench("surrogate_fit/random_forest_32", || {
+        black_box(RandomForest::fit(&x, &y, 1))
+    });
+
+    // Per-app vs unified model.
+    h.bench("model_partitioning/four_per_app_trees", || {
+        for app in App::ALL {
+            let (x, y) = app_xy(&data, app);
+            black_box(DecisionTreeRegressor::fit(&x, &y));
+        }
     });
     let (ux, uy) = unified_xy(&data);
-    g.bench_function("one_unified_tree", |b| {
-        b.iter(|| black_box(DecisionTreeRegressor::fit(&ux, &uy)))
+    h.bench("model_partitioning/one_unified_tree", || {
+        black_box(DecisionTreeRegressor::fit(&ux, &uy))
     });
-    g.finish();
-}
 
-fn bench_prefetcher(c: &mut Criterion) {
+    // Prefetcher depth.
     let mut cfg = baseline();
     let w = build_workload(App::Stream, WorkloadScale::Small, cfg.core.vector_length);
-    let mut g = c.benchmark_group("prefetcher");
     for depth in [0u32, 2] {
         cfg.mem.prefetch_depth = depth;
-        g.bench_function(format!("depth_{depth}"), |b| {
-            b.iter(|| black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)))
+        let mem = cfg.mem;
+        let core = cfg.core;
+        h.bench(&format!("prefetcher/depth_{depth}"), || {
+            black_box(armdse_simcore::simulate(&w.program, &core, &mem))
         });
     }
-    g.finish();
-}
 
-fn bench_banking(c: &mut Criterion) {
+    // Infinite vs finite banking.
     let cfg = baseline();
     let w = build_workload(App::Stream, WorkloadScale::Small, cfg.core.vector_length);
-    let mut g = c.benchmark_group("banking");
-    g.bench_function("infinite_banks", |b| {
-        b.iter(|| black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)))
+    h.bench("banking/infinite_banks", || {
+        black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem))
     });
-    g.bench_function("finite_banks_proxy", |b| {
-        b.iter(|| {
-            black_box(armdse_simcore::simulate_hardware_proxy(
-                &w.program, &cfg.core, &cfg.mem,
-            ))
-        })
+    h.bench("banking/finite_banks_proxy", || {
+        black_box(armdse_simcore::simulate_hardware_proxy(&w.program, &cfg.core, &cfg.mem))
     });
-    g.finish();
-}
 
-fn bench_loop_buffer(c: &mut Criterion) {
+    // Loop buffer on/off.
     let mut cfg = baseline();
     cfg.core.fetch_block_bytes = 16; // make fetch the bottleneck
     let w = build_workload(App::MiniBude, WorkloadScale::Small, cfg.core.vector_length);
-    let mut g = c.benchmark_group("loop_buffer");
     for (label, size) in [("off", 1u32), ("on_128", 128)] {
         cfg.core.loop_buffer_size = size;
-        g.bench_function(label, |b| {
-            b.iter(|| black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)))
+        let core = cfg.core;
+        h.bench(&format!("loop_buffer/{label}"), || {
+            black_box(armdse_simcore::simulate(&w.program, &core, &cfg.mem))
         });
     }
-    g.finish();
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_surrogate_families, bench_per_app_vs_unified,
-              bench_prefetcher, bench_banking, bench_loop_buffer
+    h.finish();
 }
-criterion_main!(benches);

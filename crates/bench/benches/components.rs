@@ -1,83 +1,14 @@
-//! Microbenchmarks of the individual substrates.
+//! Microbenchmarks of the individual substrates (std-only harness; the
+//! bench IDs are unchanged from the Criterion era).
 
 use armdse_bench::baseline;
+use armdse_bench::harness::Harness;
 use armdse_core::space::ParamSpace;
+use armdse_isa::TraceCursor;
 use armdse_kernels::{build_workload, App, WorkloadScale};
 use armdse_memsim::{Hierarchy, MemParams, MemoryModel};
-use armdse_mltree::{
-    permutation_importance, DecisionTreeRegressor, Matrix, Regressor,
-};
-use armdse_isa::TraceCursor;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use armdse_mltree::{permutation_importance, DecisionTreeRegressor, Matrix, Regressor};
 use std::hint::black_box;
-
-/// Core-simulation throughput per application (retired instrs / second).
-fn bench_simulate(c: &mut Criterion) {
-    let cfg = baseline();
-    let mut g = c.benchmark_group("simulate");
-    for app in App::ALL {
-        let w = build_workload(app, WorkloadScale::Small, cfg.core.vector_length);
-        g.throughput(Throughput::Elements(w.summary.total()));
-        g.bench_with_input(BenchmarkId::from_parameter(app.name()), &w, |b, w| {
-            b.iter(|| black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)))
-        });
-    }
-    g.finish();
-}
-
-/// Trace-cursor decode throughput.
-fn bench_cursor(c: &mut Criterion) {
-    let w = build_workload(App::Stream, WorkloadScale::Small, 128);
-    let mut g = c.benchmark_group("cursor");
-    g.throughput(Throughput::Elements(w.summary.total()));
-    g.bench_function("stream_small", |b| {
-        b.iter(|| {
-            let mut n = 0u64;
-            for di in TraceCursor::new(&w.program) {
-                n += u64::from(di.op.is_vector());
-            }
-            black_box(n)
-        })
-    });
-    g.finish();
-}
-
-/// Memory-hierarchy access throughput (hit-dominated streaming).
-fn bench_hierarchy(c: &mut Criterion) {
-    let params = MemParams::thunderx2();
-    let mut g = c.benchmark_group("hierarchy");
-    g.throughput(Throughput::Elements(4096));
-    g.bench_function("streaming_4k_lines", |b| {
-        b.iter(|| {
-            let mut h = Hierarchy::new(params);
-            let mut t = 0;
-            for i in 0..4096u64 {
-                t = h.access((i % 512) * 64, false, t);
-            }
-            black_box(t)
-        })
-    });
-    g.finish();
-}
-
-/// Design-space sampling throughput.
-fn bench_sampler(c: &mut Criterion) {
-    let space = ParamSpace::paper();
-    let mut g = c.benchmark_group("sampler");
-    g.throughput(Throughput::Elements(1000));
-    g.bench_function("sample_1000", |b| {
-        b.iter(|| {
-            let mut acc = 0u64;
-            for seed in 0..1000 {
-                acc = acc.wrapping_add(u64::from(
-                    space.sample_seeded(seed).core.rob_size,
-                ));
-            }
-            black_box(acc)
-        })
-    });
-    g.finish();
-}
 
 fn synthetic_training_data(n: usize) -> (Matrix, Vec<f64>) {
     let mut rows = Vec::with_capacity(n);
@@ -92,39 +23,66 @@ fn synthetic_training_data(n: usize) -> (Matrix, Vec<f64>) {
     (Matrix::from_rows(&rows), y)
 }
 
-/// Decision-tree training time ("training the machine learning model is
-/// extremely fast, taking less than 1 minute" — paper artifact appendix).
-fn bench_tree_fit(c: &mut Criterion) {
-    let (x, y) = synthetic_training_data(2000);
-    c.bench_function("tree_fit_2000x4", |b| {
-        b.iter(|| black_box(DecisionTreeRegressor::fit(&x, &y)))
+fn main() {
+    let mut h = Harness::from_args("components");
+
+    // Core-simulation throughput per application (retired instrs / s).
+    let cfg = baseline();
+    for app in App::ALL {
+        let w = build_workload(app, WorkloadScale::Small, cfg.core.vector_length);
+        h.bench_throughput(&format!("simulate/{}", app.name()), w.summary.total(), || {
+            black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem))
+        });
+    }
+
+    // Trace-cursor decode throughput.
+    let w = build_workload(App::Stream, WorkloadScale::Small, 128);
+    h.bench_throughput("cursor/stream_small", w.summary.total(), || {
+        let mut n = 0u64;
+        for di in TraceCursor::new(&w.program) {
+            n += u64::from(di.op.is_vector());
+        }
+        black_box(n)
     });
-}
 
-/// Tree prediction throughput.
-fn bench_tree_predict(c: &mut Criterion) {
+    // Memory-hierarchy access throughput (hit-dominated streaming).
+    let params = MemParams::thunderx2();
+    h.bench_throughput("hierarchy/streaming_4k_lines", 4096, || {
+        let mut hier = Hierarchy::new(params);
+        let mut t = 0;
+        for i in 0..4096u64 {
+            t = hier.access((i % 512) * 64, false, t);
+        }
+        black_box(t)
+    });
+
+    // Design-space sampling throughput.
+    let space = ParamSpace::paper();
+    h.bench_throughput("sampler/sample_1000", 1000, || {
+        let mut acc = 0u64;
+        for seed in 0..1000 {
+            acc = acc.wrapping_add(u64::from(space.sample_seeded(seed).core.rob_size));
+        }
+        black_box(acc)
+    });
+
+    // Decision-tree training time ("training the machine learning model
+    // is extremely fast, taking less than 1 minute" — paper artifact
+    // appendix).
     let (x, y) = synthetic_training_data(2000);
-    let t = DecisionTreeRegressor::fit(&x, &y);
-    let mut g = c.benchmark_group("tree_predict");
-    g.throughput(Throughput::Elements(2000));
-    g.bench_function("2000_rows", |b| b.iter(|| black_box(t.predict(&x))));
-    g.finish();
-}
+    h.bench("tree_fit_2000x4", || black_box(DecisionTreeRegressor::fit(&x, &y)));
 
-/// Permutation-importance cost (10 repeats, as the paper).
-fn bench_importance(c: &mut Criterion) {
-    let (x, y) = synthetic_training_data(500);
+    // Tree prediction throughput.
     let t = DecisionTreeRegressor::fit(&x, &y);
+    h.bench_throughput("tree_predict/2000_rows", 2000, || black_box(t.predict(&x)));
+
+    // Permutation-importance cost (10 repeats, as the paper).
+    let (x5, y5) = synthetic_training_data(500);
+    let t5 = DecisionTreeRegressor::fit(&x5, &y5);
     let names: Vec<String> = (0..4).map(|i| format!("f{i}")).collect();
-    c.bench_function("permutation_importance_500x4", |b| {
-        b.iter(|| black_box(permutation_importance(&t, &x, &y, &names, 10, 1)))
+    h.bench("permutation_importance_500x4", || {
+        black_box(permutation_importance(&t5, &x5, &y5, &names, 10, 1))
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_simulate, bench_cursor, bench_hierarchy, bench_sampler,
-              bench_tree_fit, bench_tree_predict, bench_importance
+    h.finish();
 }
-criterion_main!(benches);

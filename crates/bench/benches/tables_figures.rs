@@ -1,4 +1,5 @@
-//! One Criterion benchmark per paper table/figure.
+//! One benchmark per paper table/figure (std-only harness; bench IDs
+//! unchanged from the Criterion era).
 //!
 //! Each bench regenerates a reduced-size version of the corresponding
 //! experiment end-to-end; `repro <fig>` produces the full-size artefact.
@@ -6,11 +7,11 @@
 use armdse_analysis::sweeps::SweepOptions;
 use armdse_analysis::{accuracy, fig1, headline, importance, sweeps, table1};
 use armdse_bench::bench_dataset;
+use armdse_bench::harness::Harness;
 use armdse_core::orchestrator::GenOptions;
 use armdse_core::space::ParamSpace;
 use armdse_core::SurrogateSuite;
 use armdse_kernels::{App, WorkloadScale};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn small_gen_opts() -> GenOptions {
@@ -27,80 +28,34 @@ fn sweep_opts() -> SweepOptions {
     SweepOptions { base_configs: 2, scale: WorkloadScale::Tiny, seed: 3 }
 }
 
-fn bench_fig1(c: &mut Criterion) {
-    c.bench_function("fig1_vectorisation", |b| {
-        b.iter(|| black_box(fig1::run(WorkloadScale::Tiny)))
-    });
-}
-
-fn bench_table1(c: &mut Criterion) {
-    c.bench_function("table1_validation", |b| {
-        b.iter(|| black_box(table1::run(WorkloadScale::Tiny)))
-    });
-}
-
-fn bench_fig2(c: &mut Criterion) {
-    let data = bench_dataset(24);
-    c.bench_function("fig2_accuracy", |b| {
-        b.iter(|| black_box(accuracy::run(&data, 7)))
-    });
-}
-
-fn bench_fig3(c: &mut Criterion) {
-    let data = bench_dataset(24);
-    c.bench_function("fig3_importance", |b| {
-        b.iter(|| black_box(importance::fig3(&data, 7)))
-    });
-}
-
-fn bench_fig4_fig5(c: &mut Criterion) {
+fn main() {
+    let mut h = Harness::from_args("tables_figures");
     let space = ParamSpace::paper();
+    let data = bench_dataset(24);
+
+    h.bench("fig1_vectorisation", || black_box(fig1::run(WorkloadScale::Tiny)));
+    h.bench("table1_validation", || black_box(table1::run(WorkloadScale::Tiny)));
+    h.bench("fig2_accuracy", || black_box(accuracy::run(&data, 7)));
+    h.bench("fig3_importance", || black_box(importance::fig3(&data, 7)));
+
     let opts = small_gen_opts();
-    c.bench_function("fig4_importance_vl128", |b| {
-        b.iter(|| black_box(importance::fig45(&space, &opts, 128, 7)))
+    h.bench("fig4_importance_vl128", || {
+        black_box(importance::fig45(&space, &opts, 128, 7))
     });
-    c.bench_function("fig5_importance_vl2048", |b| {
-        b.iter(|| black_box(importance::fig45(&space, &opts, 2048, 7)))
+    h.bench("fig5_importance_vl2048", || {
+        black_box(importance::fig45(&space, &opts, 2048, 7))
     });
-}
 
-fn bench_fig6(c: &mut Criterion) {
-    let space = ParamSpace::paper();
-    c.bench_function("fig6_vl_sweep", |b| {
-        b.iter(|| black_box(sweeps::fig6(&space, &sweep_opts())))
-    });
-}
+    h.bench("fig6_vl_sweep", || black_box(sweeps::fig6(&space, &sweep_opts())));
+    h.bench("fig7_rob_sweep", || black_box(sweeps::fig7(&space, &sweep_opts())));
+    h.bench("fig8_reg_sweep", || black_box(sweeps::fig8(&space, &sweep_opts())));
 
-fn bench_fig7(c: &mut Criterion) {
-    let space = ParamSpace::paper();
-    c.bench_function("fig7_rob_sweep", |b| {
-        b.iter(|| black_box(sweeps::fig7(&space, &sweep_opts())))
-    });
-}
-
-fn bench_fig8(c: &mut Criterion) {
-    let space = ParamSpace::paper();
-    c.bench_function("fig8_reg_sweep", |b| {
-        b.iter(|| black_box(sweeps::fig8(&space, &sweep_opts())))
-    });
-}
-
-fn bench_headline(c: &mut Criterion) {
-    let space = ParamSpace::paper();
-    let data = bench_dataset(24);
     let suite = SurrogateSuite::train(&data, 0.2, 7);
     let f7 = sweeps::fig7(&space, &sweep_opts());
     let f8 = sweeps::fig8(&space, &sweep_opts());
-    c.bench_function("headline_numbers", |b| {
-        b.iter(|| black_box(headline::from_parts(&suite, &f7, &f8)))
+    h.bench("headline_numbers", || {
+        black_box(headline::from_parts(&suite, &f7, &f8))
     });
-}
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_fig1, bench_table1, bench_fig2, bench_fig3,
-              bench_fig4_fig5, bench_fig6, bench_fig7, bench_fig8,
-              bench_headline
+    h.finish();
 }
-criterion_main!(benches);

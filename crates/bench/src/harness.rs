@@ -1,0 +1,172 @@
+//! Std-only benchmark harness (`Instant`-based), replacing Criterion so
+//! `cargo bench` needs no external crates.
+//!
+//! Kept deliberately Criterion-shaped: benches register IDs like
+//! `"simulate/stream"` and the harness warms up, auto-calibrates an
+//! iteration count, takes a fixed number of samples, and reports the
+//! median time per iteration with spread and optional throughput. IDs
+//! are stable across the Criterion-era benches so historical results
+//! remain comparable, and `--filter`-style substring selection works
+//! the same way (`cargo bench -- sampler`).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Samples taken per benchmark (matches the Criterion config the repo
+/// used: `sample_size(10)`).
+pub const SAMPLES: usize = 10;
+
+/// Target wall-clock time per sample; iteration counts are calibrated
+/// so one sample takes roughly this long.
+pub const TARGET_SAMPLE: Duration = Duration::from_millis(60);
+
+/// A registered benchmark runner. Construct once per bench binary via
+/// [`Harness::from_args`], call [`Harness::bench`] (or
+/// [`Harness::bench_throughput`]) per benchmark, then
+/// [`Harness::finish`].
+pub struct Harness {
+    filter: Option<String>,
+    list_only: bool,
+    ran: usize,
+}
+
+impl Harness {
+    /// Parse the argument conventions cargo uses with `harness = false`
+    /// benches: `--bench` is passed through and ignored; the first free
+    /// argument is a substring filter; `--list` prints IDs and exits.
+    pub fn from_args(suite: &str) -> Harness {
+        let mut filter = None;
+        let mut list_only = false;
+        for a in std::env::args().skip(1) {
+            match a.as_str() {
+                "--bench" | "--benches" => {}
+                "--list" => list_only = true,
+                // Swallow flags Criterion accepted so old invocations
+                // don't error out.
+                s if s.starts_with("--") => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        eprintln!("# suite {suite}: {SAMPLES} samples/bench, std::time::Instant harness");
+        Harness { filter, list_only, ran: 0 }
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+
+    /// Time `f`, reporting median ns/iter.
+    pub fn bench<T>(&mut self, id: &str, f: impl FnMut() -> T) {
+        self.run(id, None, f);
+    }
+
+    /// Time `f`, additionally reporting `elements / s` throughput.
+    pub fn bench_throughput<T>(&mut self, id: &str, elements: u64, f: impl FnMut() -> T) {
+        self.run(id, Some(elements), f);
+    }
+
+    fn run<T>(&mut self, id: &str, elements: Option<u64>, mut f: impl FnMut() -> T) {
+        if !self.selected(id) {
+            return;
+        }
+        if self.list_only {
+            println!("{id}: bench");
+            return;
+        }
+        self.ran += 1;
+
+        // Warm-up + calibration: run once, then scale the iteration
+        // count so a sample lands near TARGET_SAMPLE.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        let spread = samples[samples.len() - 1] - samples[0];
+
+        let thr = elements.map_or(String::new(), |e| {
+            let per_sec = e as f64 * 1e9 / median;
+            format!("  {} elem/s", human(per_sec))
+        });
+        println!(
+            "{id:<40} {:>14} ns/iter (+/- {}){thr}",
+            group_digits(median.round() as u64),
+            group_digits(spread.round() as u64),
+        );
+    }
+
+    /// Print the suite summary. Exits non-zero if a filter was given
+    /// and matched nothing, so typos fail loudly in CI.
+    pub fn finish(self) {
+        if self.list_only {
+            return;
+        }
+        if self.ran == 0 {
+            if let Some(f) = &self.filter {
+                eprintln!("error: filter '{f}' matched no benchmarks");
+                std::process::exit(1);
+            }
+        }
+        eprintln!("# {} benchmarks run", self.ran);
+    }
+}
+
+/// `12345678` → `12,345,678`.
+fn group_digits(mut v: u64) -> String {
+    let mut parts = Vec::new();
+    loop {
+        let rem = v % 1000;
+        v /= 1000;
+        if v == 0 {
+            parts.push(rem.to_string());
+            break;
+        }
+        parts.push(format!("{rem:03}"));
+    }
+    parts.reverse();
+    parts.join(",")
+}
+
+/// Human-readable rate with K/M/G suffix.
+fn human(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2}G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2}K", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digit_grouping() {
+        assert_eq!(group_digits(0), "0");
+        assert_eq!(group_digits(999), "999");
+        assert_eq!(group_digits(1_000), "1,000");
+        assert_eq!(group_digits(12_345_678), "12,345,678");
+    }
+
+    #[test]
+    fn human_rates() {
+        assert_eq!(human(500.0), "500");
+        assert_eq!(human(2_500.0), "2.50K");
+        assert_eq!(human(3_000_000.0), "3.00M");
+        assert_eq!(human(4_200_000_000.0), "4.20G");
+    }
+}

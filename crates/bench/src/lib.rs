@@ -1,10 +1,11 @@
 //! # armdse-bench — benchmark support
 //!
-//! The benches live in `benches/`:
+//! The benches live in `benches/` and run on the std-only [`harness`]
+//! (no external benchmarking crates, so `cargo bench` works offline):
 //!
-//! * `tables_figures` — one Criterion benchmark per paper table/figure,
-//!   each regenerating a reduced-size version of the experiment
-//!   end-to-end (workload generation → simulation → model → analysis).
+//! * `tables_figures` — one benchmark per paper table/figure, each
+//!   regenerating a reduced-size version of the experiment end-to-end
+//!   (workload generation → simulation → model → analysis).
 //! * `components` — microbenchmarks of the substrates: core simulation
 //!   throughput per app, cache hierarchy access rates, trace-cursor
 //!   throughput, sampler throughput, tree fit/predict, permutation
@@ -14,11 +15,13 @@
 //!   model; prefetcher on/off; loop buffer on/off; infinite vs finite
 //!   banking.
 //!
-//! This library crate only hosts shared helpers.
+//! This library crate hosts the harness plus shared fixtures.
 
-use armdse_core::DesignConfig;
+pub mod harness;
+
 use armdse_core::orchestrator::{generate_dataset, GenOptions};
 use armdse_core::space::ParamSpace;
+use armdse_core::DesignConfig;
 use armdse_core::DseDataset;
 use armdse_kernels::{App, WorkloadScale};
 

@@ -3,7 +3,6 @@
 
 use armdse_memsim::MemParams;
 use armdse_simcore::CoreParams;
-use serde::{Deserialize, Serialize};
 
 /// The thirty feature names, in feature-vector order. Names follow the
 /// paper's figures (e.g. `Vector-Length`, `Cache-Line-Width`, `L1-Clock`).
@@ -41,7 +40,7 @@ pub const FEATURE_NAMES: [&str; 30] = [
 ];
 
 /// One sampled design point.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignConfig {
     /// Core-side parameters (Table II).
     pub core: CoreParams,

@@ -3,12 +3,11 @@
 
 use crate::config::{DesignConfig, FEATURE_NAMES};
 use armdse_kernels::App;
-use serde::{Deserialize, Serialize};
 use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
 /// One simulated data point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Application simulated.
     pub app: App,
@@ -21,7 +20,7 @@ pub struct Row {
 }
 
 /// A dataset of simulated runs across apps and configurations.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DseDataset {
     /// All rows (only validated simulations are recorded).
     pub rows: Vec<Row>,

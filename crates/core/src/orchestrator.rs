@@ -16,8 +16,8 @@ use crate::config::DesignConfig;
 use crate::dataset::{DseDataset, Row};
 use crate::space::ParamSpace;
 use armdse_kernels::{build_workload, App, Workload, WorkloadScale};
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Dataset-generation options.
 #[derive(Debug, Clone)]
@@ -101,12 +101,12 @@ pub fn generate_dataset_pinned(
                         space.sample_seeded_pinned(opts.seed + cfg_idx as u64, pins);
                     local.push((job, run_one(app, &cfg, lookup(app, cfg.core.vector_length))));
                 }
-                results.lock().append(&mut local);
+                results.lock().expect("worker poisoned results").append(&mut local);
             });
         }
     });
 
-    let mut collected = results.into_inner();
+    let mut collected = results.into_inner().expect("worker poisoned results");
     collected.sort_unstable_by_key(|(job, _)| *job);
     DseDataset {
         rows: collected.into_iter().filter_map(|(_, r)| r).collect(),

@@ -14,8 +14,7 @@ use crate::config::DesignConfig;
 pub use crate::config::FEATURE_NAMES;
 use armdse_memsim::MemParams;
 use armdse_simcore::CoreParams;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use armdse_rng::{Rng, SeedableRng, Xoshiro256pp};
 
 /// Number of design-space features (the paper's "thirty variable input
 /// features").
@@ -122,15 +121,15 @@ impl ParamSpace {
 
     /// Deterministically sample the design point with index/seed `seed`.
     pub fn sample_seeded(&self, seed: u64) -> DesignConfig {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         self.sample(&mut rng)
     }
 
     /// Sample one valid design point.
-    pub fn sample(&self, rng: &mut StdRng) -> DesignConfig {
-        let pick = |rng: &mut StdRng, v: &[u32]| v[rng.gen_range(0..v.len())];
-        let pickf = |rng: &mut StdRng, v: &[f64]| v[rng.gen_range(0..v.len())];
-        let range = |rng: &mut StdRng, (lo, hi): (u32, u32)| rng.gen_range(lo..=hi);
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> DesignConfig {
+        let pick = |rng: &mut Xoshiro256pp, v: &[u32]| v[rng.gen_range(0..v.len())];
+        let pickf = |rng: &mut Xoshiro256pp, v: &[f64]| v[rng.gen_range(0..v.len())];
+        let range = |rng: &mut Xoshiro256pp, (lo, hi): (u32, u32)| rng.gen_range(lo..=hi);
 
         let vector_length = pick(rng, &self.vector_lengths);
         let vl_bytes = vector_length / 8;

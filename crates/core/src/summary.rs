@@ -5,10 +5,9 @@
 use crate::config::FEATURE_NAMES;
 use crate::dataset::DseDataset;
 use armdse_kernels::App;
-use serde::{Deserialize, Serialize};
 
 /// Distribution summary of one app's cycle counts.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AppSummary {
     /// Application name.
     pub app: String,
@@ -27,7 +26,7 @@ pub struct AppSummary {
 }
 
 /// Whole-dataset summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DatasetSummary {
     /// One summary per application present.
     pub apps: Vec<AppSummary>,

@@ -13,13 +13,12 @@ use armdse_mltree::{
     mae, mean_relative_accuracy, permutation_importance, r2, train_test_split,
     within_tolerance, DecisionTreeRegressor, ImportanceReport, Regressor,
 };
-use serde::{Deserialize, Serialize};
 
 /// Confidence intervals of the paper's Fig. 2 (relative tolerance).
 pub const TOLERANCES: [f64; 7] = [0.005, 0.01, 0.02, 0.05, 0.10, 0.25, 0.50];
 
 /// Accuracy metrics for one app's model on its held-out test split.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ModelMetrics {
     /// (tolerance, fraction of predictions within tolerance) — Fig. 2.
     pub tolerance_curve: Vec<(f64, f64)>,

@@ -3,10 +3,9 @@
 use crate::kir::AddrExpr;
 use crate::op::OpClass;
 use crate::reg::{Reg, RegList};
-use serde::{Deserialize, Serialize};
 
 /// Load or store direction of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemKind {
     /// Read from memory.
     Load,
@@ -15,7 +14,7 @@ pub enum MemKind {
 }
 
 /// Spatial pattern of a memory access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MemPattern {
     /// One contiguous byte range (scalar and unit-stride vector accesses).
     Contiguous,
@@ -34,7 +33,7 @@ pub enum MemPattern {
 
 /// Memory behaviour of an instruction template: where it touches memory (an
 /// affine function of loop indices) and how many bytes per access.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemTemplate {
     /// Address expression over enclosing loop indices.
     pub expr: AddrExpr,
@@ -47,7 +46,7 @@ pub struct MemTemplate {
 }
 
 /// A resolved memory reference carried by a dynamic instruction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemRef {
     /// Concrete byte address (base element for strided patterns).
     pub addr: u64,
@@ -60,7 +59,7 @@ pub struct MemRef {
 }
 
 /// A static instruction template, the unit the kernel IR is built from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct InstrTemplate {
     /// Operation class (determines port, latency, memory behaviour).
     pub op: OpClass,
@@ -187,7 +186,7 @@ impl InstrTemplate {
 }
 
 /// A dynamic instruction: one element of the retired instruction stream.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DynInstr {
     /// Static program counter (byte address of the instruction).
     pub pc: u64,
@@ -205,7 +204,7 @@ pub struct DynInstr {
 }
 
 /// Dynamic branch outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BranchInfo {
     /// Whether the branch is taken.
     pub taken: bool,

@@ -7,14 +7,13 @@
 //! (potentially enormous) unrolled trace.
 
 use crate::instr::InstrTemplate;
-use serde::{Deserialize, Serialize};
 
 /// Maximum loop-nest depth supported by [`AddrExpr`] and the trace cursor.
 pub const MAX_LOOP_DEPTH: usize = 6;
 
 /// An affine address expression `base + Σ stride[d] * index[d]` over the
 /// enclosing loop indices (`d` = 0 for the outermost loop).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddrExpr {
     /// Base byte address (start of the array slice this template touches).
     pub base: u64,
@@ -58,7 +57,7 @@ impl AddrExpr {
 
 /// A statement in the kernel IR: either a straight-line instruction template
 /// or a counted loop around a sub-body.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub enum Stmt {
     /// One instruction template.
     Instr(InstrTemplate),
@@ -81,7 +80,7 @@ impl Stmt {
 }
 
 /// A named kernel: metadata plus the IR body.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Kernel {
     /// Human-readable name (e.g. `"stream-triad"`).
     pub name: String,

@@ -15,10 +15,9 @@
 //! DESIGN.md. Latencies approximate a modern Arm core (Neoverse-class) and
 //! are fixed across the entire design space, as in the paper.
 
-use serde::{Deserialize, Serialize};
 
 /// Functional classes of macro-operations retired by the core model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
     /// Scalar integer ALU op (add/sub/logic/shift, address arithmetic).
     IntAlu,
@@ -62,7 +61,7 @@ pub enum OpClass {
 }
 
 /// Execution-port classes of the fixed EU layout.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PortClass {
     /// Load/store address-generation and data ports (3 in the layout).
     LoadStore,

@@ -13,7 +13,6 @@ use crate::kir::{Kernel, Stmt, MAX_LOOP_DEPTH};
 use crate::op::OpClass;
 use crate::reg::Reg;
 use crate::INSTR_BYTES;
-use serde::{Deserialize, Serialize};
 
 /// Base byte address of the code segment (arbitrary; PCs are
 /// `CODE_BASE + 4*index`).
@@ -30,7 +29,7 @@ pub fn induction_reg(depth: usize) -> Reg {
 }
 
 /// Role of a flattened static operation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OpRole {
     /// An instruction template from the kernel body.
     Body,
@@ -42,7 +41,7 @@ pub enum OpRole {
 }
 
 /// A flattened static instruction: template plus its role and PC.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StaticInstr {
     /// Instruction template (operands, op class, memory behaviour).
     pub template: InstrTemplate,
@@ -51,7 +50,7 @@ pub struct StaticInstr {
 }
 
 /// Metadata for one lowered loop.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LoopMeta {
     /// Index (into [`Program::ops`]) of the first instruction of the body.
     pub header: u32,
@@ -64,7 +63,7 @@ pub struct LoopMeta {
 }
 
 /// A lowered, executable program.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Program {
     /// Kernel name this program was lowered from.
     pub name: String,

@@ -6,10 +6,9 @@
 //! registers per class, so instructions carry architectural register
 //! operands tagged with their class.
 
-use serde::{Deserialize, Serialize};
 
 /// The four architectural register classes renamed by the core model.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegClass {
     /// 64-bit general-purpose registers `x0..x30` (31 renameable; `sp`/`xzr`
     /// are not renamed).
@@ -68,7 +67,7 @@ impl RegClass {
 }
 
 /// An architectural register operand: a class plus an index within it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Reg {
     /// Register class.
     pub class: RegClass,
@@ -113,7 +112,7 @@ impl Reg {
 /// Arm instructions have at most two destinations (e.g. load-pair) and in
 /// practice at most four sources (FMA with governing predicate reads three
 /// registers plus the predicate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegList {
     regs: [Reg; 4],
     len: u8,

@@ -11,10 +11,9 @@
 use crate::instr::MemKind;
 use crate::op::OpClass;
 use crate::program::Program;
-use serde::{Deserialize, Serialize};
 
 /// Analytic summary of a program's dynamic execution.
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct OpSummary {
     /// Retired instruction count per [`OpClass`] (indexed by `OpClass::index`).
     pub per_class: [u64; OpClass::ALL.len()],

@@ -32,10 +32,9 @@ pub mod stream;
 pub mod tealeaf;
 
 use armdse_isa::{OpSummary, Program};
-use serde::{Deserialize, Serialize};
 
 /// The four HPC applications of the study.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum App {
     /// STREAM sustained-memory-bandwidth benchmark (McCalpin); heavily
     /// memory bound, highly vectorised.
@@ -88,7 +87,7 @@ impl App {
 }
 
 /// Input-size presets trading simulation time for fidelity.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum WorkloadScale {
     /// A few hundred to a few thousand retired instructions; unit tests.
     Tiny,

@@ -8,14 +8,13 @@
 //! so that core (18) + memory (12) equals the paper's stated "thirty
 //! variable input features".
 
-use serde::{Deserialize, Serialize};
 
 /// Fixed core clock frequency in GHz (matches a ThunderX2-class part; the
 /// paper varies cache/RAM clocks relative to a fixed core).
 pub const CORE_CLOCK_GHZ: f64 = 2.5;
 
 /// Memory-hierarchy configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MemParams {
     /// Cache line width in bytes (uniform across levels, as in SST configs).
     pub line_bytes: u32,

@@ -1,9 +1,8 @@
 //! Memory-hierarchy statistics counters.
 
-use serde::{Deserialize, Serialize};
 
 /// Counters accumulated by a memory model over one simulation.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
     /// Demand accesses that hit in L1.
     pub l1_hits: u64,

@@ -9,12 +9,10 @@
 use crate::matrix::Matrix;
 use crate::tree::{DecisionTreeRegressor, TreeParams};
 use crate::Regressor;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
+use armdse_rng::{Rng, SeedableRng, SliceRandom, Xoshiro256pp};
 
 /// Random-forest hyper-parameters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ForestParams {
     /// Number of trees.
     pub n_trees: usize,
@@ -33,7 +31,7 @@ impl Default for ForestParams {
 }
 
 /// A fitted random forest.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RandomForest {
     trees: Vec<DecisionTreeRegressor>,
 }
@@ -51,7 +49,7 @@ impl RandomForest {
         let n = x.rows();
         let n_feat = x.cols();
         let m_feat = params.max_features.unwrap_or(n_feat).min(n_feat);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
 
         let mut trees = Vec::with_capacity(params.n_trees);
         let mut boot_x_rows: Vec<usize> = Vec::with_capacity(n);

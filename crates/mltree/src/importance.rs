@@ -10,15 +10,13 @@
 use crate::matrix::Matrix;
 use crate::metrics::mae;
 use crate::Regressor;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use armdse_rng::{SeedableRng, SliceRandom, Xoshiro256pp};
 
 /// Number of shuffle repeats the paper uses.
 pub const DEFAULT_REPEATS: usize = 10;
 
 /// Importance result for one feature.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FeatureImportance {
     /// Feature name.
     pub name: String,
@@ -31,7 +29,7 @@ pub struct FeatureImportance {
 }
 
 /// Importance report for a model over a dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ImportanceReport {
     /// Per-feature importances, in feature order.
     pub features: Vec<FeatureImportance>,
@@ -71,7 +69,7 @@ pub fn permutation_importance(
     assert_eq!(x.cols(), feature_names.len());
     assert!(repeats >= 1);
     let baseline = mae(&model.predict(x), y);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
 
     let mut raw = vec![0.0f64; x.cols()];
     let mut shuffled = x.clone();

@@ -8,10 +8,9 @@
 
 use crate::matrix::Matrix;
 use crate::Regressor;
-use serde::{Deserialize, Serialize};
 
 /// A fitted linear model `y = w·x + b`.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinearRegression {
     weights: Vec<f64>,
     intercept: f64,

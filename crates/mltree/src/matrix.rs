@@ -1,9 +1,8 @@
 //! Dense row-major matrix and labelled dataset containers.
 
-use serde::{Deserialize, Serialize};
 
 /// A dense row-major `f64` matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
     data: Vec<f64>,
     rows: usize,
@@ -81,7 +80,7 @@ impl Matrix {
 }
 
 /// A labelled dataset: features, target, and feature names.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
     /// Feature matrix (one row per sample).
     pub x: Matrix,

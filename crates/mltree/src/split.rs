@@ -1,8 +1,7 @@
 //! Seeded randomised train/test splitting (the paper's 80/20 split).
 
 use crate::matrix::Dataset;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use armdse_rng::{SeedableRng, SliceRandom, Xoshiro256pp};
 
 /// Split `data` into (train, test) with `test_frac` of rows in the test
 /// set, shuffled deterministically by `seed`.
@@ -11,7 +10,7 @@ pub fn train_test_split(data: &Dataset, test_frac: f64, seed: u64) -> (Dataset, 
     let n = data.len();
     assert!(n >= 2, "need at least two samples to split");
     let mut idx: Vec<usize> = (0..n).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256pp::seed_from_u64(seed);
     idx.shuffle(&mut rng);
     let n_test = ((n as f64) * test_frac).round() as usize;
     let n_test = n_test.clamp(1, n - 1);

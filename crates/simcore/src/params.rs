@@ -2,7 +2,6 @@
 //! structural constants (§V-A).
 
 use armdse_isa::reg::RegClass;
-use serde::{Deserialize, Serialize};
 
 /// Unified reservation-station capacity (fixed, paper §V-A: "a single
 /// unified reservation station shared between them with a width of 60").
@@ -24,7 +23,7 @@ pub const RENAME_BUFFER_CAP: usize = 16;
 pub const MIN_FORWARD_LATENCY: u64 = 2;
 
 /// The eighteen core parameters varied by the study (Table II).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CoreParams {
     /// SVE vector length in bits {128..2048, powers of 2}.
     pub vector_length: u32,

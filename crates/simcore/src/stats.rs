@@ -2,11 +2,10 @@
 
 use armdse_isa::OpSummary;
 use armdse_memsim::MemStats;
-use serde::{Deserialize, Serialize};
 
 /// Frontend/backend stall attribution counters (cycles in which the given
 /// resource was the blocking reason at its pipeline stage).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StallStats {
     /// Rename blocked: GP free list empty.
     pub rename_gp: u64,
@@ -31,7 +30,7 @@ pub struct StallStats {
 }
 
 /// Full result of simulating one workload on one configuration.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct SimStats {
     /// Total simulated core cycles (the paper's target variable).
     pub cycles: u64,

@@ -6,6 +6,8 @@
 //! * [`memsim`] — SST-like memory hierarchy (L1D/L2/DRAM).
 //! * [`kernels`] — VLA workload generators (STREAM, miniBUDE, TeaLeaf, MiniSweep).
 //! * [`simcore`] — SimEng-like out-of-order core simulator.
+//! * [`rng`] — zero-dependency deterministic PRNG (SplitMix64 seeding,
+//!   xoshiro256++ streams) behind a `rand`-shaped API.
 //! * [`mltree`] — decision-tree regression, random forest, linear regression,
 //!   permutation feature importance.
 //! * [`core`] — design-space parameter space, constrained sampling, parallel
@@ -26,6 +28,7 @@
 //! ```
 
 pub use armdse_analysis as analysis;
+pub use armdse_rng as rng;
 pub use armdse_core as core;
 pub use armdse_isa as isa;
 pub use armdse_kernels as kernels;

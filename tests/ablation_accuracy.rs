@@ -57,44 +57,58 @@ fn unified_model_is_not_better_than_per_app_models() {
     // applications would likely branch based on a given application …
     // without necessarily improving learned trends." Check the per-app
     // split loses nothing: mean per-app MAE <= unified-model MAE * 1.25.
-    let data = generate_dataset(
-        &ParamSpace::paper(),
-        &GenOptions {
-            configs: 120,
-            scale: WorkloadScale::Tiny,
-            seed: 77,
-            threads: 2,
-            apps: vec![App::Stream, App::MiniSweep],
-        },
-    );
+    //
+    // The original seed expectation was wrong: at 120 Tiny-scale
+    // configs the unified tree *reliably wins* (ratio ~1.5), because it
+    // trains on twice the rows and both per-app trees are data-starved
+    // — a regime artefact, not the paper's claim (measured ratios:
+    // 1.51 at 120 configs, 1.05 at 240, 0.98 at 480, 0.87 at 960).
+    // The test therefore uses 480 configs, where each per-app model has
+    // enough data for the comparison the paper actually makes, and
+    // averages over three dataset seeds so it pins the trend rather
+    // than one draw (single-seed ratios at 480 span 0.78-1.17).
+    let mut per_app_sum = 0.0;
+    let mut unified_sum = 0.0;
+    for seed in [77, 78, 79] {
+        let data = generate_dataset(
+            &ParamSpace::paper(),
+            &GenOptions {
+                configs: 480,
+                scale: WorkloadScale::Tiny,
+                seed,
+                threads: 8,
+                apps: vec![App::Stream, App::MiniSweep],
+            },
+        );
 
-    // Per-app trees.
-    let mut per_app_maes = Vec::new();
-    for app in [App::Stream, App::MiniSweep] {
-        let ml = data.ml_dataset(app);
-        let (train, test) = train_test_split(&ml, 0.25, 3);
-        let tree = DecisionTreeRegressor::fit(&train.x, &train.y);
-        per_app_maes.push(mae(&tree.predict(&test.x), &test.y));
-    }
-    let per_app = per_app_maes.iter().sum::<f64>() / per_app_maes.len() as f64;
+        // Per-app trees.
+        let mut per_app_maes = Vec::new();
+        for app in [App::Stream, App::MiniSweep] {
+            let ml = data.ml_dataset(app);
+            let (train, test) = train_test_split(&ml, 0.25, 3);
+            let tree = DecisionTreeRegressor::fit(&train.x, &train.y);
+            per_app_maes.push(mae(&tree.predict(&test.x), &test.y));
+        }
+        per_app_sum += per_app_maes.iter().sum::<f64>() / per_app_maes.len() as f64;
 
-    // Unified tree with the app id as a 31st feature.
-    let mut x = armdse::mltree::Matrix::new(31);
-    let mut y = Vec::new();
-    for r in &data.rows {
-        let mut row = r.features.to_vec();
-        row.push(r.app.index() as f64);
-        x.push_row(&row);
-        y.push(r.cycles as f64);
+        // Unified tree with the app id as a 31st feature.
+        let mut x = armdse::mltree::Matrix::new(31);
+        let mut y = Vec::new();
+        for r in &data.rows {
+            let mut row = r.features.to_vec();
+            row.push(r.app.index() as f64);
+            x.push_row(&row);
+            y.push(r.cycles as f64);
+        }
+        let names: Vec<String> = (0..31).map(|i| format!("f{i}")).collect();
+        let unified_ds = armdse::mltree::Dataset::new(x, y, names);
+        let (train, test) = train_test_split(&unified_ds, 0.25, 3);
+        let unified_tree = DecisionTreeRegressor::fit(&train.x, &train.y);
+        unified_sum += mae(&unified_tree.predict(&test.x), &test.y);
     }
-    let names: Vec<String> = (0..31).map(|i| format!("f{i}")).collect();
-    let unified_ds = armdse::mltree::Dataset::new(x, y, names);
-    let (train, test) = train_test_split(&unified_ds, 0.25, 3);
-    let unified_tree = DecisionTreeRegressor::fit(&train.x, &train.y);
-    let unified = mae(&unified_tree.predict(&test.x), &test.y);
 
     assert!(
-        per_app <= unified * 1.25,
-        "per-app models ({per_app:.0}) should not lose to unified ({unified:.0})"
+        per_app_sum <= unified_sum * 1.25,
+        "per-app models ({per_app_sum:.0}) should not lose to unified ({unified_sum:.0}) on average"
     );
 }
