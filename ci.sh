@@ -8,3 +8,17 @@ cd "$(dirname "$0")"
 cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo bench --no-run --offline --workspace
+
+# Invariant lane: rebuild the simulator with cycle-level structural
+# checks compiled in and rerun the crates they gate. Any violation
+# panics. (Scoped to these crates: the full integration suite re-runs
+# dataset-scale simulations and is too slow with per-cycle asserts.)
+cargo test -q --offline --features check-invariants \
+  -p armdse-memsim -p armdse-simcore -p armdse-oracle
+
+# Differential-fuzz smoke: fixed campaign seed (0xA5C3_2024 baked into
+# FuzzConfig::default), 200 random KIR programs cross-checked between
+# the reference interpreter and the OoO core with invariants enabled.
+# Deterministic: same seed, same programs, same verdict on every run.
+cargo test -q --offline --features check-invariants \
+  --test differential_fuzz

@@ -154,7 +154,7 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 /// or newlines are quoted per RFC 4180.
 pub fn format_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
     let cell = |s: &str| {
-        if s.contains(',') || s.contains('"') || s.contains('\n') {
+        if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
             format!("\"{}\"", s.replace('"', "\"\""))
         } else {
             s.to_string()
@@ -207,6 +207,13 @@ mod tests {
     fn csv_quotes_special_cells() {
         let c = format_csv(&["x"], &[vec!["a,b".into()], vec!["say \"hi\"".into()]]);
         assert_eq!(c, "x\n\"a,b\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    fn csv_quotes_bare_carriage_returns() {
+        // RFC 4180: any field containing CR must be quoted, even with no LF.
+        let c = format_csv(&["x"], &[vec!["a\rb".into()]]);
+        assert_eq!(c, "x\n\"a\rb\"\n");
     }
 
     #[test]

@@ -19,11 +19,32 @@ pub struct Row {
     pub sve_fraction: f64,
 }
 
+/// A run that was discarded because its simulation failed validation
+/// (wedged against the cycle limit, or retired counts diverging from the
+/// analytic summary). The paper silently keeps only validation-passing
+/// runs; we record what was dropped so a mis-modelled design point is
+/// visible instead of shrinking the dataset without a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiscardedRun {
+    /// Application simulated.
+    pub app: App,
+    /// Index of the sampled configuration (re-derivable from the seed).
+    pub config_index: usize,
+    /// Cycles consumed before the run was abandoned.
+    pub cycles: u64,
+    /// Whether the run was abandoned at the safety cycle limit (as
+    /// opposed to failing operation-count validation).
+    pub hit_cycle_limit: bool,
+}
+
 /// A dataset of simulated runs across apps and configurations.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DseDataset {
     /// All rows (only validated simulations are recorded).
     pub rows: Vec<Row>,
+    /// Runs dropped by validation (not persisted to CSV; empty after
+    /// [`DseDataset::load_csv`]).
+    pub discarded: Vec<DiscardedRun>,
 }
 
 impl DseDataset {
@@ -58,6 +79,7 @@ impl DseDataset {
                 .filter(|r| r.app == app && pred(&r.features))
                 .cloned()
                 .collect(),
+            discarded: Vec::new(),
         }
     }
 
@@ -114,7 +136,7 @@ impl DseDataset {
             let sve_fraction = parse_f64(it.next())?;
             rows.push(Row { app, features, cycles, sve_fraction });
         }
-        Ok(DseDataset { rows })
+        Ok(DseDataset { rows, discarded: Vec::new() })
     }
 }
 
@@ -145,6 +167,7 @@ mod tests {
                     sve_fraction: 0.02,
                 },
             ],
+            discarded: Vec::new(),
         }
     }
 

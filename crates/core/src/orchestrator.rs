@@ -13,9 +13,10 @@
 //! recorded.
 
 use crate::config::DesignConfig;
-use crate::dataset::{DseDataset, Row};
+use crate::dataset::{DiscardedRun, DseDataset, Row};
 use crate::space::ParamSpace;
 use armdse_kernels::{build_workload, App, Workload, WorkloadScale};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -63,33 +64,30 @@ pub fn generate_dataset_pinned(
     let n_jobs = opts.configs * opts.apps.len();
 
     // Workloads depend only on (app, scale, VL): prebuild all of them once
-    // and share across threads.
-    let workloads: Vec<(App, u32, Workload)> = opts
+    // and share across threads, keyed for O(1) lookup per job.
+    let workloads: HashMap<(App, u32), Workload> = opts
         .apps
         .iter()
         .flat_map(|&app| {
             space
                 .vector_lengths
                 .iter()
-                .map(move |&vl| (app, vl, build_workload(app, opts.scale, vl)))
+                .map(move |&vl| ((app, vl), build_workload(app, opts.scale, vl)))
         })
         .collect();
     let lookup = |app: App, vl: u32| -> &Workload {
-        workloads
-            .iter()
-            .find(|(a, v, _)| *a == app && *v == vl)
-            .map(|(_, _, w)| w)
-            .expect("workload prebuilt for every (app, VL)")
+        workloads.get(&(app, vl)).expect("workload prebuilt for every (app, VL)")
     };
 
     let counter = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Option<Row>)>> = Mutex::new(Vec::with_capacity(n_jobs));
+    let results: Mutex<Vec<(usize, Result<Row, DiscardedRun>)>> =
+        Mutex::new(Vec::with_capacity(n_jobs));
     let threads = opts.threads.clamp(1, n_jobs);
 
     std::thread::scope(|s| {
         for _ in 0..threads {
             s.spawn(|| {
-                let mut local: Vec<(usize, Option<Row>)> = Vec::new();
+                let mut local: Vec<(usize, Result<Row, DiscardedRun>)> = Vec::new();
                 loop {
                     let job = counter.fetch_add(1, Ordering::Relaxed);
                     if job >= n_jobs {
@@ -99,7 +97,10 @@ pub fn generate_dataset_pinned(
                     let app = opts.apps[job % opts.apps.len()];
                     let cfg =
                         space.sample_seeded_pinned(opts.seed + cfg_idx as u64, pins);
-                    local.push((job, run_one(app, &cfg, lookup(app, cfg.core.vector_length))));
+                    local.push((
+                        job,
+                        run_one(app, cfg_idx, &cfg, lookup(app, cfg.core.vector_length)),
+                    ));
                 }
                 results.lock().expect("worker poisoned results").append(&mut local);
             });
@@ -108,21 +109,47 @@ pub fn generate_dataset_pinned(
 
     let mut collected = results.into_inner().expect("worker poisoned results");
     collected.sort_unstable_by_key(|(job, _)| *job);
-    DseDataset {
-        rows: collected.into_iter().filter_map(|(_, r)| r).collect(),
+    let mut dataset = DseDataset::default();
+    for (_, r) in collected {
+        match r {
+            Ok(row) => dataset.rows.push(row),
+            Err(d) => dataset.discarded.push(d),
+        }
     }
+    if !dataset.discarded.is_empty() {
+        eprintln!(
+            "[orchestrator] discarded {} of {} runs that failed validation",
+            dataset.discarded.len(),
+            n_jobs
+        );
+    }
+    dataset
 }
 
-/// Run one simulation; `None` when validation fails (run discarded, as in
-/// the paper).
-fn run_one(app: App, cfg: &DesignConfig, w: &Workload) -> Option<Row> {
+/// Run one simulation; `Err` reports a run that failed validation (the
+/// paper discards such runs — we additionally record what was dropped).
+fn run_one(
+    app: App,
+    config_index: usize,
+    cfg: &DesignConfig,
+    w: &Workload,
+) -> Result<Row, DiscardedRun> {
     let stats = armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem);
-    stats.validated.then(|| Row {
-        app,
-        features: cfg.to_features(),
-        cycles: stats.cycles,
-        sve_fraction: stats.sve_fraction(),
-    })
+    if stats.validated {
+        Ok(Row {
+            app,
+            features: cfg.to_features(),
+            cycles: stats.cycles,
+            sve_fraction: stats.sve_fraction(),
+        })
+    } else {
+        Err(DiscardedRun {
+            app,
+            config_index,
+            cycles: stats.cycles,
+            hit_cycle_limit: stats.hit_cycle_limit,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +191,27 @@ mod tests {
         let a = generate_dataset(&ParamSpace::paper(), &o1);
         let b = generate_dataset(&ParamSpace::paper(), &o2);
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sane_configs_discard_nothing() {
+        let d = generate_dataset(&ParamSpace::paper(), &opts(6, 2));
+        assert!(d.discarded.is_empty(), "unexpected discards: {:?}", d.discarded);
+    }
+
+    #[test]
+    fn wedged_run_is_reported_not_silently_dropped() {
+        // A pathological L1 latency pushes CPI past the safety guard; the
+        // run must surface as a DiscardedRun, not vanish.
+        let mut cfg = DesignConfig::thunderx2();
+        cfg.mem.l1_latency = 100_000;
+        cfg.mem.l2_latency = 200_000;
+        let w = build_workload(App::Stream, WorkloadScale::Tiny, cfg.core.vector_length);
+        let d = run_one(App::Stream, 7, &cfg, &w).unwrap_err();
+        assert!(d.hit_cycle_limit);
+        assert_eq!(d.config_index, 7);
+        assert_eq!(d.app, App::Stream);
+        assert!(d.cycles > 0);
     }
 
     #[test]

@@ -129,6 +129,7 @@ mod tests {
                 Row { app: App::Stream, features: f, cycles: 300, sve_fraction: 0.6 },
                 Row { app: App::Stream, features: f, cycles: 200, sve_fraction: 0.4 },
             ],
+            discarded: Vec::new(),
         }
     }
 

@@ -85,10 +85,8 @@ impl Hierarchy {
             self.miss_path(pf, false, now);
         }
     }
-}
 
-impl MemoryModel for Hierarchy {
-    fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+    fn access_inner(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
         debug_assert_eq!(line_addr % u64::from(self.params.line_bytes), 0);
         self.stats.requests += 1;
         self.maybe_trim(now);
@@ -122,6 +120,27 @@ impl MemoryModel for Hierarchy {
                 complete
             }
         }
+    }
+}
+
+impl MemoryModel for Hierarchy {
+    fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+        let complete = self.access_inner(line_addr, is_store, now);
+        #[cfg(feature = "check-invariants")]
+        {
+            assert_eq!(
+                line_addr % u64::from(self.params.line_bytes),
+                0,
+                "unaligned line request {line_addr:#x}"
+            );
+            assert!(complete >= now, "completion time {complete} before request {now}");
+            assert!(
+                self.stats.demand_requests_conserved(),
+                "request accounting leak: {:?}",
+                self.stats
+            );
+        }
+        complete
     }
 
     fn line_bytes(&self) -> u32 {

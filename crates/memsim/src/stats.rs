@@ -35,6 +35,14 @@ impl MemStats {
         (total > 0).then(|| self.l2_hits as f64 / total as f64)
     }
 
+    /// Request-accounting conservation: every demand request is exactly
+    /// one of {L1 hit, L1 miss, merged into an outstanding fill}.
+    /// (Prefetch fills are counted separately and never as requests.)
+    /// Asserted after every access under the `check-invariants` feature.
+    pub fn demand_requests_conserved(&self) -> bool {
+        self.l1_hits + self.l1_misses + self.merged == self.requests
+    }
+
     /// Fold another stats block into this one (parallel shard merging).
     pub fn merge(&mut self, other: &MemStats) {
         self.l1_hits += other.l1_hits;

@@ -73,6 +73,11 @@ impl RandomForest {
     pub fn n_trees(&self) -> usize {
         self.trees.len()
     }
+
+    /// The fitted member trees; the forest's prediction is their mean.
+    pub fn trees(&self) -> &[DecisionTreeRegressor] {
+        &self.trees
+    }
 }
 
 impl Regressor for RandomForest {

@@ -1,0 +1,147 @@
+//! Property-style seeded sweeps over the surrogate-model stack.
+//!
+//! Rather than pinning exact outputs, these tests assert structural
+//! properties that must hold for *every* dataset: CART predictions are
+//! means over training targets and so can never leave the target hull;
+//! permutation importances are finite (and non-negative on training data,
+//! where the baseline error of a memorising tree is zero); and a random
+//! forest's prediction is exactly the mean of its member trees'.
+
+use armdse_mltree::{
+    permutation_importance, DecisionTreeRegressor, Matrix, RandomForest, Regressor,
+};
+use armdse_rng::{Rng, SeedableRng, Xoshiro256pp};
+
+/// A random regression dataset: 40–120 rows, 3–6 features, targets built
+/// from a random linear mix plus interactions, so trees have real
+/// structure to find.
+fn random_dataset(rng: &mut Xoshiro256pp) -> (Matrix, Vec<f64>) {
+    let rows = rng.gen_range(40..=120usize);
+    let cols = rng.gen_range(3..=6usize);
+    let coeffs: Vec<f64> = (0..cols).map(|_| rng.gen_f64() * 20.0 - 10.0).collect();
+    let mut x = Matrix::new(cols);
+    let mut y = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let row: Vec<f64> = (0..cols).map(|_| rng.gen_f64() * 200.0 - 100.0).collect();
+        let mut t: f64 = row.iter().zip(&coeffs).map(|(v, c)| v * c).sum();
+        t += row[0] * row[1] / 10.0; // nonlinearity
+        x.push_row(&row);
+        y.push(t);
+    }
+    (x, y)
+}
+
+fn target_hull(y: &[f64]) -> (f64, f64) {
+    let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    (lo, hi)
+}
+
+#[test]
+fn tree_predictions_never_leave_the_training_target_range() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xB0B0);
+    for ds in 0..12 {
+        let (x, y) = random_dataset(&mut rng);
+        let (lo, hi) = target_hull(&y);
+        let t = DecisionTreeRegressor::fit(&x, &y);
+        // Query far outside the training distribution too: leaf means
+        // still bound the output.
+        for _ in 0..50 {
+            let q: Vec<f64> =
+                (0..x.cols()).map(|_| rng.gen_f64() * 2000.0 - 1000.0).collect();
+            let p = t.predict_one(&q);
+            assert!(
+                (lo..=hi).contains(&p),
+                "dataset {ds}: tree prediction {p} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_predictions_never_leave_the_training_target_range() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xF0F0);
+    for ds in 0..8 {
+        let (x, y) = random_dataset(&mut rng);
+        let (lo, hi) = target_hull(&y);
+        let f = RandomForest::fit(&x, &y, ds);
+        for _ in 0..30 {
+            let q: Vec<f64> =
+                (0..x.cols()).map(|_| rng.gen_f64() * 2000.0 - 1000.0).collect();
+            let p = f.predict_one(&q);
+            assert!(
+                (lo..=hi).contains(&p),
+                "dataset {ds}: forest prediction {p} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}
+
+#[test]
+fn forest_prediction_is_exactly_the_mean_of_member_trees() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xC0DE);
+    for ds in 0..8 {
+        let (x, y) = random_dataset(&mut rng);
+        let f = RandomForest::fit(&x, &y, 1000 + ds);
+        assert!(f.n_trees() > 0);
+        assert_eq!(f.trees().len(), f.n_trees());
+        for _ in 0..20 {
+            let q: Vec<f64> = (0..x.cols()).map(|_| rng.gen_f64() * 200.0 - 100.0).collect();
+            let mean: f64 =
+                f.trees().iter().map(|t| t.predict_one(&q)).sum::<f64>() / f.n_trees() as f64;
+            let p = f.predict_one(&q);
+            assert!(
+                (p - mean).abs() <= 1e-9 * mean.abs().max(1.0),
+                "dataset {ds}: forest {p} != tree mean {mean}"
+            );
+        }
+    }
+}
+
+#[test]
+fn permutation_importances_are_finite_and_nonnegative_on_training_data() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xFEED);
+    for ds in 0..6 {
+        let (x, y) = random_dataset(&mut rng);
+        let names: Vec<String> = (0..x.cols()).map(|c| format!("f{c}")).collect();
+        // A fully grown CART memorises the training set (baseline MAE 0),
+        // so shuffling a column can only increase the error: every raw
+        // importance must be >= 0, and every figure finite.
+        let t = DecisionTreeRegressor::fit(&x, &y);
+        let rep = permutation_importance(&t, &x, &y, &names, 5, 77 + ds);
+        assert!(rep.baseline_mae.abs() < 1e-9, "dataset {ds}: tree did not memorise");
+        let mut positive_sum = 0.0;
+        for fi in &rep.features {
+            assert!(
+                fi.mean_error_increase.is_finite() && fi.percent.is_finite(),
+                "dataset {ds}: non-finite importance {fi:?}"
+            );
+            assert!(
+                fi.mean_error_increase >= 0.0,
+                "dataset {ds}: negative raw importance {fi:?}"
+            );
+            assert!(fi.percent >= 0.0, "dataset {ds}: negative percent {fi:?}");
+            positive_sum += fi.percent;
+        }
+        // Percentages are defined as shares of the summed increase: they
+        // total ~100 whenever any feature matters (always, here).
+        assert!(
+            (positive_sum - 100.0).abs() < 1e-6,
+            "dataset {ds}: percents sum to {positive_sum}"
+        );
+    }
+}
+
+#[test]
+fn importance_sweep_is_deterministic_per_seed() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xD00D);
+    let (x, y) = random_dataset(&mut rng);
+    let names: Vec<String> = (0..x.cols()).map(|c| format!("f{c}")).collect();
+    let f = RandomForest::fit(&x, &y, 5);
+    let a = permutation_importance(&f, &x, &y, &names, 4, 123);
+    let b = permutation_importance(&f, &x, &y, &names, 4, 123);
+    assert_eq!(a, b);
+    for fi in &a.features {
+        assert!(fi.mean_error_increase.is_finite() && fi.percent.is_finite());
+    }
+}

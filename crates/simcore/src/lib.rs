@@ -34,6 +34,7 @@ pub use params::CoreParams;
 pub use pipeline::Pipeline;
 pub use stats::{SimStats, StallStats};
 
+use armdse_isa::instr::DynInstr;
 use armdse_isa::{OpSummary, Program};
 use armdse_memsim::{BankedHierarchy, Hierarchy, MemParams, MemoryModel};
 
@@ -90,6 +91,42 @@ pub fn simulate_with<M: MemoryModel>(
     let expected = OpSummary::of(program);
     stats.validated = !stats.hit_cycle_limit && stats.observed == expected;
     stats
+}
+
+/// Simulate on the default hierarchy and return the commit-order
+/// retirement stream alongside the statistics (see
+/// [`Pipeline::run_traced`]). Used by `armdse-oracle` to replay the
+/// retired instructions with value semantics and check the core's
+/// architectural behaviour against the reference interpreter.
+pub fn simulate_traced(
+    program: &Program,
+    core: &CoreParams,
+    mem: &MemParams,
+) -> (SimStats, Vec<DynInstr>) {
+    simulate_traced_with(program, core, Hierarchy::new(*mem))
+}
+
+/// [`simulate_traced`] on the finite-banked hardware-proxy hierarchy.
+pub fn simulate_traced_proxy(
+    program: &Program,
+    core: &CoreParams,
+    mem: &MemParams,
+) -> (SimStats, Vec<DynInstr>) {
+    simulate_traced_with(program, core, BankedHierarchy::new(*mem))
+}
+
+/// [`simulate_traced`] with an arbitrary memory backend.
+pub fn simulate_traced_with<M: MemoryModel>(
+    program: &Program,
+    core: &CoreParams,
+    mem: M,
+) -> (SimStats, Vec<DynInstr>) {
+    core.validate().expect("core parameters must validate");
+    let pipeline = Pipeline::new(program, *core, mem);
+    let (mut stats, trace) = pipeline.run_traced(cycle_limit(program));
+    let expected = OpSummary::of(program);
+    stats.validated = !stats.hit_cycle_limit && stats.observed == expected;
+    (stats, trace)
 }
 
 #[cfg(test)]
@@ -269,6 +306,25 @@ mod tests {
         c.commit_width = 1;
         let s = run(App::MiniBude, WorkloadScale::Tiny, &c, &m);
         assert!(s.ipc() <= 1.0 + 1e-9, "ipc {} exceeds commit width", s.ipc());
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_commits_in_program_order() {
+        let (c, m) = tx2();
+        let w = build_workload(App::Stream, WorkloadScale::Tiny, c.vector_length);
+        let plain = simulate(&w.program, &c, &m);
+        let (stats, trace) = simulate_traced(&w.program, &c, &m);
+        assert_eq!(stats.cycles, plain.cycles, "tracing changed timing");
+        assert_eq!(stats.retired, plain.retired);
+        assert_eq!(trace.len() as u64, stats.retired);
+        // The retirement stream is exactly the fetch (trace-cursor) order.
+        let mut cursor = armdse_isa::TraceCursor::new(&w.program);
+        for di in &trace {
+            let exp = cursor.next_instr().expect("trace longer than program");
+            assert_eq!(di.pc, exp.pc);
+            assert_eq!(di.op, exp.op);
+        }
+        assert!(cursor.next_instr().is_none(), "trace shorter than program");
     }
 
     #[test]

@@ -127,6 +127,16 @@ fn span_of(m: &MemRef) -> (u64, u64) {
     }
 }
 
+/// Commit-order record of retired instructions, kept only when tracing
+/// is enabled (see [`Pipeline::run_traced`]). `pending` mirrors the
+/// in-flight window (pushed at rename, popped at commit), so `committed`
+/// is exactly the architectural retirement stream the oracle replays.
+#[derive(Debug, Default)]
+struct CommitLog {
+    pending: VecDeque<DynInstr>,
+    committed: Vec<DynInstr>,
+}
+
 /// The pipeline state machine.
 pub struct Pipeline<'p, M: MemoryModel> {
     params: CoreParams,
@@ -160,6 +170,9 @@ pub struct Pipeline<'p, M: MemoryModel> {
     pending_loads: VecDeque<Seq>,
     mem_done: BinaryHeap<Reverse<(u64, Seq)>>,
     completed_loads: VecDeque<Seq>,
+
+    /// Commit-order trace, enabled only via [`Pipeline::run_traced`].
+    log: Option<CommitLog>,
 
     stats: SimStats,
 }
@@ -205,6 +218,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             pending_loads: VecDeque::new(),
             mem_done: BinaryHeap::new(),
             completed_loads: VecDeque::new(),
+            log: None,
             stats: SimStats::default(),
         }
     }
@@ -223,6 +237,22 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
     /// against modelling deadlocks — if it fires, `hit_cycle_limit` is set
     /// and the run must be discarded (failed validation).
     pub fn run(mut self, max_cycles: u64) -> SimStats {
+        self.drive(max_cycles);
+        self.stats
+    }
+
+    /// Like [`run`](Self::run), but also records every instruction in
+    /// commit (i.e. program) order and returns the retirement stream
+    /// alongside the statistics. The oracle replays this stream with
+    /// value semantics to check the core's architectural behaviour.
+    pub fn run_traced(mut self, max_cycles: u64) -> (SimStats, Vec<DynInstr>) {
+        self.log = Some(CommitLog::default());
+        self.drive(max_cycles);
+        let log = self.log.take().expect("tracing enabled above");
+        (self.stats, log.committed)
+    }
+
+    fn drive(&mut self, max_cycles: u64) {
         while !self.finished() {
             if self.now >= max_cycles {
                 self.stats.hit_cycle_limit = true;
@@ -232,7 +262,6 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         }
         self.stats.cycles = self.now;
         self.stats.mem = *self.mem.stats();
-        self.stats
     }
 
     fn finished(&self) -> bool {
@@ -252,6 +281,8 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         self.rename_stage();
         self.fetch();
         self.now += 1;
+        #[cfg(feature = "check-invariants")]
+        self.check_invariants();
     }
 
     // ---------------------------------------------------------- writeback
@@ -329,6 +360,14 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         let mut store_bw = self.params.store_bandwidth;
         let mut load_bw = self.params.load_bandwidth;
 
+        // Double-entry bookkeeping for the per-cycle budgets: count every
+        // `mem.access` call independently of the budget decrements, then
+        // check the totals against the configured limits at the end.
+        #[cfg(feature = "check-invariants")]
+        let (mut used_reqs, mut used_loads, mut used_stores) = (0u32, 0u32, 0u32);
+        #[cfg(feature = "check-invariants")]
+        let (mut used_load_bw, mut used_store_bw) = (0u32, 0u32);
+
         // In-order drain of committed stores. (Not a while-let: the
         // front borrow must end before `self.mem.access` below.)
         #[allow(clippy::while_let_loop)]
@@ -346,6 +385,12 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 reqs -= 1;
                 store_reqs -= 1;
                 store_bw -= share;
+                #[cfg(feature = "check-invariants")]
+                {
+                    used_reqs += 1;
+                    used_stores += 1;
+                    used_store_bw += share;
+                }
                 let addr = f.next_addr & !(line - 1);
                 // Completion time of the write is not load-bearing for the
                 // pipeline (no coherence), so the return value is unused.
@@ -402,6 +447,12 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 reqs -= 1;
                 load_reqs -= 1;
                 load_bw -= share;
+                #[cfg(feature = "check-invariants")]
+                {
+                    used_reqs += 1;
+                    used_loads += 1;
+                    used_load_bw += share;
+                }
                 let addr = self.uop(seq).next_addr & !(line - 1);
                 let done = self.mem.access(addr, false, self.now);
                 let u = self.uop_mut(seq);
@@ -424,6 +475,36 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             }
         }
         self.pending_loads = still_pending;
+
+        #[cfg(feature = "check-invariants")]
+        {
+            let p = &self.params;
+            assert!(
+                used_reqs <= p.mem_requests_per_cycle,
+                "cycle {}: {} memory requests issued, limit {}",
+                self.now, used_reqs, p.mem_requests_per_cycle
+            );
+            assert!(
+                used_loads <= p.loads_per_cycle,
+                "cycle {}: {} load requests issued, limit {}",
+                self.now, used_loads, p.loads_per_cycle
+            );
+            assert!(
+                used_stores <= p.stores_per_cycle,
+                "cycle {}: {} store requests issued, limit {}",
+                self.now, used_stores, p.stores_per_cycle
+            );
+            assert!(
+                used_load_bw <= p.load_bandwidth,
+                "cycle {}: {} load bytes requested, bandwidth {}",
+                self.now, used_load_bw, p.load_bandwidth
+            );
+            assert!(
+                used_store_bw <= p.store_bandwidth,
+                "cycle {}: {} store bytes requested, bandwidth {}",
+                self.now, used_store_bw, p.store_bandwidth
+            );
+        }
     }
 
     fn classify_against_stores(&self, seq: Seq, mref: &MemRef) -> StoreHazard {
@@ -440,6 +521,15 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             }
             if e.overlaps(lo, hi) {
                 decision = if !load_is_gather && e.data_ready && e.covers(lo, hi) {
+                    // Forwarding is only legal from an older store whose
+                    // data is already known.
+                    #[cfg(feature = "check-invariants")]
+                    assert!(
+                        e.seq < seq && e.data_ready,
+                        "store-to-load forwarding from store {} to load {} \
+                         (older required, data must be ready)",
+                        e.seq, seq
+                    );
                     StoreHazard::Forward
                 } else {
                     StoreHazard::Blocked
@@ -471,6 +561,10 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
                     e.committed = true;
                 }
+            }
+            if let Some(log) = &mut self.log {
+                let di = log.pending.pop_front().expect("renamed before commit");
+                log.committed.push(di);
             }
             self.stats.retired += 1;
             self.stats.observed.record(
@@ -590,6 +684,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             let di = self.fetch_q.pop_front().expect("front exists");
             let seq = self.next_seq;
             self.next_seq += 1;
+            if let Some(log) = &mut self.log {
+                log.pending.push_back(di);
+            }
 
             // Resolve sources first (reads see the pre-rename mapping).
             let mut srcs_remaining = 0u8;
@@ -694,6 +791,143 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                     break;
                 }
             }
+        }
+    }
+
+    // ---------------------------------------------------------- invariants
+
+    /// Cycle-level structural invariants, checked at the end of every
+    /// cycle when the `check-invariants` feature is enabled. Any violation
+    /// panics, so a completed run certifies zero violations.
+    #[cfg(feature = "check-invariants")]
+    fn check_invariants(&self) {
+        let p = &self.params;
+
+        // Capacity bounds on every queue and buffer.
+        assert!(
+            self.rob_count <= p.rob_size,
+            "cycle {}: ROB holds {} uops, capacity {}",
+            self.now, self.rob_count, p.rob_size
+        );
+        assert!(
+            self.rs.len() <= RS_SIZE,
+            "cycle {}: RS holds {} uops, capacity {}",
+            self.now, self.rs.len(), RS_SIZE
+        );
+        assert!(
+            self.lq_count <= p.load_queue,
+            "cycle {}: load queue holds {} loads, capacity {}",
+            self.now, self.lq_count, p.load_queue
+        );
+        assert!(
+            self.sq.len() as u32 <= p.store_queue,
+            "cycle {}: store queue holds {} stores, capacity {}",
+            self.now, self.sq.len(), p.store_queue
+        );
+        assert!(
+            self.rename_q.len() <= RENAME_BUFFER_CAP,
+            "cycle {}: rename buffer overflow",
+            self.now
+        );
+        assert!(
+            self.fetch_q.len() <= FETCH_QUEUE_CAP,
+            "cycle {}: fetch queue overflow",
+            self.now
+        );
+
+        // In-order commit: the ROB pops only from the front, so the number
+        // of retired instructions must equal the oldest in-flight sequence
+        // number. Any out-of-order commit breaks this equality.
+        assert_eq!(
+            self.stats.retired, self.window_base,
+            "cycle {}: retired count diverged from the commit frontier",
+            self.now
+        );
+
+        // The load-queue counter must agree with the dispatched, not yet
+        // committed loads actually present in the window.
+        let lq_in_window = self
+            .window
+            .iter()
+            .filter(|u| u.op.is_load() && u.stage != Stage::Renamed)
+            .count() as u32;
+        assert_eq!(
+            lq_in_window, self.lq_count,
+            "cycle {}: load-queue counter out of sync with window",
+            self.now
+        );
+
+        // Store queue: program order, committed entries form a prefix, and
+        // committed exactly matches "older than the commit frontier". The
+        // uncommitted entries must be the dispatched stores in the window.
+        let mut prev: Option<Seq> = None;
+        let mut seen_uncommitted = false;
+        for e in &self.sq {
+            if let Some(ps) = prev {
+                assert!(
+                    e.seq > ps,
+                    "cycle {}: store queue out of program order ({} after {})",
+                    self.now, e.seq, ps
+                );
+            }
+            prev = Some(e.seq);
+            if e.committed {
+                assert!(
+                    !seen_uncommitted,
+                    "cycle {}: committed store {} behind an uncommitted one",
+                    self.now, e.seq
+                );
+                assert!(
+                    e.seq < self.window_base,
+                    "cycle {}: store {} committed ahead of the ROB frontier {}",
+                    self.now, e.seq, self.window_base
+                );
+                assert!(
+                    e.data_ready,
+                    "cycle {}: store {} committed without its data",
+                    self.now, e.seq
+                );
+            } else {
+                seen_uncommitted = true;
+                assert!(
+                    e.seq >= self.window_base,
+                    "cycle {}: uncommitted store {} already retired",
+                    self.now, e.seq
+                );
+            }
+        }
+        let sq_uncommitted = self.sq.iter().filter(|e| !e.committed).count();
+        let stores_in_window = self
+            .window
+            .iter()
+            .filter(|u| u.op.is_store() && u.stage != Stage::Renamed)
+            .count();
+        assert_eq!(
+            stores_in_window, sq_uncommitted,
+            "cycle {}: store-queue entries out of sync with window",
+            self.now
+        );
+
+        // Physical-register free-list conservation: mapped + free + in
+        // flight (renamed, not yet committed) must cover every physical
+        // register exactly once, and freed registers must be clean.
+        let mut in_flight = [0usize; 4];
+        for u in &self.window {
+            for d in &u.dests[..u.ndests as usize] {
+                in_flight[d.class.index()] += 1;
+            }
+        }
+        for class in RegClass::ALL {
+            assert!(
+                self.rename.check_conservation(class, in_flight[class.index()]),
+                "cycle {}: {class:?} free list leaked or duplicated a register",
+                self.now
+            );
+            assert!(
+                self.rename.check_free_ready(class),
+                "cycle {}: {class:?} free list holds a busy register",
+                self.now
+            );
         }
     }
 }

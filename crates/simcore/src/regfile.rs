@@ -135,6 +135,18 @@ impl RenameUnit {
         let f = &self.files[class.index()];
         f.map.len() + f.free.len() + in_flight == f.ready.len()
     }
+
+    /// Invariant check: a free physical register must carry a completed
+    /// value (its last producer committed) and have no waiters, and no
+    /// free register may still be architecturally mapped.
+    pub fn check_free_ready(&self, class: RegClass) -> bool {
+        let f = &self.files[class.index()];
+        f.free.iter().all(|&p| {
+            f.ready[p as usize]
+                && f.waiters[p as usize].is_empty()
+                && !f.map.contains(&p)
+        })
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +219,23 @@ mod tests {
         for d in in_flight.drain(..) {
             u.free_prev(d);
         }
+        assert!(u.check_conservation(RegClass::Gp, 0));
+    }
+
+    #[test]
+    fn free_list_stays_clean_through_rename_cycle() {
+        let mut u = unit();
+        for c in RegClass::ALL {
+            assert!(u.check_free_ready(c));
+        }
+        let d1 = u.rename_dest(Reg::gp(0));
+        let d2 = u.rename_dest(Reg::gp(0));
+        let mut woken = Vec::new();
+        u.complete(RegClass::Gp, d1.phys, &mut woken);
+        u.complete(RegClass::Gp, d2.phys, &mut woken);
+        u.free_prev(d1);
+        u.free_prev(d2);
+        assert!(u.check_free_ready(RegClass::Gp));
         assert!(u.check_conservation(RegClass::Gp, 0));
     }
 

@@ -13,6 +13,9 @@
 //! * [`core`] — design-space parameter space, constrained sampling, parallel
 //!   orchestration, dataset handling, and the surrogate-analysis pipeline.
 //! * [`analysis`] — experiment harness regenerating every table and figure.
+//! * [`oracle`] — architecturally exact reference interpreter, random
+//!   KIR program generator, and differential fuzzer (the repo's stand-in
+//!   for the paper's Table I hardware validation).
 //!
 //! ## Quickstart
 //!
@@ -34,4 +37,5 @@ pub use armdse_isa as isa;
 pub use armdse_kernels as kernels;
 pub use armdse_memsim as memsim;
 pub use armdse_mltree as mltree;
+pub use armdse_oracle as oracle;
 pub use armdse_simcore as simcore;

@@ -1,0 +1,34 @@
+//! Differential fuzzing lane: random KIR programs, interpreter vs. core.
+//!
+//! Each program is run through three independent machines — the oracle's
+//! tree-walking interpreter, a straight-line trace replay of the lowered
+//! program, and the out-of-order pipeline (every 4th program on the
+//! banked hardware-proxy hierarchy) — and their architectural state and
+//! retired-operation counts must agree exactly. This campaign is the
+//! repo's substitute for the paper's Table I validation against physical
+//! ThunderX2/A64FX hardware: instead of two physical machines, we cross
+//! check three independently implemented semantics.
+//!
+//! The campaign is fixed-seed and fully deterministic. Override the
+//! program count with `ARMDSE_FUZZ_PROGRAMS=N` (CI smoke uses a smaller
+//! N; the acceptance campaign is the 200-program default).
+
+use armdse::oracle::{fuzz, FuzzConfig};
+
+#[test]
+fn differential_fuzz_campaign_is_clean() {
+    let mut cfg = FuzzConfig::default();
+    if let Ok(n) = std::env::var("ARMDSE_FUZZ_PROGRAMS") {
+        cfg.programs = n.parse().expect("ARMDSE_FUZZ_PROGRAMS must be an integer");
+    }
+    let report = fuzz(&cfg);
+    assert_eq!(report.programs, cfg.programs);
+    assert!(
+        report.ok(),
+        "differential fuzz found {} divergence(s); first: program #{} on {:?}: {}",
+        report.failures.len(),
+        report.failures[0].index,
+        report.failures[0].backend,
+        report.failures[0].error,
+    );
+}

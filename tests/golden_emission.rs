@@ -1,0 +1,269 @@
+//! Golden snapshot tests for the `repro` binary's emission formats.
+//!
+//! The repro driver persists every experiment as text, CSV (RFC 4180),
+//! and JSON (RFC 8259) through `armdse_analysis::report::Table` and
+//! datasets through `DseDataset::save_csv`. These tests pin those byte
+//! streams against fixtures in `tests/golden/` so a formatting change
+//! (quoting, escaping, float rendering, column order) shows up as a
+//! reviewed diff instead of silently altering published artifacts.
+//!
+//! Regenerate fixtures with: `ARMDSE_UPDATE_GOLDEN=1 cargo test --test
+//! golden_emission`.
+
+use armdse::analysis::report::{tables_to_json, Table};
+use armdse::core::dataset::{DseDataset, Row};
+use armdse::core::DesignConfig;
+use armdse::kernels::App;
+use std::fs;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+}
+
+/// Compare `actual` against the named fixture, or rewrite the fixture
+/// when `ARMDSE_UPDATE_GOLDEN` is set.
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("ARMDSE_UPDATE_GOLDEN").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {name}: {e}; regenerate with ARMDSE_UPDATE_GOLDEN=1")
+    });
+    assert_eq!(
+        expected, actual,
+        "golden mismatch for {name}; if intentional, regenerate with ARMDSE_UPDATE_GOLDEN=1"
+    );
+}
+
+/// A table exercising every quoting/escaping edge case the emitters must
+/// handle: commas, embedded double quotes, LF/CR/CRLF, tabs, backslashes,
+/// control characters, non-ASCII text, empty cells, and spacing that must
+/// survive untouched.
+fn edge_case_table() -> Table {
+    Table::new(
+        "Edge \"cases\", annotated",
+        &["plain", "quoted,comma", "escapes"],
+        vec![
+            vec!["a".into(), "b,c".into(), "say \"hi\"".into()],
+            vec!["line\nbreak".into(), "cr\rreturn".into(), "crlf\r\nboth".into()],
+            vec!["tab\there".into(), "back\\slash".into(), "ctrl\u{1}char".into()],
+            vec!["".into(), "  padded  ".into(), "héllo 世界".into()],
+        ],
+    )
+    .note("note with \"quotes\" and a\nnewline")
+}
+
+fn plain_table() -> Table {
+    Table::new(
+        "Importance (Stream)",
+        &["feature", "percent"],
+        vec![
+            vec!["Vector-Length".into(), "38.20%".into()],
+            vec!["ROB-Size".into(), "14.75%".into()],
+            vec!["L1-Latency".into(), "9.01%".into()],
+        ],
+    )
+    .note("headline: top feature Vector-Length")
+}
+
+fn sample_dataset() -> DseDataset {
+    let f = DesignConfig::thunderx2().to_features();
+    DseDataset {
+        rows: vec![
+            Row { app: App::Stream, features: f, cycles: 123_456, sve_fraction: 0.5625 },
+            Row { app: App::TeaLeaf, features: f, cycles: 7_890, sve_fraction: 0.03125 },
+        ],
+        discarded: Vec::new(),
+    }
+}
+
+#[test]
+fn golden_table_csv() {
+    check("table_plain.csv", &plain_table().to_csv());
+    check("table_edge_cases.csv", &edge_case_table().to_csv());
+}
+
+#[test]
+fn golden_table_json() {
+    check("table_plain.json", &plain_table().to_json());
+    check("table_edge_cases.json", &edge_case_table().to_json());
+    check(
+        "tables_array.json",
+        &tables_to_json(&[plain_table(), edge_case_table()]),
+    );
+}
+
+#[test]
+fn golden_table_text() {
+    check("table_plain.txt", &plain_table().to_text());
+}
+
+#[test]
+fn golden_dataset_csv() {
+    let d = sample_dataset();
+    let path = std::env::temp_dir().join("armdse_golden_dataset.csv");
+    d.save_csv(&path).unwrap();
+    let body = fs::read_to_string(&path).unwrap();
+    fs::remove_file(&path).ok();
+    check("dataset.csv", &body);
+    // And the golden bytes round-trip through the loader.
+    let back = DseDataset::load_csv(&golden_path("dataset.csv")).unwrap();
+    assert_eq!(back.rows, d.rows);
+}
+
+// ---------------------------------------------------------------------
+// Conformance checks independent of the snapshots: the emitted bytes must
+// *parse* under the grammars the formats claim (RFC 4180 / RFC 8259).
+// ---------------------------------------------------------------------
+
+/// Minimal strict RFC 4180 parser (with the common LF-only relaxation):
+/// returns records of unquoted cells, or an error.
+fn parse_csv(s: &str) -> Result<Vec<Vec<String>>, String> {
+    let mut records = Vec::new();
+    let mut record = Vec::new();
+    let mut cell = String::new();
+    let mut chars = s.chars().peekable();
+    let mut in_quotes = false;
+    let mut quoted_cell = false;
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                c => cell.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if cell.is_empty() && !quoted_cell => {
+                in_quotes = true;
+                quoted_cell = true;
+            }
+            '"' => return Err("bare quote inside unquoted cell".into()),
+            ',' => {
+                record.push(std::mem::take(&mut cell));
+                quoted_cell = false;
+            }
+            '\n' => {
+                record.push(std::mem::take(&mut cell));
+                records.push(std::mem::take(&mut record));
+                quoted_cell = false;
+            }
+            '\r' if !quoted_cell => return Err("bare CR outside quotes".into()),
+            c => cell.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted cell".into());
+    }
+    if !cell.is_empty() || !record.is_empty() {
+        record.push(cell);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+#[test]
+fn emitted_csv_parses_and_roundtrips_cells() {
+    let t = edge_case_table();
+    let parsed = parse_csv(&t.to_csv()).expect("emitted CSV must be RFC 4180 parseable");
+    assert_eq!(parsed.len(), 1 + t.rows.len());
+    assert_eq!(parsed[0], t.headers);
+    for (got, want) in parsed[1..].iter().zip(&t.rows) {
+        assert_eq!(got, want, "CSV quoting did not round-trip");
+    }
+}
+
+/// Minimal RFC 8259 syntax validator: consumes one JSON value, returns
+/// the rest of the input.
+fn json_value(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let mut chars = s.char_indices();
+    match chars.next().map(|(_, c)| c) {
+        Some('{') => json_seq(&s[1..], '}', |s| {
+            let rest = json_string_lit(s)?;
+            let rest = rest.trim_start();
+            let rest = rest.strip_prefix(':').ok_or("expected ':'")?;
+            json_value(rest)
+        }),
+        Some('[') => json_seq(&s[1..], ']', json_value),
+        Some('"') => json_string_lit(s),
+        Some('t') => s.strip_prefix("true").ok_or_else(|| "bad literal".to_string()),
+        Some('f') => s.strip_prefix("false").ok_or_else(|| "bad literal".to_string()),
+        Some('n') => s.strip_prefix("null").ok_or_else(|| "bad literal".to_string()),
+        Some(c) if c == '-' || c.is_ascii_digit() => {
+            let end = s
+                .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+                .unwrap_or(s.len());
+            Ok(&s[end..])
+        }
+        _ => Err(format!("unexpected JSON start: {s:.20}")),
+    }
+}
+
+fn json_seq<'a>(
+    mut s: &'a str,
+    close: char,
+    item: impl Fn(&'a str) -> Result<&'a str, String>,
+) -> Result<&'a str, String> {
+    s = s.trim_start();
+    if let Some(rest) = s.strip_prefix(close) {
+        return Ok(rest);
+    }
+    loop {
+        s = item(s)?.trim_start();
+        if let Some(rest) = s.strip_prefix(',') {
+            s = rest;
+        } else {
+            return s.strip_prefix(close).ok_or(format!("expected '{close}'"));
+        }
+    }
+}
+
+fn json_string_lit(s: &str) -> Result<&str, String> {
+    let s = s.trim_start();
+    let inner = s.strip_prefix('"').ok_or("expected string")?;
+    let mut it = inner.char_indices();
+    while let Some((i, c)) = it.next() {
+        match c {
+            '"' => return Ok(&inner[i + 1..]),
+            '\\' => match it.next().map(|(_, e)| e) {
+                Some('"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't') => {}
+                Some('u') => {
+                    for _ in 0..4 {
+                        match it.next() {
+                            Some((_, h)) if h.is_ascii_hexdigit() => {}
+                            _ => return Err("bad \\u escape".into()),
+                        }
+                    }
+                }
+                _ => return Err("bad escape".into()),
+            },
+            c if (c as u32) < 0x20 => return Err("raw control char in string".into()),
+            _ => {}
+        }
+    }
+    Err("unterminated string".into())
+}
+
+#[test]
+fn emitted_json_is_rfc8259_wellformed() {
+    for body in [
+        plain_table().to_json(),
+        edge_case_table().to_json(),
+        tables_to_json(&[plain_table(), edge_case_table()]),
+    ] {
+        let rest = json_value(&body).unwrap_or_else(|e| panic!("invalid JSON ({e}): {body}"));
+        assert!(rest.trim().is_empty(), "trailing garbage after JSON value: {rest:?}");
+    }
+}
