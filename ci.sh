@@ -9,6 +9,27 @@ cargo build --release --offline --workspace
 cargo test -q --offline --workspace
 cargo bench --no-run --offline --workspace
 
+# Style lanes: rustfmt and clippy are hard gates (both run offline).
+cargo fmt --check
+cargo clippy --all-targets --offline --workspace -- -D warnings
+
+# Checkpoint/resume smoke: pause a small dataset campaign after its
+# first chunk (--max-chunks 1 leaves dataset.ckpt behind), resume it at
+# a different thread count, and require the finished CSV byte-identical
+# to an uninterrupted run — the engine's determinism contract end to end
+# through the repro binary.
+SMOKE=$(mktemp -d)
+trap 'rm -rf "$SMOKE"' EXIT
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 4 --out "$SMOKE/fresh"
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 4 --out "$SMOKE/paused" --max-chunks 1
+test -f "$SMOKE/paused/dataset.ckpt"
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 1 --out "$SMOKE/paused" --resume
+test ! -f "$SMOKE/paused/dataset.ckpt"
+cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/paused/dataset.csv"
+
 # Invariant lane: rebuild the simulator with cycle-level structural
 # checks compiled in and rerun the crates they gate. Any violation
 # panics. (Scoped to these crates: the full integration suite re-runs

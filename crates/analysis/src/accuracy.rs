@@ -80,10 +80,11 @@ impl Fig2 {
 mod tests {
     use super::*;
     use crate::{build_dataset, ExpOptions};
+    use armdse_core::engine::Engine;
 
     #[test]
     fn curves_cover_all_sampled_apps_and_are_monotone() {
-        let data = build_dataset(&ExpOptions::quick());
+        let data = build_dataset(&Engine::idealized(), &ExpOptions::quick()).unwrap();
         let f = run(&data, 3);
         assert_eq!(f.curves.len(), 4);
         for (_, curve) in &f.curves {

@@ -3,7 +3,7 @@
 //! ```text
 //! repro <experiment> [--configs N] [--scale tiny|small|standard]
 //!                    [--seed N] [--sweep-configs N] [--threads N]
-//!                    [--out DIR]
+//!                    [--out DIR] [--resume] [--max-chunks N]
 //!
 //! experiments:
 //!   fig1      SVE fraction of retired instructions per vector length
@@ -23,14 +23,26 @@
 //!   summary   distribution/coverage summary of the cached dataset
 //!   all       everything above, sharing one dataset
 //! ```
+//!
+//! Dataset generation streams rows straight to `<out>/dataset.csv` and
+//! checkpoints its position in `<out>/dataset.ckpt` after every chunk.
+//! An interrupted campaign continues with `--resume` — the resumed CSV
+//! is byte-identical to an uninterrupted run at any `--threads` count.
+//! `--max-chunks N` pauses generation after N chunks (leaving the
+//! checkpoint in place), giving scripts a deterministic interruption
+//! point; ci.sh uses it to smoke-test the resume path.
+//! All experiments in one invocation share a single [`Engine`] (and so
+//! one workload cache).
 
-use armdse_analysis::report::{tables_to_json, Table};
+use armdse_analysis::report::{discarded_table, tables_to_json, Table};
 use armdse_analysis::sweeps::SweepOptions;
-use armdse_analysis::{accuracy, crossval, fig1, headline, importance, multicore, sweeps, table1, unseen, ExpOptions};
-use armdse_core::orchestrator::GenOptions;
+use armdse_analysis::{
+    accuracy, crossval, fig1, headline, importance, multicore, sweeps, table1, unseen, ExpOptions,
+};
+use armdse_core::engine::{CsvSink, Engine, Progress, RunControl, RunPlan};
 use armdse_core::space::ParamSpace;
-use armdse_core::{DseDataset, SurrogateSuite};
-use armdse_kernels::{App, WorkloadScale};
+use armdse_core::{ArmdseError, DseDataset, SurrogateSuite};
+use armdse_kernels::WorkloadScale;
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -38,6 +50,8 @@ struct Cli {
     experiment: String,
     opts: ExpOptions,
     out: PathBuf,
+    resume: bool,
+    max_chunks: Option<usize>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -45,15 +59,15 @@ fn parse_args() -> Result<Cli, String> {
     let experiment = args.next().ok_or("missing experiment name")?;
     let mut opts = ExpOptions::default();
     let mut out = PathBuf::from("results");
+    let mut resume = false;
+    let mut max_chunks = None;
     while let Some(flag) = args.next() {
         let mut val = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
             "--configs" => opts.configs = val()?.parse().map_err(|e| format!("{e}"))?,
             "--seed" => opts.seed = val()?.parse().map_err(|e| format!("{e}"))?,
             "--threads" => opts.threads = val()?.parse().map_err(|e| format!("{e}"))?,
-            "--sweep-configs" => {
-                opts.sweep_configs = val()?.parse().map_err(|e| format!("{e}"))?
-            }
+            "--sweep-configs" => opts.sweep_configs = val()?.parse().map_err(|e| format!("{e}"))?,
             "--scale" => {
                 opts.scale = match val()?.as_str() {
                     "tiny" => WorkloadScale::Tiny,
@@ -63,17 +77,25 @@ fn parse_args() -> Result<Cli, String> {
                 }
             }
             "--out" => out = PathBuf::from(val()?),
+            "--resume" => resume = true,
+            "--max-chunks" => max_chunks = Some(val()?.parse().map_err(|e| format!("{e}"))?),
             f => return Err(format!("unknown flag {f}")),
         }
     }
-    Ok(Cli { experiment, opts, out })
+    Ok(Cli {
+        experiment,
+        opts,
+        out,
+        resume,
+        max_chunks,
+    })
 }
 
 fn main() {
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR]");
+            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N]");
             std::process::exit(2);
         }
     };
@@ -83,112 +105,145 @@ fn main() {
     eprintln!("[repro] {} finished in {:?}", cli.experiment, t0.elapsed());
 }
 
+/// Report an engine error and exit (plan/checkpoint problems are user
+/// errors, not bugs — no backtrace).
+fn fail(e: ArmdseError) -> ! {
+    eprintln!("error: {e}");
+    std::process::exit(1);
+}
+
 fn run(cli: &Cli) {
     let space = ParamSpace::paper();
     let opts = &cli.opts;
+    let engine = Engine::idealized();
     let sweep = SweepOptions {
         base_configs: opts.sweep_configs,
         scale: opts.scale,
         seed: opts.seed ^ 0x5EED_CAFE,
     };
-    let gen_opts = GenOptions {
-        configs: opts.configs,
-        scale: opts.scale,
-        seed: opts.seed,
-        threads: opts.threads,
-        apps: App::ALL.to_vec(),
-    };
+    let gen_opts = opts.gen_options();
 
     match cli.experiment.as_str() {
         "fig1" => {
-            emit_table(cli, "fig1", &fig1::run(opts.scale).table());
+            emit_table(cli, "fig1", &fig1::run(&engine, opts.scale).table());
         }
         "table1" => {
-            emit_table(cli, "table1", &table1::run(opts.scale).table());
+            emit_table(cli, "table1", &table1::run(&engine, opts.scale).table());
         }
         "dataset" => {
-            let data = dataset(cli, &space, &gen_opts, true);
+            let data = dataset(cli, &space, &engine, true);
             emit_text(cli, "dataset_summary", &data.summary().to_table());
         }
         "fig2" => {
-            let data = dataset(cli, &space, &gen_opts, false);
+            let data = dataset(cli, &space, &engine, false);
             emit_table(cli, "fig2", &accuracy::run(&data, opts.seed).table());
         }
         "fig3" => {
-            let data = dataset(cli, &space, &gen_opts, false);
+            let data = dataset(cli, &space, &engine, false);
             emit_table(cli, "fig3", &importance::fig3(&data, opts.seed).table());
         }
         "fig4" | "fig5" => {
             let vl = if cli.experiment == "fig4" { 128 } else { 2048 };
-            let fig = importance::fig45(&space, &gen_opts, vl, opts.seed);
+            let fig = importance::fig45(&engine, &space, &gen_opts, vl, opts.seed)
+                .unwrap_or_else(|e| fail(e));
             emit_table(cli, &cli.experiment, &fig.table());
         }
         "fig6" => {
-            let f = sweeps::fig6(&space, &sweep);
+            let f = sweeps::fig6(&engine, &space, &sweep);
             emit_chart(cli, "fig6", &f.table(), &f.to_chart());
         }
         "fig7" => {
-            let f = sweeps::fig7(&space, &sweep);
+            let f = sweeps::fig7(&engine, &space, &sweep);
             emit_chart(cli, "fig7", &f.table(), &f.to_chart());
         }
         "fig8" => {
-            let f = sweeps::fig8(&space, &sweep);
+            let f = sweeps::fig8(&engine, &space, &sweep);
             emit_chart(cli, "fig8", &f.table(), &f.to_chart());
         }
         "summary" => {
-            let data = dataset(cli, &space, &gen_opts, false);
+            let data = dataset(cli, &space, &engine, false);
             emit_text(cli, "dataset_summary", &data.summary().to_table());
         }
         "crossval" => {
-            let data = dataset(cli, &space, &gen_opts, false);
-            let f7 = sweeps::fig7(&space, &sweep);
-            emit_tables(cli, "crossval", &crossval::run(&data, &f7, opts.seed).tables(), None);
+            let data = dataset(cli, &space, &engine, false);
+            let f7 = sweeps::fig7(&engine, &space, &sweep);
+            emit_tables(
+                cli,
+                "crossval",
+                &crossval::run(&data, &f7, opts.seed).tables(),
+                None,
+            );
         }
         "multicore" => {
-            emit_table(cli, "multicore", &multicore::run(opts.scale).table());
+            emit_table(
+                cli,
+                "multicore",
+                &multicore::run(&engine, opts.scale).table(),
+            );
         }
         "unseen" => {
-            let data = dataset(cli, &space, &gen_opts, false);
+            let data = dataset(cli, &space, &engine, false);
             emit_table(cli, "unseen", &unseen::run(&data, opts.seed).table());
         }
         "headline" => {
-            let data = dataset(cli, &space, &gen_opts, false);
+            let data = dataset(cli, &space, &engine, false);
             emit_table(
                 cli,
                 "headline",
-                &headline::run(&data, &space, &sweep, opts.seed).table(),
+                &headline::run(&engine, &data, &space, &sweep, opts.seed).table(),
             );
         }
         "all" => {
-            emit_table(cli, "fig1", &fig1::run(opts.scale).table());
-            emit_table(cli, "table1", &table1::run(opts.scale).table());
-            let data = dataset(cli, &space, &gen_opts, false);
+            emit_table(cli, "fig1", &fig1::run(&engine, opts.scale).table());
+            emit_table(cli, "table1", &table1::run(&engine, opts.scale).table());
+            let data = dataset(cli, &space, &engine, false);
             let suite = SurrogateSuite::train(&data, 0.2, opts.seed);
             emit_table(cli, "fig2", &accuracy::from_suite(&suite).table());
-            emit_table(cli, "fig3", &importance::from_suite(&suite, "Fig. 3").table());
+            emit_table(
+                cli,
+                "fig3",
+                &importance::from_suite(&suite, "Fig. 3").table(),
+            );
             // Half-size pinned datasets for the constrained figures.
             let mut pinned_opts = gen_opts.clone();
             pinned_opts.configs = (gen_opts.configs / 2).clamp(20, 1500);
             emit_table(
                 cli,
                 "fig4",
-                &importance::fig45(&space, &pinned_opts, 128, opts.seed).table(),
+                &importance::fig45(&engine, &space, &pinned_opts, 128, opts.seed)
+                    .unwrap_or_else(|e| fail(e))
+                    .table(),
             );
             emit_table(
                 cli,
                 "fig5",
-                &importance::fig45(&space, &pinned_opts, 2048, opts.seed).table(),
+                &importance::fig45(&engine, &space, &pinned_opts, 2048, opts.seed)
+                    .unwrap_or_else(|e| fail(e))
+                    .table(),
             );
-            let f6 = sweeps::fig6(&space, &sweep);
-            let f7 = sweeps::fig7(&space, &sweep);
-            let f8 = sweeps::fig8(&space, &sweep);
+            let f6 = sweeps::fig6(&engine, &space, &sweep);
+            let f7 = sweeps::fig7(&engine, &space, &sweep);
+            let f8 = sweeps::fig8(&engine, &space, &sweep);
             emit_chart(cli, "fig6", &f6.table(), &f6.to_chart());
             emit_chart(cli, "fig7", &f7.table(), &f7.to_chart());
             emit_chart(cli, "fig8", &f8.table(), &f8.to_chart());
-            emit_table(cli, "headline", &headline::from_parts(&suite, &f7, &f8).table());
+            emit_table(
+                cli,
+                "headline",
+                &headline::from_parts(&suite, &f7, &f8).table(),
+            );
             emit_table(cli, "unseen", &unseen::run(&data, opts.seed).table());
-            emit_table(cli, "multicore", &multicore::run(opts.scale).table());
-            emit_tables(cli, "crossval", &crossval::run(&data, &f7, opts.seed).tables(), None);
+            emit_table(
+                cli,
+                "multicore",
+                &multicore::run(&engine, opts.scale).table(),
+            );
+            emit_tables(
+                cli,
+                "crossval",
+                &crossval::run(&data, &f7, opts.seed).tables(),
+                None,
+            );
         }
         e => {
             eprintln!("unknown experiment '{e}'");
@@ -197,25 +252,95 @@ fn run(cli: &Cli) {
     }
 }
 
-/// Load the dataset CSV if present, else generate it (and save when
-/// `force_save`).
-fn dataset(cli: &Cli, space: &ParamSpace, gen_opts: &GenOptions, force_save: bool) -> DseDataset {
+/// Load the dataset CSV if present and complete, else generate it by
+/// streaming rows to `<out>/dataset.csv` with a checkpoint after each
+/// chunk. With `--resume` an interrupted campaign continues from its
+/// checkpoint; the finished file is byte-identical to an uninterrupted
+/// run. `force_regen` (the `dataset` experiment) always regenerates —
+/// unless `--resume` is finishing an interrupted campaign.
+fn dataset(cli: &Cli, space: &ParamSpace, engine: &Engine, force_regen: bool) -> DseDataset {
     let path = cli.out.join("dataset.csv");
-    if !force_save {
-        if let Ok(d) = DseDataset::load_csv(&path) {
-            eprintln!("[repro] loaded {} rows from {}", d.rows.len(), path.display());
+    let ckpt = cli.out.join("dataset.ckpt");
+    let resuming = cli.resume && ckpt.exists() && path.exists();
+
+    if !force_regen && !resuming {
+        if ckpt.exists() {
+            eprintln!(
+                "[repro] {} is incomplete (checkpoint present) — regenerating from scratch; \
+                 pass --resume to continue it instead",
+                path.display()
+            );
+        } else if let Ok(d) = DseDataset::load_csv(&path) {
+            eprintln!(
+                "[repro] loaded {} rows from {}",
+                d.rows.len(),
+                path.display()
+            );
             return d;
         }
     }
+
+    let gen_opts = cli.opts.gen_options();
+    let plan = RunPlan::new(space, &gen_opts).unwrap_or_else(|e| fail(e));
     eprintln!(
-        "[repro] generating dataset: {} configs x {} apps ...",
-        gen_opts.configs,
-        gen_opts.apps.len()
+        "[repro] {} dataset: {} configs x {} apps = {} jobs ...",
+        if resuming { "resuming" } else { "generating" },
+        plan.configs(),
+        plan.apps().len(),
+        plan.jobs()
     );
-    let d = armdse_core::orchestrator::generate_dataset(space, gen_opts);
-    d.save_csv(&path).expect("save dataset csv");
-    eprintln!("[repro] saved {} rows to {}", d.rows.len(), path.display());
-    d
+    let mut sink = if resuming {
+        CsvSink::append(&path)
+    } else {
+        CsvSink::create(&path)
+    }
+    .unwrap_or_else(|e| fail(e));
+    let mut chunks = 0usize;
+    let max_chunks = cli.max_chunks;
+    let mut observer = |p: &Progress| {
+        eprintln!(
+            "[repro]   {}/{} jobs ({:.0}%), {} rows, {} discarded",
+            p.jobs_done,
+            p.total_jobs,
+            100.0 * p.fraction(),
+            p.rows,
+            p.discarded
+        );
+        chunks += 1;
+        max_chunks.is_none_or(|max| chunks < max)
+    };
+    let summary = engine
+        .run_controlled(
+            &plan,
+            &mut sink,
+            RunControl {
+                checkpoint: Some(&ckpt),
+                resume: resuming,
+                observer: Some(&mut observer),
+            },
+        )
+        .unwrap_or_else(|e| fail(e));
+    if !summary.completed {
+        eprintln!(
+            "[repro] paused after {} chunk(s) at job {}/{} (--max-chunks); continue with --resume",
+            cli.max_chunks.unwrap_or(0),
+            summary.jobs_done,
+            summary.jobs
+        );
+        std::process::exit(0);
+    }
+    // Campaign complete: the checkpoint has served its purpose.
+    std::fs::remove_file(&ckpt).ok();
+    emit_table(cli, "discarded", &discarded_table(&sink.discarded));
+    if summary.resumed_from > 0 {
+        eprintln!("[repro] resumed from job {}", summary.resumed_from);
+    }
+    eprintln!(
+        "[repro] saved {} rows to {}",
+        sink.rows_written(),
+        path.display()
+    );
+    DseDataset::load_csv(&path).expect("reload the dataset just written")
 }
 
 /// Persist one experiment table as `.txt` + `.csv` + `.json`.

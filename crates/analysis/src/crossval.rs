@@ -62,7 +62,11 @@ pub fn run(data: &DseDataset, fig7: &SweepFig, seed: u64) -> CrossVal {
                 .map(|(_, sim, sur)| (sim - sur).abs())
                 .sum::<f64>()
                 / points.len().max(1) as f64;
-            Some(CurveComparison { app: app.name().to_string(), points, mean_abs_diff })
+            Some(CurveComparison {
+                app: app.name().to_string(),
+                points,
+                mean_abs_diff,
+            })
         })
         .collect();
     CrossVal { comparisons }
@@ -106,7 +110,9 @@ impl CrossVal {
     /// Whether the surrogate's curves track the simulator within
     /// `tolerance` mean absolute speedup difference for every app.
     pub fn tracks_within(&self, tolerance: f64) -> bool {
-        self.comparisons.iter().all(|c| c.mean_abs_diff <= tolerance)
+        self.comparisons
+            .iter()
+            .all(|c| c.mean_abs_diff <= tolerance)
     }
 }
 
@@ -115,6 +121,7 @@ mod tests {
     use super::*;
     use crate::sweeps::{fig7, SweepOptions};
     use crate::{build_dataset, ExpOptions};
+    use armdse_core::engine::Engine;
     use armdse_core::space::ParamSpace;
     use armdse_kernels::WorkloadScale;
 
@@ -126,9 +133,14 @@ mod tests {
         // largest ROB can dip below 1.0 for one app — a data-sparsity
         // artefact, not a direction error.
         opts.configs = 300;
-        let data = build_dataset(&opts);
-        let sweep = SweepOptions { base_configs: 3, scale: WorkloadScale::Tiny, seed: 5 };
-        let f7 = fig7(&ParamSpace::paper(), &sweep);
+        let engine = Engine::idealized();
+        let data = build_dataset(&engine, &opts).unwrap();
+        let sweep = SweepOptions {
+            base_configs: 3,
+            scale: WorkloadScale::Tiny,
+            seed: 5,
+        };
+        let f7 = fig7(&engine, &ParamSpace::paper(), &sweep);
         let cv = run(&data, &f7, 5);
         assert_eq!(cv.comparisons.len(), 4);
         for c in &cv.comparisons {

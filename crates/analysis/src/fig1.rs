@@ -8,8 +8,9 @@
 //! retirement stream and cross-checked against the analytic summary.
 
 use crate::report;
+use armdse_core::engine::Engine;
 use armdse_core::DesignConfig;
-use armdse_kernels::{build_workload, App, WorkloadScale};
+use armdse_kernels::{App, WorkloadScale};
 
 /// Vector lengths plotted in Fig. 1.
 pub const VLS: [u32; 5] = [128, 256, 512, 1024, 2048];
@@ -21,9 +22,9 @@ pub struct Fig1 {
     pub series: Vec<(String, Vec<(u32, f64)>)>,
 }
 
-/// Run the experiment. Uses the simulated retirement stream on the
-/// ThunderX2 baseline (with bandwidth raised to admit every VL).
-pub fn run(scale: WorkloadScale) -> Fig1 {
+/// Run the experiment on `engine`. Uses the simulated retirement stream
+/// on the ThunderX2 baseline (with bandwidth raised to admit every VL).
+pub fn run(engine: &Engine, scale: WorkloadScale) -> Fig1 {
     let mut series = Vec::new();
     for app in App::ALL {
         let mut points = Vec::new();
@@ -32,12 +33,13 @@ pub fn run(scale: WorkloadScale) -> Fig1 {
             cfg.core.vector_length = vl;
             cfg.core.load_bandwidth = cfg.core.load_bandwidth.max(vl / 8);
             cfg.core.store_bandwidth = cfg.core.store_bandwidth.max(vl / 8);
-            let w = build_workload(app, scale, vl);
-            let stats = armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem);
+            let stats = engine.simulate_config(app, scale, &cfg);
             assert!(stats.validated, "{app:?} vl={vl} failed validation");
             // Cross-check simulated vs analytic (they must agree exactly).
             debug_assert!(
-                (stats.sve_fraction() - w.summary.sve_fraction()).abs() < 1e-12
+                (stats.sve_fraction() - engine.workload(app, scale, vl).summary.sve_fraction())
+                    .abs()
+                    < 1e-12
             );
             points.push((vl, 100.0 * stats.sve_fraction()));
         }
@@ -91,7 +93,7 @@ mod tests {
 
     #[test]
     fn split_matches_paper_shape() {
-        let f = run(WorkloadScale::Tiny);
+        let f = run(&Engine::idealized(), WorkloadScale::Tiny);
         for vl in [128, 2048] {
             assert!(f.sve_pct(App::Stream, vl).unwrap() > 40.0);
             assert!(f.sve_pct(App::MiniBude, vl).unwrap() > 40.0);
@@ -102,7 +104,7 @@ mod tests {
 
     #[test]
     fn table_renders_all_apps() {
-        let f = run(WorkloadScale::Tiny);
+        let f = run(&Engine::idealized(), WorkloadScale::Tiny);
         let t = f.to_table();
         for app in App::ALL {
             assert!(t.contains(app.name()), "{t}");

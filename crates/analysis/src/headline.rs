@@ -8,6 +8,7 @@
 
 use crate::report;
 use crate::sweeps::{SweepFig, SweepOptions};
+use armdse_core::engine::Engine;
 use armdse_core::space::ParamSpace;
 use armdse_core::{DseDataset, SurrogateSuite};
 use armdse_kernels::App;
@@ -32,14 +33,15 @@ pub struct Headline {
 
 /// Compute the headline numbers from a trained suite plus the two sweeps.
 pub fn run(
+    engine: &Engine,
     data: &DseDataset,
     space: &ParamSpace,
     sweep_opts: &SweepOptions,
     seed: u64,
 ) -> Headline {
     let suite = SurrogateSuite::train(data, 0.2, seed);
-    let fig7 = crate::sweeps::fig7(space, sweep_opts);
-    let fig8 = crate::sweeps::fig8(space, sweep_opts);
+    let fig7 = crate::sweeps::fig7(engine, space, sweep_opts);
+    let fig8 = crate::sweeps::fig8(engine, space, sweep_opts);
     from_parts(&suite, &fig7, &fig8)
 }
 
@@ -127,14 +129,15 @@ mod tests {
 
     #[test]
     fn headline_computes_and_renders() {
+        let engine = Engine::idealized();
         let opts = ExpOptions::quick();
-        let data = build_dataset(&opts);
+        let data = build_dataset(&engine, &opts).unwrap();
         let sweep = SweepOptions {
             base_configs: 3,
             scale: WorkloadScale::Tiny,
             seed: 13,
         };
-        let h = run(&data, &ParamSpace::paper(), &sweep, 3);
+        let h = run(&engine, &data, &ParamSpace::paper(), &sweep, 3);
         assert!(h.mean_accuracy_pct > 0.0);
         assert!((1..=30).contains(&h.vl_rank));
         assert!(h.rob_knee >= 8 && h.rob_knee <= 512);

@@ -9,9 +9,10 @@
 //! all other features when vector length is constrained."
 
 use crate::report;
-use armdse_core::orchestrator::{generate_dataset_pinned, GenOptions};
+use armdse_core::engine::{Engine, RunPlan};
+use armdse_core::orchestrator::GenOptions;
 use armdse_core::space::ParamSpace;
-use armdse_core::{DseDataset, SurrogateSuite};
+use armdse_core::{ArmdseError, DseDataset, SurrogateSuite};
 use armdse_kernels::App;
 
 /// Number of features shown per app (the paper plots the top ten).
@@ -34,11 +35,23 @@ pub fn fig3(data: &DseDataset, seed: u64) -> ImportanceFig {
 
 /// Figs. 4/5: generate a dataset with vector length pinned, then train
 /// and rank. `vl` is 128 for Fig. 4 and 2048 for Fig. 5.
-pub fn fig45(space: &ParamSpace, opts: &GenOptions, vl: u32, seed: u64) -> ImportanceFig {
-    let data = generate_dataset_pinned(space, opts, &[("Vector-Length", f64::from(vl))]);
+pub fn fig45(
+    engine: &Engine,
+    space: &ParamSpace,
+    opts: &GenOptions,
+    vl: u32,
+    seed: u64,
+) -> Result<ImportanceFig, ArmdseError> {
+    let plan = RunPlan::pinned(space, opts, &[("Vector-Length", f64::from(vl))])?;
+    let mut data = DseDataset::default();
+    engine.run(&plan, &mut data)?;
     let suite = SurrogateSuite::train(&data, 0.2, seed);
-    let label = if vl == 128 { "Fig. 4 (VL=128)" } else { "Fig. 5 (VL=2048)" };
-    from_suite(&suite, label)
+    let label = if vl == 128 {
+        "Fig. 4 (VL=128)"
+    } else {
+        "Fig. 5 (VL=2048)"
+    };
+    Ok(from_suite(&suite, label))
 }
 
 /// Build the figure from a trained suite.
@@ -79,7 +92,11 @@ impl ImportanceFig {
         let vals: Vec<f64> = self
             .per_app
             .iter()
-            .map(|(_, fs)| fs.iter().find(|(f, _)| f == feature).map_or(0.0, |(_, p)| *p))
+            .map(|(_, fs)| {
+                fs.iter()
+                    .find(|(f, _)| f == feature)
+                    .map_or(0.0, |(_, p)| *p)
+            })
             .collect();
         vals.iter().sum::<f64>() / vals.len().max(1) as f64
     }
@@ -125,7 +142,10 @@ impl ImportanceFig {
             })
             .collect();
         report::Table::new(
-            &format!("{}: top-{TOP_K} permutation feature importances", self.label),
+            &format!(
+                "{}: top-{TOP_K} permutation feature importances",
+                self.label
+            ),
             &headers,
             rows,
         )
@@ -137,15 +157,31 @@ mod tests {
     use super::*;
     use crate::{build_dataset, ExpOptions};
 
+    use armdse_core::engine::Engine;
+
     #[test]
     fn fig3_reports_and_renders() {
-        let data = build_dataset(&ExpOptions::quick());
+        let data = build_dataset(&Engine::idealized(), &ExpOptions::quick()).unwrap();
         let f = fig3(&data, 11);
         assert_eq!(f.per_app.len(), 4);
         let t = f.to_table();
         assert!(t.contains("Fig. 3"));
         // Mean ranking produces 30 entries.
         assert_eq!(f.ranked_by_mean().len(), 30);
+    }
+
+    #[test]
+    fn fig45_pins_vector_length_through_the_engine_plan() {
+        let engine = Engine::idealized();
+        let mut opts = ExpOptions::quick().gen_options();
+        opts.configs = 12;
+        let f = fig45(&engine, &ParamSpace::paper(), &opts, 128, 11).unwrap();
+        assert!(f.label.contains("VL=128"));
+        // With VL pinned, its importance collapses to (near) zero.
+        for app in App::ALL {
+            let p = f.percent_of(app, "Vector-Length").unwrap_or(0.0);
+            assert!(p.abs() < 1e-9, "{app:?}: pinned VL importance {p}");
+        }
     }
 
     #[test]

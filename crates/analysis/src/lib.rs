@@ -35,9 +35,10 @@ pub mod sweeps;
 pub mod table1;
 pub mod unseen;
 
-use armdse_core::orchestrator::{generate_dataset, GenOptions};
+use armdse_core::engine::{Engine, RunPlan};
+use armdse_core::orchestrator::GenOptions;
 use armdse_core::space::ParamSpace;
-use armdse_core::DseDataset;
+use armdse_core::{ArmdseError, DseDataset};
 use armdse_kernels::{App, WorkloadScale};
 
 /// Shared experiment options.
@@ -81,17 +82,26 @@ impl ExpOptions {
     }
 }
 
-/// Generate (or regenerate) the shared dataset used by the model-driven
-/// experiments (Figs. 2/3 and the headline numbers).
-pub fn build_dataset(opts: &ExpOptions) -> DseDataset {
-    generate_dataset(
-        &ParamSpace::paper(),
-        &GenOptions {
-            configs: opts.configs,
-            scale: opts.scale,
-            seed: opts.seed,
-            threads: opts.threads,
+impl ExpOptions {
+    /// The dataset-generation options these experiment options imply.
+    pub fn gen_options(&self) -> GenOptions {
+        GenOptions {
+            configs: self.configs,
+            scale: self.scale,
+            seed: self.seed,
+            threads: self.threads,
             apps: App::ALL.to_vec(),
-        },
-    )
+        }
+    }
+}
+
+/// Generate (or regenerate) the shared dataset used by the model-driven
+/// experiments (Figs. 2/3 and the headline numbers) on `engine`,
+/// sharing its workload cache with every other experiment in the
+/// process.
+pub fn build_dataset(engine: &Engine, opts: &ExpOptions) -> Result<DseDataset, ArmdseError> {
+    let plan = RunPlan::new(&ParamSpace::paper(), &opts.gen_options())?;
+    let mut data = DseDataset::default();
+    engine.run(&plan, &mut data)?;
+    Ok(data)
 }

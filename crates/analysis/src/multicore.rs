@@ -11,8 +11,10 @@
 //! codes barely notice — is checked by the accompanying tests.
 
 use crate::report;
+use armdse_core::engine::Engine;
 use armdse_core::DesignConfig;
-use armdse_kernels::{build_workload, App, WorkloadScale};
+use armdse_kernels::{App, WorkloadScale};
+use armdse_simcore::Contended;
 
 /// Co-runner counts simulated (0 = the paper's single-core setting).
 pub const CO_RUNNERS: [u32; 5] = [0, 1, 3, 7, 15];
@@ -33,24 +35,27 @@ pub struct MulticoreFig {
     pub series: Vec<ContentionSeries>,
 }
 
-/// Run the contention sweep on the ThunderX2 baseline.
-pub fn run(scale: WorkloadScale) -> MulticoreFig {
+/// Run the contention sweep on the ThunderX2 baseline: one [`Contended`]
+/// backend per co-runner count, all sharing the engine's workload cache.
+pub fn run(engine: &Engine, scale: WorkloadScale) -> MulticoreFig {
     let cfg = DesignConfig::thunderx2();
     let series = App::ALL
         .iter()
         .map(|&app| {
-            let w = build_workload(app, scale, cfg.core.vector_length);
             let mut points = Vec::new();
             let mut solo = 0u64;
             for &n in &CO_RUNNERS {
-                let s = armdse_simcore::simulate_contended(&w.program, &cfg.core, &cfg.mem, n);
+                let s = engine.simulate_config_on(&Contended { co_runners: n }, app, scale, &cfg);
                 assert!(s.validated, "{app:?} with {n} co-runners failed validation");
                 if n == 0 {
                     solo = s.cycles;
                 }
                 points.push((n, s.cycles, s.cycles as f64 / solo as f64));
             }
-            ContentionSeries { app: app.name().to_string(), points }
+            ContentionSeries {
+                app: app.name().to_string(),
+                points,
+            }
         })
         .collect();
     MulticoreFig { series }
@@ -110,7 +115,7 @@ mod tests {
     fn memory_bound_codes_degrade_most() {
         // Standard scale so compulsory (cold) DRAM misses are amortised;
         // at tiny inputs even compute-bound codes are cold-miss dominated.
-        let f = run(WorkloadScale::Standard);
+        let f = run(&Engine::idealized(), WorkloadScale::Standard);
         // STREAM (sustained-bandwidth) must suffer more than the
         // register/L1-resident miniBUDE.
         let stream = f.slowdown(App::Stream, 15).unwrap();
@@ -124,7 +129,7 @@ mod tests {
 
     #[test]
     fn slowdown_monotone_in_co_runners() {
-        let f = run(WorkloadScale::Tiny);
+        let f = run(&Engine::idealized(), WorkloadScale::Tiny);
         for s in &f.series {
             for w in s.points.windows(2) {
                 assert!(
@@ -139,7 +144,7 @@ mod tests {
 
     #[test]
     fn table_renders_all_apps() {
-        let t = run(WorkloadScale::Tiny).to_table();
+        let t = run(&Engine::idealized(), WorkloadScale::Tiny).to_table();
         for app in App::ALL {
             assert!(t.contains(app.name()));
         }

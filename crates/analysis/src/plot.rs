@@ -16,7 +16,11 @@ pub fn bar_chart(title: &str, entries: &[(String, f64)], width: usize) -> String
         return out;
     }
     let label_w = entries.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
-    let max = entries.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max).max(1e-12);
+    let max = entries
+        .iter()
+        .map(|&(_, v)| v)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     for (label, v) in entries {
         let filled = ((v / max) * width as f64).round().max(0.0) as usize;
         out.push_str(&format!(
@@ -44,12 +48,12 @@ pub fn line_chart(
         out.push_str("(no data)\n");
         return out;
     }
-    let (xmin, xmax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| (lo.min(x), hi.max(x)));
-    let (ymin, ymax) = all
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| (lo.min(y), hi.max(y)));
+    let (xmin, xmax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(x, _)| {
+        (lo.min(x), hi.max(x))
+    });
+    let (ymin, ymax) = all.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, y)| {
+        (lo.min(y), hi.max(y))
+    });
     let xspan = (xmax - xmin).max(1e-12);
     let yspan = (ymax - ymin).max(1e-12);
 
@@ -73,7 +77,12 @@ pub fn line_chart(
         out.push_str(&format!("{ylabel} |{}\n", row.iter().collect::<String>()));
     }
     out.push_str(&format!("{} +{}\n", " ".repeat(8), "-".repeat(width)));
-    out.push_str(&format!("{}  {xmin:<10.0}{:>w$.0}\n", " ".repeat(8), xmax, w = width - 10));
+    out.push_str(&format!(
+        "{}  {xmin:<10.0}{:>w$.0}\n",
+        " ".repeat(8),
+        xmax,
+        w = width - 10
+    ));
     for (si, (name, _)) in series.iter().enumerate() {
         let mark = (b'a' + (si % 26) as u8) as char;
         out.push_str(&format!("  {mark} = {name}\n"));
@@ -87,11 +96,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let c = bar_chart(
-            "t",
-            &[("big".into(), 10.0), ("half".into(), 5.0)],
-            20,
-        );
+        let c = bar_chart("t", &[("big".into(), 10.0), ("half".into(), 5.0)], 20);
         let lines: Vec<&str> = c.lines().collect();
         assert_eq!(lines[1].matches('█').count(), 20);
         assert_eq!(lines[2].matches('█').count(), 10);
@@ -104,12 +109,7 @@ mod tests {
 
     #[test]
     fn line_chart_places_extremes() {
-        let c = line_chart(
-            "t",
-            &[("s".into(), vec![(0.0, 0.0), (10.0, 5.0)])],
-            21,
-            5,
-        );
+        let c = line_chart("t", &[("s".into(), vec![(0.0, 0.0), (10.0, 5.0)])], 21, 5);
         // Max value row carries the max label; the mark appears.
         assert!(c.contains("5.00"));
         assert!(c.contains("0.00"));

@@ -77,6 +77,41 @@ impl Table {
     }
 }
 
+/// The discarded-runs section of a report: which (config, app) runs a
+/// campaign dropped at validation and why. The paper silently keeps
+/// only validation-passing runs; surfacing the discards makes a
+/// mis-modelled design point visible instead of shrinking the dataset
+/// without a trace. Always renders — an explicit "none discarded" note
+/// when the list is empty.
+pub fn discarded_table(discarded: &[armdse_core::dataset::DiscardedRun]) -> Table {
+    let rows: Vec<Vec<String>> = discarded
+        .iter()
+        .map(|d| {
+            vec![
+                d.config_index.to_string(),
+                d.app.name().to_string(),
+                d.cycles.to_string(),
+                if d.hit_cycle_limit {
+                    "cycle limit"
+                } else {
+                    "op-count mismatch"
+                }
+                .to_string(),
+            ]
+        })
+        .collect();
+    let t = Table::new(
+        "Discarded runs (failed validation; excluded from the dataset)",
+        &["Config", "App", "Cycles", "Reason"],
+        rows,
+    );
+    if discarded.is_empty() {
+        t.note("No runs were discarded: every simulation passed validation.")
+    } else {
+        t.note(format!("{} run(s) discarded.", discarded.len()))
+    }
+}
+
 /// Render several tables as one JSON array.
 pub fn tables_to_json(tables: &[Table]) -> String {
     let mut out = String::from("[");
@@ -140,7 +175,10 @@ pub fn format_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
         }
         out.push('\n');
     };
-    line(&mut out, &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &headers.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     let rule: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
     out.push_str(&"-".repeat(rule));
     out.push('\n');
@@ -160,7 +198,11 @@ pub fn format_csv(headers: &[&str], rows: &[Vec<String>]) -> String {
             s.to_string()
         }
     };
-    let mut out = headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(",");
+    let mut out = headers
+        .iter()
+        .map(|h| cell(h))
+        .collect::<Vec<_>>()
+        .join(",");
     out.push('\n');
     for row in rows {
         out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(","));
@@ -188,7 +230,10 @@ mod tests {
         let t = format_table(
             "T",
             &["a", "long-header"],
-            &[vec!["1".into(), "2".into()], vec!["100".into(), "20000".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines[0], "T");
@@ -248,6 +293,32 @@ mod tests {
         assert!(j.contains(r#""\t\\""#));
         // Valid JSON shape: balanced braces/brackets at the ends.
         assert!(j.starts_with('{') && j.ends_with('}'));
+    }
+
+    #[test]
+    fn discarded_section_renders_reasons_and_empty_note() {
+        use armdse_core::dataset::DiscardedRun;
+        use armdse_kernels::App;
+        let empty = discarded_table(&[]);
+        assert!(empty.to_text().contains("No runs were discarded"));
+        let some = discarded_table(&[
+            DiscardedRun {
+                app: App::Stream,
+                config_index: 3,
+                cycles: 9,
+                hit_cycle_limit: true,
+            },
+            DiscardedRun {
+                app: App::TeaLeaf,
+                config_index: 5,
+                cycles: 2,
+                hit_cycle_limit: false,
+            },
+        ]);
+        let text = some.to_text();
+        assert!(text.contains("cycle limit"));
+        assert!(text.contains("op-count mismatch"));
+        assert!(text.contains("2 run(s) discarded"));
     }
 
     #[test]

@@ -15,9 +15,10 @@
 //! (we run thousands of simulations, not 180,000).
 
 use crate::report;
+use armdse_core::engine::Engine;
 use armdse_core::space::ParamSpace;
 use armdse_core::DesignConfig;
-use armdse_kernels::{build_workload, App, WorkloadScale};
+use armdse_kernels::{App, WorkloadScale};
 
 /// ROB sizes swept in Fig. 7 (includes the paper's knee at 152).
 pub const ROB_POINTS: [u32; 10] = [8, 16, 32, 64, 96, 128, 152, 256, 384, 512];
@@ -62,26 +63,19 @@ pub struct SweepOptions {
 
 impl Default for SweepOptions {
     fn default() -> Self {
-        SweepOptions { base_configs: 12, scale: WorkloadScale::Standard, seed: 61_803 }
+        SweepOptions {
+            base_configs: 12,
+            scale: WorkloadScale::Standard,
+            seed: 61_803,
+        }
     }
 }
 
-fn mean_cycles(
-    app: App,
-    scale: WorkloadScale,
-    configs: &[DesignConfig],
-) -> f64 {
+fn mean_cycles(engine: &Engine, app: App, scale: WorkloadScale, configs: &[DesignConfig]) -> f64 {
     let mut total = 0u64;
     let mut n = 0u64;
-    // Workload rebuilt only when VL changes across configs.
-    let mut cached: Option<(u32, armdse_kernels::Workload)> = None;
     for cfg in configs {
-        let vl = cfg.core.vector_length;
-        if cached.as_ref().map(|(v, _)| *v) != Some(vl) {
-            cached = Some((vl, build_workload(app, scale, vl)));
-        }
-        let w = &cached.as_ref().expect("just set").1;
-        let s = armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem);
+        let s = engine.simulate_config(app, scale, cfg);
         if s.validated {
             total += s.cycles;
             n += 1;
@@ -92,7 +86,7 @@ fn mean_cycles(
 }
 
 /// Fig. 6: speedup vs vector length for the vectorised codes.
-pub fn fig6(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
+pub fn fig6(engine: &Engine, space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
     // Base configs with the paper's Load-Bandwidth >= 256 filter (applied
     // to stores too, so every VL is admissible on every base config).
     let bases: Vec<DesignConfig> = (0..opts.base_configs as u64)
@@ -117,29 +111,50 @@ pub fn fig6(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
                         c
                     })
                     .collect();
-                points.push((vl, mean_cycles(app, opts.scale, &configs)));
+                points.push((vl, mean_cycles(engine, app, opts.scale, &configs)));
             }
             to_series(app, points)
         })
         .collect();
-    SweepFig { label: "Fig. 6".into(), param: "Vector-Length".into(), series }
+    SweepFig {
+        label: "Fig. 6".into(),
+        param: "Vector-Length".into(),
+        series,
+    }
 }
 
 /// Fig. 7: speedup vs ROB size for all applications.
-pub fn fig7(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
-    sweep_all_apps(space, opts, "Fig. 7", "ROB-Size", &ROB_POINTS, |c, v| {
-        c.core.rob_size = v;
-    })
+pub fn fig7(engine: &Engine, space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
+    sweep_all_apps(
+        engine,
+        space,
+        opts,
+        "Fig. 7",
+        "ROB-Size",
+        &ROB_POINTS,
+        |c, v| {
+            c.core.rob_size = v;
+        },
+    )
 }
 
 /// Fig. 8: speedup vs FP/SVE register count for all applications.
-pub fn fig8(space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
-    sweep_all_apps(space, opts, "Fig. 8", "FP-SVE-Registers", &FP_POINTS, |c, v| {
-        c.core.fp_regs = v;
-    })
+pub fn fig8(engine: &Engine, space: &ParamSpace, opts: &SweepOptions) -> SweepFig {
+    sweep_all_apps(
+        engine,
+        space,
+        opts,
+        "Fig. 8",
+        "FP-SVE-Registers",
+        &FP_POINTS,
+        |c, v| {
+            c.core.fp_regs = v;
+        },
+    )
 }
 
 fn sweep_all_apps(
+    engine: &Engine,
     space: &ParamSpace,
     opts: &SweepOptions,
     label: &str,
@@ -163,12 +178,16 @@ fn sweep_all_apps(
                         c
                     })
                     .collect();
-                pts.push((v, mean_cycles(app, opts.scale, &configs)));
+                pts.push((v, mean_cycles(engine, app, opts.scale, &configs)));
             }
             to_series(app, pts)
         })
         .collect();
-    SweepFig { label: label.into(), param: param.into(), series }
+    SweepFig {
+        label: label.into(),
+        param: param.into(),
+        series,
+    }
 }
 
 fn to_series(app: App, raw: Vec<(u32, f64)>) -> SweepSeries {
@@ -198,7 +217,11 @@ impl SweepFig {
     /// maximum speedup for `app`.
     pub fn knee(&self, app: App, frac: f64) -> Option<u32> {
         let s = self.series.iter().find(|s| s.app == app.name())?;
-        let max = s.points.iter().map(|(_, _, sp)| *sp).fold(f64::MIN, f64::max);
+        let max = s
+            .points
+            .iter()
+            .map(|(_, _, sp)| *sp)
+            .fold(f64::MIN, f64::max);
         s.points
             .iter()
             .find(|(_, _, sp)| *sp >= frac * max)
@@ -256,7 +279,10 @@ impl SweepFig {
             })
             .collect();
         report::Table::new(
-            &format!("{}: mean speedup vs {} (relative to {})", self.label, self.param, values[0]),
+            &format!(
+                "{}: mean speedup vs {} (relative to {})",
+                self.label, self.param, values[0]
+            ),
             &headers,
             rows,
         )
@@ -268,7 +294,11 @@ mod tests {
     use super::*;
 
     fn quick() -> SweepOptions {
-        SweepOptions { base_configs: 3, scale: WorkloadScale::Tiny, seed: 55 }
+        SweepOptions {
+            base_configs: 3,
+            scale: WorkloadScale::Tiny,
+            seed: 55,
+        }
     }
 
     #[test]
@@ -276,8 +306,12 @@ mod tests {
         // Small scale: Tiny inputs have too few poses/elements for long
         // vectors to shrink the trip counts (the paper's effect needs a
         // non-degenerate problem size).
-        let opts = SweepOptions { base_configs: 3, scale: WorkloadScale::Small, seed: 55 };
-        let f = fig6(&ParamSpace::paper(), &opts);
+        let opts = SweepOptions {
+            base_configs: 3,
+            scale: WorkloadScale::Small,
+            seed: 55,
+        };
+        let f = fig6(&Engine::idealized(), &ParamSpace::paper(), &opts);
         for app in [App::Stream, App::MiniBude] {
             assert_eq!(f.speedup(app, 128), Some(1.0));
             let s = f.speedup(app, 2048).unwrap();
@@ -287,7 +321,7 @@ mod tests {
 
     #[test]
     fn fig7_rob_speedup_saturates() {
-        let f = fig7(&ParamSpace::paper(), &quick());
+        let f = fig7(&Engine::idealized(), &ParamSpace::paper(), &quick());
         for app in App::ALL {
             let early = f.speedup(app, 8).unwrap();
             let knee = f.speedup(app, 152).unwrap();
@@ -301,7 +335,7 @@ mod tests {
 
     #[test]
     fn fig8_fp_regs_monotoneish() {
-        let f = fig8(&ParamSpace::paper(), &quick());
+        let f = fig8(&Engine::idealized(), &ParamSpace::paper(), &quick());
         for app in App::ALL {
             assert_eq!(f.speedup(app, 38), Some(1.0));
             let s = f.speedup(app, 512).unwrap();
@@ -311,7 +345,7 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let f = fig7(&ParamSpace::paper(), &quick());
+        let f = fig7(&Engine::idealized(), &ParamSpace::paper(), &quick());
         let t = f.to_table();
         assert!(t.contains("ROB-Size"));
         assert!(t.contains("152"));

@@ -46,8 +46,7 @@ pub fn run(data: &DseDataset, seed: u64) -> UnseenFig {
             let ml = data.ml_dataset(source);
             let (train, test) = train_test_split(&ml, 0.2, seed);
             let tree = DecisionTreeRegressor::fit(&train.x, &train.y);
-            let in_distribution_pct =
-                mean_relative_accuracy(&tree.predict(&test.x), &test.y);
+            let in_distribution_pct = mean_relative_accuracy(&tree.predict(&test.x), &test.y);
 
             let per_target_pct = App::ALL
                 .iter()
@@ -141,12 +140,13 @@ impl UnseenFig {
 mod tests {
     use super::*;
     use crate::{build_dataset, ExpOptions};
+    use armdse_core::engine::Engine;
 
     #[test]
     fn transfer_collapses_across_applications() {
         let mut opts = ExpOptions::quick();
         opts.configs = 80;
-        let data = build_dataset(&opts);
+        let data = build_dataset(&Engine::idealized(), &opts).unwrap();
         let f = run(&data, 3);
         assert_eq!(f.rows.len(), 4);
         assert!(

@@ -8,6 +8,7 @@ use armdse_isa::TraceCursor;
 use armdse_kernels::{build_workload, App, WorkloadScale};
 use armdse_memsim::{Hierarchy, MemParams, MemoryModel};
 use armdse_mltree::{permutation_importance, DecisionTreeRegressor, Matrix, Regressor};
+use armdse_simcore::{Idealized, SimBackend};
 use std::hint::black_box;
 
 fn synthetic_training_data(n: usize) -> (Matrix, Vec<f64>) {
@@ -30,9 +31,11 @@ fn main() {
     let cfg = baseline();
     for app in App::ALL {
         let w = build_workload(app, WorkloadScale::Small, cfg.core.vector_length);
-        h.bench_throughput(&format!("simulate/{}", app.name()), w.summary.total(), || {
-            black_box(armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem))
-        });
+        h.bench_throughput(
+            &format!("simulate/{}", app.name()),
+            w.summary.total(),
+            || black_box(Idealized.run(&w.program, &cfg.core, &cfg.mem)),
+        );
     }
 
     // Trace-cursor decode throughput.
@@ -70,7 +73,9 @@ fn main() {
     // is extremely fast, taking less than 1 minute" — paper artifact
     // appendix).
     let (x, y) = synthetic_training_data(2000);
-    h.bench("tree_fit_2000x4", || black_box(DecisionTreeRegressor::fit(&x, &y)));
+    h.bench("tree_fit_2000x4", || {
+        black_box(DecisionTreeRegressor::fit(&x, &y))
+    });
 
     // Tree prediction throughput.
     let t = DecisionTreeRegressor::fit(&x, &y);

@@ -8,6 +8,7 @@ use armdse_analysis::sweeps::SweepOptions;
 use armdse_analysis::{accuracy, fig1, headline, importance, sweeps, table1};
 use armdse_bench::bench_dataset;
 use armdse_bench::harness::Harness;
+use armdse_core::engine::Engine;
 use armdse_core::orchestrator::GenOptions;
 use armdse_core::space::ParamSpace;
 use armdse_core::SurrogateSuite;
@@ -25,34 +26,49 @@ fn small_gen_opts() -> GenOptions {
 }
 
 fn sweep_opts() -> SweepOptions {
-    SweepOptions { base_configs: 2, scale: WorkloadScale::Tiny, seed: 3 }
+    SweepOptions {
+        base_configs: 2,
+        scale: WorkloadScale::Tiny,
+        seed: 3,
+    }
 }
 
 fn main() {
     let mut h = Harness::from_args("tables_figures");
     let space = ParamSpace::paper();
+    let engine = Engine::idealized();
     let data = bench_dataset(24);
 
-    h.bench("fig1_vectorisation", || black_box(fig1::run(WorkloadScale::Tiny)));
-    h.bench("table1_validation", || black_box(table1::run(WorkloadScale::Tiny)));
+    h.bench("fig1_vectorisation", || {
+        black_box(fig1::run(&engine, WorkloadScale::Tiny))
+    });
+    h.bench("table1_validation", || {
+        black_box(table1::run(&engine, WorkloadScale::Tiny))
+    });
     h.bench("fig2_accuracy", || black_box(accuracy::run(&data, 7)));
     h.bench("fig3_importance", || black_box(importance::fig3(&data, 7)));
 
     let opts = small_gen_opts();
     h.bench("fig4_importance_vl128", || {
-        black_box(importance::fig45(&space, &opts, 128, 7))
+        black_box(importance::fig45(&engine, &space, &opts, 128, 7).unwrap())
     });
     h.bench("fig5_importance_vl2048", || {
-        black_box(importance::fig45(&space, &opts, 2048, 7))
+        black_box(importance::fig45(&engine, &space, &opts, 2048, 7).unwrap())
     });
 
-    h.bench("fig6_vl_sweep", || black_box(sweeps::fig6(&space, &sweep_opts())));
-    h.bench("fig7_rob_sweep", || black_box(sweeps::fig7(&space, &sweep_opts())));
-    h.bench("fig8_reg_sweep", || black_box(sweeps::fig8(&space, &sweep_opts())));
+    h.bench("fig6_vl_sweep", || {
+        black_box(sweeps::fig6(&engine, &space, &sweep_opts()))
+    });
+    h.bench("fig7_rob_sweep", || {
+        black_box(sweeps::fig7(&engine, &space, &sweep_opts()))
+    });
+    h.bench("fig8_reg_sweep", || {
+        black_box(sweeps::fig8(&engine, &space, &sweep_opts()))
+    });
 
     let suite = SurrogateSuite::train(&data, 0.2, 7);
-    let f7 = sweeps::fig7(&space, &sweep_opts());
-    let f8 = sweeps::fig8(&space, &sweep_opts());
+    let f7 = sweeps::fig7(&engine, &space, &sweep_opts());
+    let f8 = sweeps::fig8(&engine, &space, &sweep_opts());
     h.bench("headline_numbers", || {
         black_box(headline::from_parts(&suite, &f7, &f8))
     });

@@ -48,7 +48,11 @@ impl Harness {
             }
         }
         eprintln!("# suite {suite}: {SAMPLES} samples/bench, std::time::Instant harness");
-        Harness { filter, list_only, ran: 0 }
+        Harness {
+            filter,
+            list_only,
+            ran: 0,
+        }
     }
 
     fn selected(&self, id: &str) -> bool {

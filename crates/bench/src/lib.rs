@@ -19,7 +19,8 @@
 
 pub mod harness;
 
-use armdse_core::orchestrator::{generate_dataset, GenOptions};
+use armdse_core::engine::{Engine, RunPlan};
+use armdse_core::orchestrator::GenOptions;
 use armdse_core::space::ParamSpace;
 use armdse_core::DesignConfig;
 use armdse_core::DseDataset;
@@ -28,16 +29,19 @@ use armdse_kernels::{App, WorkloadScale};
 /// A small deterministic dataset for model benches (kept tiny so
 /// `cargo bench` completes quickly even single-core).
 pub fn bench_dataset(configs: usize) -> DseDataset {
-    generate_dataset(
-        &ParamSpace::paper(),
-        &GenOptions {
-            configs,
-            scale: WorkloadScale::Tiny,
-            seed: 0xBE7C,
-            threads: 1,
-            apps: App::ALL.to_vec(),
-        },
-    )
+    let opts = GenOptions {
+        configs,
+        scale: WorkloadScale::Tiny,
+        seed: 0xBE7C,
+        threads: 1,
+        apps: App::ALL.to_vec(),
+    };
+    let plan = RunPlan::new(&ParamSpace::paper(), &opts).expect("valid bench plan");
+    let mut data = DseDataset::default();
+    Engine::idealized()
+        .run(&plan, &mut data)
+        .expect("in-memory sink cannot fail");
+    data
 }
 
 /// The baseline configuration used by simulation benches.

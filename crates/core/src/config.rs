@@ -51,7 +51,10 @@ pub struct DesignConfig {
 impl DesignConfig {
     /// The ThunderX2-like baseline used for the Table I validation.
     pub fn thunderx2() -> DesignConfig {
-        DesignConfig { core: CoreParams::thunderx2(), mem: MemParams::thunderx2() }
+        DesignConfig {
+            core: CoreParams::thunderx2(),
+            mem: MemParams::thunderx2(),
+        }
     }
 
     /// Validate both halves.

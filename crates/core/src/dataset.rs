@@ -63,11 +63,7 @@ impl DseDataset {
             x.push_row(&r.features);
             y.push(r.cycles as f64);
         }
-        armdse_mltree::Dataset::new(
-            x,
-            y,
-            FEATURE_NAMES.iter().map(|s| s.to_string()).collect(),
-        )
+        armdse_mltree::Dataset::new(x, y, FEATURE_NAMES.iter().map(|s| s.to_string()).collect())
     }
 
     /// Rows for an app filtered by a feature predicate (e.g. fixed VL).
@@ -91,17 +87,9 @@ impl DseDataset {
     /// Write as CSV: `app,<30 features>,cycles,sve_fraction`.
     pub fn save_csv(&self, path: &Path) -> io::Result<()> {
         let mut w = BufWriter::new(std::fs::File::create(path)?);
-        write!(w, "app")?;
-        for n in FEATURE_NAMES {
-            write!(w, ",{n}")?;
-        }
-        writeln!(w, ",cycles,sve_fraction")?;
+        write_csv_header(&mut w)?;
         for r in &self.rows {
-            write!(w, "{}", r.app.name())?;
-            for f in r.features {
-                write!(w, ",{f}")?;
-            }
-            writeln!(w, ",{},{}", r.cycles, r.sve_fraction)?;
+            write_csv_row(&mut w, r)?;
         }
         w.flush()
     }
@@ -134,10 +122,37 @@ impl DseDataset {
             }
             let cycles = parse_f64(it.next())? as u64;
             let sve_fraction = parse_f64(it.next())?;
-            rows.push(Row { app, features, cycles, sve_fraction });
+            rows.push(Row {
+                app,
+                features,
+                cycles,
+                sve_fraction,
+            });
         }
-        Ok(DseDataset { rows, discarded: Vec::new() })
+        Ok(DseDataset {
+            rows,
+            discarded: Vec::new(),
+        })
     }
+}
+
+/// Write the dataset CSV header line. Shared by [`DseDataset::save_csv`]
+/// and the engine's streaming `CsvSink` so both emit identical bytes.
+pub fn write_csv_header(w: &mut impl Write) -> io::Result<()> {
+    write!(w, "app")?;
+    for n in FEATURE_NAMES {
+        write!(w, ",{n}")?;
+    }
+    writeln!(w, ",cycles,sve_fraction")
+}
+
+/// Write one dataset CSV row (same byte format as [`DseDataset::save_csv`]).
+pub fn write_csv_row(w: &mut impl Write, r: &Row) -> io::Result<()> {
+    write!(w, "{}", r.app.name())?;
+    for f in r.features {
+        write!(w, ",{f}")?;
+    }
+    writeln!(w, ",{},{}", r.cycles, r.sve_fraction)
 }
 
 fn parse_f64(s: Option<&str>) -> io::Result<f64> {

@@ -1,0 +1,925 @@
+//! The campaign engine: one resumable run path for every consumer.
+//!
+//! The paper's workflow (T1 sample → T2 simulate → T3 train) used to be
+//! spread over free functions that each hard-wired a backend and
+//! re-derived workload construction. [`Engine`] is the single substrate:
+//! it owns a pluggable [`SimBackend`], a shared [`WorkloadCache`] keyed
+//! by `(app, scale, vector length)`, and a chunked deterministic job
+//! loop that streams rows into a [`RowSink`] instead of accumulating
+//! them in memory.
+//!
+//! ## Determinism and resume
+//!
+//! Jobs are numbered `0..configs × apps.len()`; job `j` simulates app
+//! `apps[j % apps.len()]` on the design point derived from
+//! `seed + j / apps.len()`. Within a chunk, worker threads race on an
+//! atomic counter, but results are reordered by job index before they
+//! reach the sink — output is byte-identical for any thread count. A
+//! chunk boundary is a plan property (not a thread property), so a run
+//! checkpointed after chunk `k` and resumed produces *exactly* the
+//! bytes of an uninterrupted run: `fresh == resumed` at any thread
+//! count. `tests/engine_resume.rs` pins this guarantee.
+//!
+//! ## Checkpoint file format
+//!
+//! A checkpoint is a small line-oriented text file, written atomically
+//! (temp file + rename) after every chunk:
+//!
+//! ```text
+//! armdse-checkpoint v1
+//! fingerprint=<16 hex digits>   # FNV-1a over the plan (space, configs,
+//!                               # seed, scale, apps, pins) — threads and
+//!                               # chunk size excluded: they must not
+//!                               # change results
+//! jobs_done=<n>                 # always a chunk boundary
+//! rows=<n>                      # validated rows streamed so far
+//! discarded=<n>                 # validation-failed runs so far
+//! ```
+//!
+//! Resuming validates the fingerprint against the live plan and
+//! continues from `jobs_done`; resuming a completed run is a no-op.
+
+use crate::config::DesignConfig;
+use crate::dataset::{write_csv_header, write_csv_row, DiscardedRun, DseDataset, Row};
+use crate::error::ArmdseError;
+use crate::orchestrator::GenOptions;
+use crate::space::{ParamSpace, FEATURE_NAMES};
+use armdse_kernels::{App, Workload, WorkloadCache, WorkloadScale};
+use armdse_simcore::{Idealized, SimBackend, SimStats};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Default jobs per chunk: small enough that checkpoints land every few
+/// seconds at Standard scale, large enough to amortise the thread scope.
+pub const DEFAULT_CHUNK_JOBS: usize = 128;
+
+/// A validated campaign plan: the engine-facing form of [`GenOptions`].
+///
+/// Construction validates what the old orchestrator `assert!`ed on:
+/// `configs == 0` or an empty app list is [`ArmdseError::InvalidPlan`],
+/// duplicate apps are deduplicated (order-preserving) instead of
+/// silently double-counting jobs, and pinned feature names are checked
+/// against the space before any simulation starts.
+#[derive(Debug, Clone)]
+pub struct RunPlan {
+    space: ParamSpace,
+    configs: usize,
+    scale: WorkloadScale,
+    seed: u64,
+    threads: usize,
+    apps: Vec<App>,
+    pins: Vec<(String, f64)>,
+    chunk_jobs: usize,
+}
+
+impl RunPlan {
+    /// Validate `opts` against `space` into a plan.
+    pub fn new(space: &ParamSpace, opts: &GenOptions) -> Result<RunPlan, ArmdseError> {
+        RunPlan::pinned(space, opts, &[])
+    }
+
+    /// Like [`RunPlan::new`] with features pinned to fixed values by
+    /// name (the paper's Figs. 4/5 constrain Vector-Length).
+    pub fn pinned(
+        space: &ParamSpace,
+        opts: &GenOptions,
+        pins: &[(&str, f64)],
+    ) -> Result<RunPlan, ArmdseError> {
+        if opts.configs == 0 {
+            return Err(ArmdseError::InvalidPlan("configs == 0".into()));
+        }
+        // Order-preserving dedup: a repeated app would double-count jobs
+        // and skew per-app row counts.
+        let mut apps = Vec::with_capacity(opts.apps.len());
+        for &a in &opts.apps {
+            if !apps.contains(&a) {
+                apps.push(a);
+            }
+        }
+        if apps.is_empty() {
+            return Err(ArmdseError::InvalidPlan("no applications selected".into()));
+        }
+        for (name, _) in pins {
+            if !FEATURE_NAMES.contains(name) {
+                return Err(ArmdseError::InvalidPlan(format!(
+                    "unknown pinned feature '{name}'"
+                )));
+            }
+        }
+        Ok(RunPlan {
+            space: space.clone(),
+            configs: opts.configs,
+            scale: opts.scale,
+            seed: opts.seed,
+            threads: opts.threads.max(1),
+            apps,
+            pins: pins.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
+            chunk_jobs: DEFAULT_CHUNK_JOBS,
+        })
+    }
+
+    /// Override the chunk size (jobs per checkpointable unit). Values
+    /// below 1 are clamped to 1. Chunking never changes the emitted
+    /// rows — only where a run may pause and resume.
+    pub fn with_chunk_jobs(mut self, chunk_jobs: usize) -> RunPlan {
+        self.chunk_jobs = chunk_jobs.max(1);
+        self
+    }
+
+    /// Override the worker-thread count (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> RunPlan {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Total jobs: one per (configuration, application) pair.
+    pub fn jobs(&self) -> usize {
+        self.configs * self.apps.len()
+    }
+
+    /// Design points sampled.
+    pub fn configs(&self) -> usize {
+        self.configs
+    }
+
+    /// Workload input scale.
+    pub fn scale(&self) -> WorkloadScale {
+        self.scale
+    }
+
+    /// Base seed (config `i` samples with `seed + i`).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Worker threads.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applications simulated per configuration (deduplicated).
+    pub fn apps(&self) -> &[App] {
+        &self.apps
+    }
+
+    /// Jobs per chunk.
+    pub fn chunk_jobs(&self) -> usize {
+        self.chunk_jobs
+    }
+
+    /// Stable plan identity for checkpoint validation. Threads and
+    /// chunk size are excluded: neither may change the output, so
+    /// either may legitimately differ between a run and its resume.
+    pub fn fingerprint(&self) -> u64 {
+        let encoded = format!(
+            "{:?}|{}|{}|{:?}|{:?}|{:?}",
+            self.space, self.configs, self.seed, self.scale, self.apps, self.pins
+        );
+        fnv1a64(encoded.as_bytes())
+    }
+}
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Receives the deterministic row stream of a campaign, in job order.
+///
+/// `chunk_end` is invoked at every chunk boundary *before* the engine
+/// persists a checkpoint, so a durable sink (e.g. [`CsvSink`]) can
+/// flush and guarantee its bytes are never behind the checkpoint.
+pub trait RowSink {
+    /// Receive one validated row.
+    fn row(&mut self, row: &Row) -> Result<(), ArmdseError>;
+
+    /// Receive one validation-failed run (default: ignore).
+    fn discarded(&mut self, _d: &DiscardedRun) -> Result<(), ArmdseError> {
+        Ok(())
+    }
+
+    /// Chunk boundary: make buffered output durable (default: no-op).
+    fn chunk_end(&mut self) -> Result<(), ArmdseError> {
+        Ok(())
+    }
+}
+
+/// The in-memory sink: collects rows and discards into a [`DseDataset`].
+impl RowSink for DseDataset {
+    fn row(&mut self, row: &Row) -> Result<(), ArmdseError> {
+        self.rows.push(row.clone());
+        Ok(())
+    }
+
+    fn discarded(&mut self, d: &DiscardedRun) -> Result<(), ArmdseError> {
+        self.discarded.push(d.clone());
+        Ok(())
+    }
+}
+
+/// Streams rows straight to a dataset CSV file (constant memory), in
+/// the exact byte format of [`DseDataset::save_csv`]. Discarded runs
+/// are kept in memory (`discarded`) for reporting — they are not part
+/// of the CSV contract.
+pub struct CsvSink {
+    w: BufWriter<std::fs::File>,
+    rows_written: usize,
+    /// Validation-failed runs observed by this sink (not persisted).
+    pub discarded: Vec<DiscardedRun>,
+}
+
+impl CsvSink {
+    /// Create (truncate) `path` and write the CSV header.
+    pub fn create(path: &Path) -> Result<CsvSink, ArmdseError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        write_csv_header(&mut w)?;
+        Ok(CsvSink {
+            w,
+            rows_written: 0,
+            discarded: Vec::new(),
+        })
+    }
+
+    /// Open `path` for appending (resume: header already present).
+    pub fn append(path: &Path) -> Result<CsvSink, ArmdseError> {
+        let f = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(CsvSink {
+            w: BufWriter::new(f),
+            rows_written: 0,
+            discarded: Vec::new(),
+        })
+    }
+
+    /// Rows written through this sink instance.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+}
+
+impl RowSink for CsvSink {
+    fn row(&mut self, row: &Row) -> Result<(), ArmdseError> {
+        write_csv_row(&mut self.w, row)?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    fn discarded(&mut self, d: &DiscardedRun) -> Result<(), ArmdseError> {
+        self.discarded.push(d.clone());
+        Ok(())
+    }
+
+    fn chunk_end(&mut self) -> Result<(), ArmdseError> {
+        self.w.flush()?;
+        self.w.get_ref().sync_data().map_err(ArmdseError::from)
+    }
+}
+
+/// Persistent campaign position (see the module docs for the format).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Plan fingerprint the position belongs to.
+    pub fingerprint: u64,
+    /// Jobs completed (always a chunk boundary).
+    pub jobs_done: usize,
+    /// Validated rows streamed so far.
+    pub rows: usize,
+    /// Discarded runs so far.
+    pub discarded: usize,
+}
+
+const CHECKPOINT_MAGIC: &str = "armdse-checkpoint v1";
+
+impl Checkpoint {
+    /// Atomically persist to `path` (temp file + rename).
+    pub fn save(&self, path: &Path) -> Result<(), ArmdseError> {
+        let tmp = path.with_extension("ckpt.tmp");
+        let body = format!(
+            "{CHECKPOINT_MAGIC}\nfingerprint={:016x}\njobs_done={}\nrows={}\ndiscarded={}\n",
+            self.fingerprint, self.jobs_done, self.rows, self.discarded
+        );
+        std::fs::write(&tmp, body)?;
+        std::fs::rename(&tmp, path).map_err(ArmdseError::from)
+    }
+
+    /// Load and parse a checkpoint file.
+    pub fn load(path: &Path) -> Result<Checkpoint, ArmdseError> {
+        let body = std::fs::read_to_string(path)?;
+        let mut lines = body.lines();
+        if lines.next() != Some(CHECKPOINT_MAGIC) {
+            return Err(ArmdseError::Checkpoint(format!(
+                "{}: not an armdse v1 checkpoint",
+                path.display()
+            )));
+        }
+        let mut field = |key: &str| -> Result<String, ArmdseError> {
+            let line = lines.next().ok_or_else(|| {
+                ArmdseError::Checkpoint(format!("{}: missing field {key}", path.display()))
+            })?;
+            line.strip_prefix(&format!("{key}="))
+                .map(str::to_string)
+                .ok_or_else(|| {
+                    ArmdseError::Checkpoint(format!(
+                        "{}: expected '{key}=', got '{line}'",
+                        path.display()
+                    ))
+                })
+        };
+        let parse_err = |key: &str| ArmdseError::Checkpoint(format!("unparsable field {key}"));
+        let fingerprint = u64::from_str_radix(&field("fingerprint")?, 16)
+            .map_err(|_| parse_err("fingerprint"))?;
+        let jobs_done = field("jobs_done")?
+            .parse()
+            .map_err(|_| parse_err("jobs_done"))?;
+        let rows = field("rows")?.parse().map_err(|_| parse_err("rows"))?;
+        let discarded = field("discarded")?
+            .parse()
+            .map_err(|_| parse_err("discarded"))?;
+        Ok(Checkpoint {
+            fingerprint,
+            jobs_done,
+            rows,
+            discarded,
+        })
+    }
+}
+
+/// Progress snapshot handed to the observer after each chunk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Progress {
+    /// Jobs completed so far (a chunk boundary).
+    pub jobs_done: usize,
+    /// Total jobs in the plan.
+    pub total_jobs: usize,
+    /// Validated rows streamed so far.
+    pub rows: usize,
+    /// Discarded runs so far.
+    pub discarded: usize,
+}
+
+impl Progress {
+    /// Fraction of the campaign completed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.jobs_done as f64 / self.total_jobs.max(1) as f64
+    }
+}
+
+/// Per-run control: checkpointing, resume, and the observer hook.
+#[derive(Default)]
+pub struct RunControl<'a> {
+    /// Where to persist the campaign position after each chunk.
+    pub checkpoint: Option<&'a Path>,
+    /// Continue from `checkpoint` if it exists (requires `checkpoint`).
+    pub resume: bool,
+    /// Called after each chunk; returning `false` pauses the run (the
+    /// checkpoint, if any, is already saved — resume picks up there).
+    pub observer: Option<&'a mut dyn FnMut(&Progress) -> bool>,
+}
+
+/// Outcome of [`Engine::run_controlled`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Total jobs in the plan.
+    pub jobs: usize,
+    /// Jobs completed when the run returned.
+    pub jobs_done: usize,
+    /// Validated rows streamed *by this call* (excludes pre-resume rows).
+    pub rows: usize,
+    /// Discarded runs observed by this call (excludes pre-resume runs).
+    pub discarded: usize,
+    /// Job index this call resumed from (0 for a fresh run).
+    pub resumed_from: usize,
+    /// Whether the campaign ran to completion (false: observer paused).
+    pub completed: bool,
+}
+
+/// The unified run path: a pluggable backend plus the shared workload
+/// cache, executing validated plans into row sinks.
+pub struct Engine {
+    backend: Box<dyn SimBackend>,
+    cache: WorkloadCache,
+}
+
+impl Default for Engine {
+    fn default() -> Engine {
+        Engine::idealized()
+    }
+}
+
+impl Engine {
+    /// An engine over an arbitrary backend.
+    pub fn new(backend: Box<dyn SimBackend>) -> Engine {
+        Engine {
+            backend,
+            cache: WorkloadCache::new(),
+        }
+    }
+
+    /// An engine over the default infinite-bank hierarchy (the paper's
+    /// simulation path).
+    pub fn idealized() -> Engine {
+        Engine::new(Box::new(Idealized))
+    }
+
+    /// The engine's default backend.
+    pub fn backend(&self) -> &dyn SimBackend {
+        self.backend.as_ref()
+    }
+
+    /// The shared workload cache (exposed for cache-aware callers).
+    pub fn cache(&self) -> &WorkloadCache {
+        &self.cache
+    }
+
+    /// The cached workload for `(app, scale, vl_bits)`.
+    pub fn workload(&self, app: App, scale: WorkloadScale, vl_bits: u32) -> Arc<Workload> {
+        self.cache.get(app, scale, vl_bits)
+    }
+
+    /// Simulate one `(app, config)` pair on the engine's backend,
+    /// reusing the shared workload cache.
+    pub fn simulate_config(&self, app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats {
+        self.simulate_config_on(self.backend.as_ref(), app, scale, cfg)
+    }
+
+    /// Like [`Engine::simulate_config`] on an explicit backend (lets
+    /// one engine — and one workload cache — serve experiments that
+    /// compare backends, e.g. Table I's simulated-vs-proxy columns).
+    pub fn simulate_config_on(
+        &self,
+        backend: &dyn SimBackend,
+        app: App,
+        scale: WorkloadScale,
+        cfg: &DesignConfig,
+    ) -> SimStats {
+        let w = self.cache.get(app, scale, cfg.core.vector_length);
+        backend.run(&w.program, &cfg.core, &cfg.mem)
+    }
+
+    /// Run a full campaign, streaming rows into `sink` in job order.
+    pub fn run(&self, plan: &RunPlan, sink: &mut dyn RowSink) -> Result<RunSummary, ArmdseError> {
+        self.run_controlled(plan, sink, RunControl::default())
+    }
+
+    /// Run with checkpointing, resume, and/or a progress observer.
+    pub fn run_controlled(
+        &self,
+        plan: &RunPlan,
+        sink: &mut dyn RowSink,
+        mut ctl: RunControl<'_>,
+    ) -> Result<RunSummary, ArmdseError> {
+        let total_jobs = plan.jobs();
+        let fingerprint = plan.fingerprint();
+        let mut done = 0usize;
+        let mut resumed_from = 0usize;
+        let (mut prior_rows, mut prior_discarded) = (0usize, 0usize);
+        if ctl.resume {
+            let path = ctl.checkpoint.ok_or_else(|| {
+                ArmdseError::InvalidPlan("resume requested without a checkpoint path".into())
+            })?;
+            if path.exists() {
+                let c = Checkpoint::load(path)?;
+                if c.fingerprint != fingerprint {
+                    return Err(ArmdseError::Checkpoint(format!(
+                        "{}: fingerprint {:016x} does not match plan {:016x} — \
+                         refusing to resume a different campaign",
+                        path.display(),
+                        c.fingerprint,
+                        fingerprint
+                    )));
+                }
+                if c.jobs_done > total_jobs {
+                    return Err(ArmdseError::Checkpoint(format!(
+                        "{}: jobs_done {} exceeds plan total {total_jobs}",
+                        path.display(),
+                        c.jobs_done
+                    )));
+                }
+                done = c.jobs_done;
+                resumed_from = done;
+                prior_rows = c.rows;
+                prior_discarded = c.discarded;
+            }
+        }
+
+        let (mut rows, mut discarded) = (0usize, 0usize);
+        while done < total_jobs {
+            let end = (done + plan.chunk_jobs).min(total_jobs);
+            for (_, result) in self.run_chunk(plan, done, end) {
+                match result {
+                    Ok(row) => {
+                        sink.row(&row)?;
+                        rows += 1;
+                    }
+                    Err(d) => {
+                        sink.discarded(&d)?;
+                        discarded += 1;
+                    }
+                }
+            }
+            done = end;
+            sink.chunk_end()?;
+            if let Some(path) = ctl.checkpoint {
+                Checkpoint {
+                    fingerprint,
+                    jobs_done: done,
+                    rows: prior_rows + rows,
+                    discarded: prior_discarded + discarded,
+                }
+                .save(path)?;
+            }
+            let progress = Progress {
+                jobs_done: done,
+                total_jobs,
+                rows: prior_rows + rows,
+                discarded: prior_discarded + discarded,
+            };
+            if let Some(observer) = ctl.observer.as_deref_mut() {
+                if !observer(&progress) && done < total_jobs {
+                    return Ok(RunSummary {
+                        jobs: total_jobs,
+                        jobs_done: done,
+                        rows,
+                        discarded,
+                        resumed_from,
+                        completed: false,
+                    });
+                }
+            }
+        }
+        Ok(RunSummary {
+            jobs: total_jobs,
+            jobs_done: done,
+            rows,
+            discarded,
+            resumed_from,
+            completed: true,
+        })
+    }
+
+    /// Execute jobs `start..end` across the plan's worker threads and
+    /// return the results sorted by job index.
+    fn run_chunk(
+        &self,
+        plan: &RunPlan,
+        start: usize,
+        end: usize,
+    ) -> Vec<(usize, Result<Row, DiscardedRun>)> {
+        let n = end - start;
+        let threads = plan.threads.clamp(1, n);
+        let pins: Vec<(&str, f64)> = plan
+            .pins
+            .iter()
+            .map(|(name, v)| (name.as_str(), *v))
+            .collect();
+        let counter = AtomicUsize::new(start);
+        let results: Mutex<Vec<(usize, Result<Row, DiscardedRun>)>> =
+            Mutex::new(Vec::with_capacity(n));
+
+        std::thread::scope(|s| {
+            for _ in 0..threads {
+                s.spawn(|| {
+                    let mut local: Vec<(usize, Result<Row, DiscardedRun>)> = Vec::new();
+                    loop {
+                        let job = counter.fetch_add(1, Ordering::Relaxed);
+                        if job >= end {
+                            break;
+                        }
+                        let cfg_idx = job / plan.apps.len();
+                        let app = plan.apps[job % plan.apps.len()];
+                        let cfg = plan
+                            .space
+                            .sample_seeded_pinned(plan.seed + cfg_idx as u64, &pins);
+                        local.push((job, self.run_job(app, cfg_idx, plan.scale, &cfg)));
+                    }
+                    results
+                        .lock()
+                        .expect("worker poisoned results")
+                        .append(&mut local);
+                });
+            }
+        });
+
+        let mut collected = results.into_inner().expect("worker poisoned results");
+        collected.sort_unstable_by_key(|(job, _)| *job);
+        collected
+    }
+
+    /// Run one simulation; `Err` reports a run that failed validation
+    /// (the paper discards such runs — we record what was dropped).
+    fn run_job(
+        &self,
+        app: App,
+        config_index: usize,
+        scale: WorkloadScale,
+        cfg: &DesignConfig,
+    ) -> Result<Row, DiscardedRun> {
+        let stats = self.simulate_config(app, scale, cfg);
+        if stats.validated {
+            Ok(Row {
+                app,
+                features: cfg.to_features(),
+                cycles: stats.cycles,
+                sve_fraction: stats.sve_fraction(),
+            })
+        } else {
+            Err(DiscardedRun {
+                app,
+                config_index,
+                cycles: stats.cycles,
+                hit_cycle_limit: stats.hit_cycle_limit,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts(configs: usize, threads: usize) -> GenOptions {
+        GenOptions {
+            configs,
+            scale: WorkloadScale::Tiny,
+            seed: 99,
+            threads,
+            apps: vec![App::Stream, App::TeaLeaf],
+        }
+    }
+
+    fn plan(configs: usize, threads: usize) -> RunPlan {
+        RunPlan::new(&ParamSpace::paper(), &opts(configs, threads)).unwrap()
+    }
+
+    #[test]
+    fn zero_configs_is_an_invalid_plan_not_a_panic() {
+        let err = RunPlan::new(&ParamSpace::paper(), &opts(0, 1)).unwrap_err();
+        assert!(matches!(err, ArmdseError::InvalidPlan(_)), "{err}");
+    }
+
+    #[test]
+    fn empty_apps_is_an_invalid_plan() {
+        let mut o = opts(4, 1);
+        o.apps.clear();
+        assert!(matches!(
+            RunPlan::new(&ParamSpace::paper(), &o),
+            Err(ArmdseError::InvalidPlan(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_apps_are_deduplicated_order_preserving() {
+        let mut o = opts(3, 1);
+        o.apps = vec![App::TeaLeaf, App::Stream, App::TeaLeaf, App::Stream];
+        let p = RunPlan::new(&ParamSpace::paper(), &o).unwrap();
+        assert_eq!(p.apps(), &[App::TeaLeaf, App::Stream]);
+        assert_eq!(p.jobs(), 6);
+        // And the engine produces exactly one row per (config, app).
+        let mut data = DseDataset::default();
+        Engine::idealized().run(&p, &mut data).unwrap();
+        assert_eq!(data.rows.len(), 6);
+        assert_eq!(data.for_app(App::TeaLeaf).len(), 3);
+    }
+
+    #[test]
+    fn unknown_pin_is_an_invalid_plan_not_a_panic() {
+        let err = RunPlan::pinned(
+            &ParamSpace::paper(),
+            &opts(2, 1),
+            &[("No-Such-Feature", 1.0)],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("No-Such-Feature"));
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_row_stream() {
+        let mut one_chunk = DseDataset::default();
+        let mut many_chunks = DseDataset::default();
+        let e = Engine::idealized();
+        e.run(&plan(6, 2), &mut one_chunk).unwrap();
+        e.run(&plan(6, 2).with_chunk_jobs(3), &mut many_chunks)
+            .unwrap();
+        assert_eq!(one_chunk, many_chunks);
+    }
+
+    #[test]
+    fn summary_counts_match_sink_contents() {
+        let mut data = DseDataset::default();
+        let s = Engine::idealized().run(&plan(5, 3), &mut data).unwrap();
+        assert!(s.completed);
+        assert_eq!(s.jobs, 10);
+        assert_eq!(s.jobs_done, 10);
+        assert_eq!(s.rows, data.rows.len());
+        assert_eq!(s.discarded, data.discarded.len());
+        assert_eq!(s.resumed_from, 0);
+    }
+
+    #[test]
+    fn observer_sees_monotone_progress_and_can_pause() {
+        let e = Engine::idealized();
+        let p = plan(8, 2).with_chunk_jobs(4); // 16 jobs -> 4 chunks
+        let mut seen = Vec::new();
+        let mut observer = |pr: &Progress| {
+            seen.push(pr.jobs_done);
+            pr.jobs_done < 8 // pause after the second chunk
+        };
+        let mut data = DseDataset::default();
+        let s = e
+            .run_controlled(
+                &p,
+                &mut data,
+                RunControl {
+                    observer: Some(&mut observer),
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(seen, vec![4, 8]);
+        assert!(!s.completed);
+        assert_eq!(s.jobs_done, 8);
+        assert_eq!(data.rows.len() + data.discarded.len(), 8);
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_through_disk() {
+        let c = Checkpoint {
+            fingerprint: 0xDEAD_BEEF,
+            jobs_done: 42,
+            rows: 40,
+            discarded: 2,
+        };
+        let path = std::env::temp_dir().join("armdse_engine_ckpt_roundtrip.ckpt");
+        c.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn resume_rejects_a_foreign_checkpoint() {
+        let path = std::env::temp_dir().join("armdse_engine_ckpt_foreign.ckpt");
+        Checkpoint {
+            fingerprint: 1,
+            jobs_done: 2,
+            rows: 2,
+            discarded: 0,
+        }
+        .save(&path)
+        .unwrap();
+        let e = Engine::idealized();
+        let mut data = DseDataset::default();
+        let err = e
+            .run_controlled(
+                &plan(2, 1),
+                &mut data,
+                RunControl {
+                    checkpoint: Some(&path),
+                    resume: true,
+                    ..RunControl::default()
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(err, ArmdseError::Checkpoint(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn paused_run_resumes_to_the_uninterrupted_dataset() {
+        let e = Engine::idealized();
+        let p = plan(6, 2).with_chunk_jobs(5); // 12 jobs -> chunks of 5,5,2
+        let ckpt = std::env::temp_dir().join("armdse_engine_resume_unit.ckpt");
+        std::fs::remove_file(&ckpt).ok();
+
+        let mut fresh = DseDataset::default();
+        e.run(&p, &mut fresh).unwrap();
+
+        let mut pieces = DseDataset::default();
+        let mut stop_after_first = |pr: &Progress| pr.jobs_done >= 10;
+        let s1 = e
+            .run_controlled(
+                &p,
+                &mut pieces,
+                RunControl {
+                    checkpoint: Some(&ckpt),
+                    resume: false,
+                    observer: Some(&mut |pr: &Progress| {
+                        let _ = &mut stop_after_first;
+                        pr.jobs_done < 5
+                    }),
+                },
+            )
+            .unwrap();
+        assert!(!s1.completed);
+        assert_eq!(s1.jobs_done, 5);
+
+        let s2 = e
+            .run_controlled(
+                &p,
+                &mut pieces,
+                RunControl {
+                    checkpoint: Some(&ckpt),
+                    resume: true,
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert!(s2.completed);
+        assert_eq!(s2.resumed_from, 5);
+        assert_eq!(
+            pieces, fresh,
+            "paused+resumed dataset must equal the fresh one"
+        );
+
+        // Resuming a completed run is a no-op.
+        let mut extra = DseDataset::default();
+        let s3 = e
+            .run_controlled(
+                &p,
+                &mut extra,
+                RunControl {
+                    checkpoint: Some(&ckpt),
+                    resume: true,
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert!(s3.completed);
+        assert_eq!(s3.rows, 0);
+        assert!(extra.rows.is_empty());
+        std::fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn wedged_run_surfaces_as_a_discarded_run() {
+        // A pathological L1 latency pushes CPI past the safety guard; the
+        // run must surface as a DiscardedRun, not vanish.
+        let mut cfg = DesignConfig::thunderx2();
+        cfg.mem.l1_latency = 100_000;
+        cfg.mem.l2_latency = 200_000;
+        let e = Engine::idealized();
+        let d = e
+            .run_job(App::Stream, 7, WorkloadScale::Tiny, &cfg)
+            .unwrap_err();
+        assert!(d.hit_cycle_limit);
+        assert_eq!(d.config_index, 7);
+        assert_eq!(d.app, App::Stream);
+        assert!(d.cycles > 0);
+    }
+
+    #[test]
+    fn engine_matches_the_orchestrator_shim() {
+        let o = opts(4, 2);
+        let via_shim = crate::orchestrator::generate_dataset(&ParamSpace::paper(), &o);
+        let mut via_engine = DseDataset::default();
+        Engine::idealized()
+            .run(
+                &RunPlan::new(&ParamSpace::paper(), &o).unwrap(),
+                &mut via_engine,
+            )
+            .unwrap();
+        assert_eq!(via_shim, via_engine);
+    }
+
+    #[test]
+    fn workload_cache_is_shared_across_runs() {
+        let e = Engine::idealized();
+        let p = plan(3, 1);
+        let mut a = DseDataset::default();
+        e.run(&p, &mut a).unwrap();
+        let after_first = e.cache().len();
+        assert!(after_first > 0);
+        let mut b = DseDataset::default();
+        e.run(&p, &mut b).unwrap();
+        assert_eq!(
+            e.cache().len(),
+            after_first,
+            "second run must hit the cache"
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_tracks_plan_identity() {
+        let base = plan(4, 1);
+        assert_eq!(base.fingerprint(), plan(4, 1).fingerprint());
+        // Threads and chunking don't change identity...
+        assert_eq!(
+            base.fingerprint(),
+            plan(4, 9).with_chunk_jobs(7).fingerprint()
+        );
+        // ...but seed, configs, and pins do.
+        assert_ne!(base.fingerprint(), plan(5, 1).fingerprint());
+        let pinned = RunPlan::pinned(
+            &ParamSpace::paper(),
+            &opts(4, 1),
+            &[("Vector-Length", 128.0)],
+        )
+        .unwrap();
+        assert_ne!(base.fingerprint(), pinned.fingerprint());
+    }
+}

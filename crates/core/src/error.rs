@@ -1,0 +1,69 @@
+//! Typed errors for the DSE framework.
+//!
+//! User-facing entry points (plan validation, checkpointed campaign
+//! runs, streaming sinks) return [`ArmdseError`] instead of panicking
+//! on bad input: a malformed plan or an unreadable checkpoint is an
+//! ordinary error a campaign driver can report and recover from, not a
+//! library `assert!`.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the engine layer.
+#[derive(Debug)]
+pub enum ArmdseError {
+    /// A generation plan failed validation (zero configs, no apps,
+    /// unknown pinned feature, ...).
+    InvalidPlan(String),
+    /// A checkpoint file was missing a field, malformed, or belongs to
+    /// a different plan.
+    Checkpoint(String),
+    /// An I/O failure while streaming rows or persisting a checkpoint.
+    Io(io::Error),
+}
+
+impl fmt::Display for ArmdseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArmdseError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
+            ArmdseError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            ArmdseError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ArmdseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArmdseError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArmdseError {
+    fn from(e: io::Error) -> ArmdseError {
+        ArmdseError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArmdseError::InvalidPlan("configs == 0".into());
+        assert_eq!(e.to_string(), "invalid plan: configs == 0");
+        let e = ArmdseError::from(io::Error::new(io::ErrorKind::NotFound, "gone"));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn io_error_keeps_its_source() {
+        use std::error::Error;
+        let e = ArmdseError::from(io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(ArmdseError::Checkpoint("x".into()).source().is_none());
+    }
+}

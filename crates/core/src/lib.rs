@@ -8,20 +8,29 @@
 //! ## Pipeline (paper workflow T1 → T2 → T3)
 //!
 //! ```text
-//! ParamSpace::paper() ──sample──► DesignConfig ──runner──► SimStats
-//!        │                                                    │
-//!        └──── orchestrator::generate_dataset ────────────────┘
+//! ParamSpace::paper() ──sample──► DesignConfig ──SimBackend──► SimStats
+//!        │                                                        │
+//!        └──────── Engine::run(RunPlan, &mut dyn RowSink) ────────┘
 //!                              │
-//!                        DseDataset (CSV)
+//!              DseDataset / CsvSink (+ checkpoint/resume)
 //!                              │
 //!               SurrogateSuite::train (per-app trees,
 //!               tolerance curves, permutation importances)
 //! ```
 //!
+//! Campaigns run through the [`engine`]: a validated [`engine::RunPlan`]
+//! executed by an [`engine::Engine`] (pluggable simulation backend plus a
+//! shared workload cache) that streams rows in deterministic job order
+//! into any [`engine::RowSink`], checkpointing after each chunk so an
+//! interrupted run resumes to byte-identical output. The old
+//! `orchestrator::generate_dataset*` free functions remain as thin shims.
+//!
 //! ## Example
 //!
 //! ```
+//! use armdse_core::engine::{Engine, RunPlan};
 //! use armdse_core::{orchestrator::GenOptions, space::ParamSpace, surrogate::SurrogateSuite};
+//! use armdse_core::DseDataset;
 //! use armdse_kernels::{App, WorkloadScale};
 //!
 //! let opts = GenOptions {
@@ -31,7 +40,9 @@
 //!     threads: 2,
 //!     apps: vec![App::Stream],
 //! };
-//! let data = armdse_core::orchestrator::generate_dataset(&ParamSpace::paper(), &opts);
+//! let plan = RunPlan::new(&ParamSpace::paper(), &opts).unwrap();
+//! let mut data = DseDataset::default();
+//! Engine::idealized().run(&plan, &mut data).unwrap();
 //! assert!(data.rows.len() <= 40 && !data.rows.is_empty());
 //! let suite = SurrogateSuite::train(&data, 0.2, 7);
 //! assert_eq!(suite.models.len(), 1);
@@ -41,6 +52,8 @@
 
 pub mod config;
 pub mod dataset;
+pub mod engine;
+pub mod error;
 pub mod orchestrator;
 pub mod runner;
 pub mod space;
@@ -49,5 +62,7 @@ pub mod surrogate;
 
 pub use config::DesignConfig;
 pub use dataset::{DseDataset, Row};
+pub use engine::{CsvSink, Engine, Progress, RowSink, RunControl, RunPlan, RunSummary};
+pub use error::ArmdseError;
 pub use space::{ParamSpace, FEATURE_COUNT};
 pub use surrogate::{AppModel, ModelMetrics, SurrogateSuite};

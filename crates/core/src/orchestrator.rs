@@ -1,24 +1,17 @@
-//! Parallel dataset generation — the stand-in for the paper's
-//! `xci_launcher.sh` / `run_xci.sh` orchestration (artifact A₂, task T₁):
-//! "orchestrate each run through automated generation of the core's
-//! configuration file as well as the SST memory model file, followed by
-//! dispatching multiple instances of SimEng at once and collecting the
-//! returned statistics from each run."
+//! Back-compat dataset generation — the stand-in for the paper's
+//! `xci_launcher.sh` / `run_xci.sh` orchestration (artifact A₂, task T₁).
 //!
-//! Work is distributed over worker threads by an atomic job counter; each
-//! job is one (configuration, application) simulation. Configurations are
-//! derived from `seed + config_index`, so results are byte-identical
-//! regardless of thread count or scheduling. Only validated runs (the
-//! paper keeps only runs passing each app's built-in validation) are
-//! recorded.
+//! The chunked, resumable job loop now lives in [`crate::engine`]; the
+//! free functions here are thin shims kept for existing callers. New
+//! code should build a [`crate::engine::RunPlan`] and stream through
+//! [`crate::engine::Engine::run`] — that path returns typed errors,
+//! checkpoints, and resumes, none of which a bare [`DseDataset`] return
+//! value can express.
 
-use crate::config::DesignConfig;
-use crate::dataset::{DiscardedRun, DseDataset, Row};
+use crate::dataset::DseDataset;
+use crate::engine::{Engine, RunPlan};
 use crate::space::ParamSpace;
-use armdse_kernels::{build_workload, App, Workload, WorkloadScale};
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use armdse_kernels::{App, WorkloadScale};
 
 /// Dataset-generation options.
 #[derive(Debug, Clone)]
@@ -31,7 +24,8 @@ pub struct GenOptions {
     pub seed: u64,
     /// Worker threads.
     pub threads: usize,
-    /// Applications to simulate per configuration.
+    /// Applications to simulate per configuration (duplicates are
+    /// ignored — plan validation deduplicates order-preserving).
     pub apps: Vec<App>,
 }
 
@@ -49,6 +43,10 @@ impl Default for GenOptions {
 
 /// Generate a dataset by simulating every app on `configs` sampled design
 /// points. Deterministic for fixed (`seed`, `configs`, `apps`, `scale`).
+///
+/// Shim over [`Engine::run`]; panics on an invalid plan (zero configs or
+/// no apps), matching the old `assert!` behaviour. Fallible callers
+/// should use [`RunPlan::new`] and handle the error.
 pub fn generate_dataset(space: &ParamSpace, opts: &GenOptions) -> DseDataset {
     generate_dataset_pinned(space, opts, &[])
 }
@@ -60,101 +58,27 @@ pub fn generate_dataset_pinned(
     opts: &GenOptions,
     pins: &[(&str, f64)],
 ) -> DseDataset {
-    assert!(!opts.apps.is_empty() && opts.configs > 0);
-    let n_jobs = opts.configs * opts.apps.len();
-
-    // Workloads depend only on (app, scale, VL): prebuild all of them once
-    // and share across threads, keyed for O(1) lookup per job.
-    let workloads: HashMap<(App, u32), Workload> = opts
-        .apps
-        .iter()
-        .flat_map(|&app| {
-            space
-                .vector_lengths
-                .iter()
-                .map(move |&vl| ((app, vl), build_workload(app, opts.scale, vl)))
-        })
-        .collect();
-    let lookup = |app: App, vl: u32| -> &Workload {
-        workloads.get(&(app, vl)).expect("workload prebuilt for every (app, VL)")
-    };
-
-    let counter = AtomicUsize::new(0);
-    let results: Mutex<Vec<(usize, Result<Row, DiscardedRun>)>> =
-        Mutex::new(Vec::with_capacity(n_jobs));
-    let threads = opts.threads.clamp(1, n_jobs);
-
-    std::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|| {
-                let mut local: Vec<(usize, Result<Row, DiscardedRun>)> = Vec::new();
-                loop {
-                    let job = counter.fetch_add(1, Ordering::Relaxed);
-                    if job >= n_jobs {
-                        break;
-                    }
-                    let cfg_idx = job / opts.apps.len();
-                    let app = opts.apps[job % opts.apps.len()];
-                    let cfg =
-                        space.sample_seeded_pinned(opts.seed + cfg_idx as u64, pins);
-                    local.push((
-                        job,
-                        run_one(app, cfg_idx, &cfg, lookup(app, cfg.core.vector_length)),
-                    ));
-                }
-                results.lock().expect("worker poisoned results").append(&mut local);
-            });
-        }
-    });
-
-    let mut collected = results.into_inner().expect("worker poisoned results");
-    collected.sort_unstable_by_key(|(job, _)| *job);
+    let plan = RunPlan::pinned(space, opts, pins).expect("invalid generation plan");
+    let engine = Engine::idealized();
     let mut dataset = DseDataset::default();
-    for (_, r) in collected {
-        match r {
-            Ok(row) => dataset.rows.push(row),
-            Err(d) => dataset.discarded.push(d),
-        }
-    }
+    engine
+        .run(&plan, &mut dataset)
+        .expect("in-memory dataset sink cannot fail");
     if !dataset.discarded.is_empty() {
         eprintln!(
             "[orchestrator] discarded {} of {} runs that failed validation",
             dataset.discarded.len(),
-            n_jobs
+            plan.jobs()
         );
     }
     dataset
 }
 
-/// Run one simulation; `Err` reports a run that failed validation (the
-/// paper discards such runs — we additionally record what was dropped).
-fn run_one(
-    app: App,
-    config_index: usize,
-    cfg: &DesignConfig,
-    w: &Workload,
-) -> Result<Row, DiscardedRun> {
-    let stats = armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem);
-    if stats.validated {
-        Ok(Row {
-            app,
-            features: cfg.to_features(),
-            cycles: stats.cycles,
-            sve_fraction: stats.sve_fraction(),
-        })
-    } else {
-        Err(DiscardedRun {
-            app,
-            config_index,
-            cycles: stats.cycles,
-            hit_cycle_limit: stats.hit_cycle_limit,
-        })
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DesignConfig;
+    use armdse_kernels::build_workload;
 
     fn opts(configs: usize, threads: usize) -> GenOptions {
         GenOptions {
@@ -196,7 +120,24 @@ mod tests {
     #[test]
     fn sane_configs_discard_nothing() {
         let d = generate_dataset(&ParamSpace::paper(), &opts(6, 2));
-        assert!(d.discarded.is_empty(), "unexpected discards: {:?}", d.discarded);
+        assert!(
+            d.discarded.is_empty(),
+            "unexpected discards: {:?}",
+            d.discarded
+        );
+    }
+
+    #[test]
+    fn duplicate_apps_do_not_double_count() {
+        let mut o = opts(4, 2);
+        o.apps = vec![App::Stream, App::Stream, App::TeaLeaf, App::Stream];
+        let d = generate_dataset(&ParamSpace::paper(), &o);
+        assert_eq!(
+            d.rows.len(),
+            8,
+            "duplicates must be deduplicated, not re-run"
+        );
+        assert_eq!(d, generate_dataset(&ParamSpace::paper(), &opts(4, 2)));
     }
 
     #[test]
@@ -207,11 +148,14 @@ mod tests {
         cfg.mem.l1_latency = 100_000;
         cfg.mem.l2_latency = 200_000;
         let w = build_workload(App::Stream, WorkloadScale::Tiny, cfg.core.vector_length);
-        let d = run_one(App::Stream, 7, &cfg, &w).unwrap_err();
-        assert!(d.hit_cycle_limit);
-        assert_eq!(d.config_index, 7);
-        assert_eq!(d.app, App::Stream);
-        assert!(d.cycles > 0);
+        let stats = armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem);
+        assert!(!stats.validated);
+        assert!(stats.hit_cycle_limit);
+        // Through the engine path the failure surfaces as a DiscardedRun.
+        // (Direct check: a dataset generated over only-wedged configs
+        // would record it; here we assert the stats-level contract the
+        // engine's run_job relies on.)
+        assert!(stats.cycles > 0);
     }
 
     #[test]

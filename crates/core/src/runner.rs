@@ -1,4 +1,9 @@
 //! Single-simulation runner: workload construction + core simulation.
+//!
+//! Superseded by [`crate::engine::Engine`], which memoises workload
+//! construction and makes the backend pluggable; the free functions
+//! here rebuild the workload on every call and are kept only for
+//! existing callers.
 
 use crate::config::DesignConfig;
 use armdse_kernels::{build_workload, App, Workload, WorkloadScale};
@@ -6,6 +11,7 @@ use armdse_simcore::SimStats;
 
 /// Build the workload and simulate it on the default (SST-like) memory
 /// hierarchy. One call = one of the paper's T2 simulation tasks.
+#[deprecated(note = "use `engine::Engine::simulate_config`, which caches workloads")]
 pub fn simulate(app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats {
     let w = build_workload(app, scale, cfg.core.vector_length);
     simulate_workload(&w, cfg)
@@ -14,12 +20,16 @@ pub fn simulate(app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats 
 /// Simulate a pre-built workload (callers that sweep non-VL parameters
 /// can reuse one workload across many configs).
 pub fn simulate_workload(w: &Workload, cfg: &DesignConfig) -> SimStats {
-    debug_assert!(!w.program.name.is_empty(), "workload must be lowered from a named kernel");
+    debug_assert!(
+        !w.program.name.is_empty(),
+        "workload must be lowered from a named kernel"
+    );
     armdse_simcore::simulate(&w.program, &cfg.core, &cfg.mem)
 }
 
 /// Simulate on the finite-banked hardware-proxy hierarchy (the Table I
 /// "hardware" side; see DESIGN.md substitution table).
+#[deprecated(note = "use `engine::Engine::simulate_config_on` with `armdse_simcore::BankedProxy`")]
 pub fn simulate_hardware_proxy(app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats {
     let w = build_workload(app, scale, cfg.core.vector_length);
     armdse_simcore::simulate_hardware_proxy(&w.program, &cfg.core, &cfg.mem)
@@ -27,6 +37,8 @@ pub fn simulate_hardware_proxy(app: App, scale: WorkloadScale, cfg: &DesignConfi
 
 #[cfg(test)]
 mod tests {
+    #![allow(deprecated)] // the shims must keep working until removed
+
     use super::*;
 
     #[test]

@@ -13,8 +13,8 @@
 use crate::config::DesignConfig;
 pub use crate::config::FEATURE_NAMES;
 use armdse_memsim::MemParams;
-use armdse_simcore::CoreParams;
 use armdse_rng::{Rng, SeedableRng, Xoshiro256pp};
+use armdse_simcore::CoreParams;
 
 /// Number of design-space features (the paper's "thirty variable input
 /// features").
@@ -134,8 +134,12 @@ impl ParamSpace {
         let vector_length = pick(rng, &self.vector_lengths);
         let vl_bytes = vector_length / 8;
         // Constraint: bandwidth grid restricted to >= one full vector.
-        let bw_grid: Vec<u32> =
-            self.bandwidths.iter().copied().filter(|&b| b >= vl_bytes).collect();
+        let bw_grid: Vec<u32> = self
+            .bandwidths
+            .iter()
+            .copied()
+            .filter(|&b| b >= vl_bytes)
+            .collect();
         assert!(!bw_grid.is_empty(), "bandwidth grid cannot cover VL");
 
         let core = CoreParams {
@@ -170,8 +174,12 @@ impl ParamSpace {
             .collect();
         let l1_assoc = pick(rng, &l1_fit);
         // Constraint: L2 strictly larger than L1.
-        let l2_fit: Vec<u32> =
-            self.l2_sizes.iter().copied().filter(|&s| s > l1_size_kib).collect();
+        let l2_fit: Vec<u32> = self
+            .l2_sizes
+            .iter()
+            .copied()
+            .filter(|&s| s > l1_size_kib)
+            .collect();
         let l2_size_kib = pick(rng, &l2_fit);
         let l2_assoc_fit: Vec<u32> = self
             .l2_assocs
@@ -210,7 +218,10 @@ impl ParamSpace {
         };
 
         let cfg = DesignConfig { core, mem };
-        debug_assert!(cfg.validate().is_ok(), "sampler produced invalid config: {cfg:?}");
+        debug_assert!(
+            cfg.validate().is_ok(),
+            "sampler produced invalid config: {cfg:?}"
+        );
         cfg
     }
 
@@ -313,6 +324,10 @@ mod tests {
         for seed in 0..200 {
             seen.insert(s.sample_seeded(seed).core.vector_length);
         }
-        assert_eq!(seen.len(), 5, "all vector lengths should appear in 200 draws");
+        assert_eq!(
+            seen.len(),
+            5,
+            "all vector lengths should appear in 200 draws"
+        );
     }
 }

@@ -41,8 +41,7 @@ impl DseDataset {
         let apps = App::ALL
             .iter()
             .filter_map(|&app| {
-                let mut cycles: Vec<u64> =
-                    self.for_app(app).iter().map(|r| r.cycles).collect();
+                let mut cycles: Vec<u64> = self.for_app(app).iter().map(|r| r.cycles).collect();
                 if cycles.is_empty() {
                     return None;
                 }
@@ -70,15 +69,20 @@ impl DseDataset {
             .iter()
             .enumerate()
             .map(|(i, name)| {
-                let (lo, hi) = self.rows.iter().fold(
-                    (f64::INFINITY, f64::NEG_INFINITY),
-                    |(lo, hi), r| (lo.min(r.features[i]), hi.max(r.features[i])),
-                );
+                let (lo, hi) = self
+                    .rows
+                    .iter()
+                    .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), r| {
+                        (lo.min(r.features[i]), hi.max(r.features[i]))
+                    });
                 (name.to_string(), lo, hi)
             })
             .collect();
 
-        DatasetSummary { apps, feature_ranges }
+        DatasetSummary {
+            apps,
+            feature_ranges,
+        }
     }
 }
 
@@ -125,9 +129,24 @@ mod tests {
         let f = DesignConfig::thunderx2().to_features();
         DseDataset {
             rows: vec![
-                Row { app: App::Stream, features: f, cycles: 100, sve_fraction: 0.5 },
-                Row { app: App::Stream, features: f, cycles: 300, sve_fraction: 0.6 },
-                Row { app: App::Stream, features: f, cycles: 200, sve_fraction: 0.4 },
+                Row {
+                    app: App::Stream,
+                    features: f,
+                    cycles: 100,
+                    sve_fraction: 0.5,
+                },
+                Row {
+                    app: App::Stream,
+                    features: f,
+                    cycles: 300,
+                    sve_fraction: 0.6,
+                },
+                Row {
+                    app: App::Stream,
+                    features: f,
+                    cycles: 200,
+                    sve_fraction: 0.4,
+                },
             ],
             discarded: Vec::new(),
         }

@@ -10,8 +10,8 @@ use crate::config::FEATURE_NAMES;
 use crate::dataset::DseDataset;
 use armdse_kernels::App;
 use armdse_mltree::{
-    mae, mean_relative_accuracy, permutation_importance, r2, train_test_split,
-    within_tolerance, DecisionTreeRegressor, ImportanceReport, Regressor,
+    mae, mean_relative_accuracy, permutation_importance, r2, train_test_split, within_tolerance,
+    DecisionTreeRegressor, ImportanceReport, Regressor,
 };
 
 /// Confidence intervals of the paper's Fig. 2 (relative tolerance).
@@ -75,7 +75,10 @@ impl SurrogateSuite {
     /// Mean accuracy across apps (the paper's aggregate 93.38% number).
     pub fn mean_accuracy_pct(&self) -> f64 {
         assert!(!self.models.is_empty());
-        self.models.iter().map(|m| m.metrics.accuracy_pct).sum::<f64>()
+        self.models
+            .iter()
+            .map(|m| m.metrics.accuracy_pct)
+            .sum::<f64>()
             / self.models.len() as f64
     }
 
@@ -112,7 +115,12 @@ fn train_app(data: &DseDataset, app: App, test_frac: f64, seed: u64) -> AppModel
     let names: Vec<String> = FEATURE_NAMES.iter().map(|s| s.to_string()).collect();
     let importance = permutation_importance(&tree, &test.x, &test.y, &names, 10, seed ^ 0xABCD);
 
-    AppModel { app, tree, metrics, importance }
+    AppModel {
+        app,
+        tree,
+        metrics,
+        importance,
+    }
 }
 
 #[cfg(test)]

@@ -25,7 +25,12 @@ pub struct TraceCursor<'p> {
 impl<'p> TraceCursor<'p> {
     /// Start a cursor at the program's entry.
     pub fn new(program: &'p Program) -> TraceCursor<'p> {
-        TraceCursor { program, next: 0, idx: [0; MAX_LOOP_DEPTH], produced: 0 }
+        TraceCursor {
+            program,
+            next: 0,
+            idx: [0; MAX_LOOP_DEPTH],
+            produced: 0,
+        }
     }
 
     /// Number of dynamic instructions produced so far.
@@ -76,7 +81,10 @@ impl<'p> TraceCursor<'p> {
                 self.next = i + 1;
                 // Explicit (non-loop) branches in kernel bodies fall through.
                 if t.op.is_branch() {
-                    Some(BranchInfo { taken: false, target: pc + 4 })
+                    Some(BranchInfo {
+                        taken: false,
+                        target: pc + 4,
+                    })
                 } else {
                     None
                 }
@@ -84,7 +92,14 @@ impl<'p> TraceCursor<'p> {
         };
 
         self.produced += 1;
-        Some(DynInstr { pc, op: t.op, dests: t.dests, srcs: t.srcs, mem, branch })
+        Some(DynInstr {
+            pc,
+            op: t.op,
+            dests: t.dests,
+            srcs: t.srcs,
+            mem,
+            branch,
+        })
     }
 }
 
@@ -166,18 +181,21 @@ mod tests {
         let addrs: Vec<u64> = TraceCursor::new(&p)
             .filter_map(|d| d.mem.map(|m| m.addr))
             .collect();
-        assert_eq!(
-            addrs,
-            vec![0x1000, 0x1008, 0x1010, 0x1040, 0x1048, 0x1050]
-        );
+        assert_eq!(addrs, vec![0x1000, 0x1008, 0x1010, 0x1040, 0x1048, 0x1050]);
     }
 
     #[test]
     fn inner_loop_reruns_in_outer_iterations() {
-        let inner = vec![Stmt::Instr(InstrTemplate::compute(OpClass::FpAdd, &[Reg::fp(0)], &[]))];
+        let inner = vec![Stmt::Instr(InstrTemplate::compute(
+            OpClass::FpAdd,
+            &[Reg::fp(0)],
+            &[],
+        ))];
         let k = Kernel::new("r", vec![Stmt::repeat(4, vec![Stmt::repeat(5, inner)])]);
         let p = Program::lower(&k);
-        let fp_count = TraceCursor::new(&p).filter(|d| d.op == OpClass::FpAdd).count();
+        let fp_count = TraceCursor::new(&p)
+            .filter(|d| d.op == OpClass::FpAdd)
+            .count();
         assert_eq!(fp_count, 20);
         assert_eq!(TraceCursor::new(&p).count() as u64, p.dynamic_len());
     }

@@ -98,7 +98,12 @@ impl InstrTemplate {
             op,
             dests: RegList::from_slice(&[dest]),
             srcs: RegList::from_slice(addr_srcs),
-            mem: Some(MemTemplate { expr, bytes, kind: MemKind::Load, pattern: MemPattern::Contiguous }),
+            mem: Some(MemTemplate {
+                expr,
+                bytes,
+                kind: MemKind::Load,
+                pattern: MemPattern::Contiguous,
+            }),
         }
     }
 
@@ -121,7 +126,11 @@ impl InstrTemplate {
                 expr,
                 bytes: elem_bytes * count,
                 kind: MemKind::Load,
-                pattern: MemPattern::Strided { elem_bytes, stride, count },
+                pattern: MemPattern::Strided {
+                    elem_bytes,
+                    stride,
+                    count,
+                },
             }),
         }
     }
@@ -142,25 +151,29 @@ impl InstrTemplate {
                 expr,
                 bytes: elem_bytes * count,
                 kind: MemKind::Store,
-                pattern: MemPattern::Strided { elem_bytes, stride, count },
+                pattern: MemPattern::Strided {
+                    elem_bytes,
+                    stride,
+                    count,
+                },
             }),
         }
     }
 
     /// A store instruction reading `data_srcs` (data + address registers),
     /// addressed by `expr`, writing `bytes` bytes.
-    pub fn store(
-        op: OpClass,
-        data_srcs: &[Reg],
-        expr: AddrExpr,
-        bytes: u32,
-    ) -> InstrTemplate {
+    pub fn store(op: OpClass, data_srcs: &[Reg], expr: AddrExpr, bytes: u32) -> InstrTemplate {
         debug_assert!(op.is_store());
         InstrTemplate {
             op,
             dests: RegList::empty(),
             srcs: RegList::from_slice(data_srcs),
-            mem: Some(MemTemplate { expr, bytes, kind: MemKind::Store, pattern: MemPattern::Contiguous }),
+            mem: Some(MemTemplate {
+                expr,
+                bytes,
+                kind: MemKind::Store,
+                pattern: MemPattern::Contiguous,
+            }),
         }
     }
 
@@ -273,12 +286,6 @@ mod tests {
     #[should_panic]
     fn load_constructor_rejects_non_load_class() {
         // debug_assert fires in test builds
-        let _ = InstrTemplate::load(
-            OpClass::IntAlu,
-            Reg::gp(0),
-            &[],
-            AddrExpr::fixed(0),
-            8,
-        );
+        let _ = InstrTemplate::load(OpClass::IntAlu, Reg::gp(0), &[], AddrExpr::fixed(0), 8);
     }
 }

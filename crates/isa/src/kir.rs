@@ -26,7 +26,10 @@ pub struct AddrExpr {
 impl AddrExpr {
     /// A fixed address independent of every loop index.
     pub const fn fixed(base: u64) -> AddrExpr {
-        AddrExpr { base, strides: [0; MAX_LOOP_DEPTH] }
+        AddrExpr {
+            base,
+            strides: [0; MAX_LOOP_DEPTH],
+        }
     }
 
     /// Address varying along one loop depth.
@@ -92,7 +95,10 @@ pub struct Kernel {
 impl Kernel {
     /// Create a kernel from a body.
     pub fn new(name: impl Into<String>, body: Vec<Stmt>) -> Kernel {
-        Kernel { name: name.into(), body }
+        Kernel {
+            name: name.into(),
+            body,
+        }
     }
 
     /// Maximum loop-nest depth of the kernel body.
@@ -161,9 +167,7 @@ impl Kernel {
                         r.index
                     ));
                 }
-                if r.class == RegClass::Gp
-                    && (24..24 + MAX_LOOP_DEPTH as u8).contains(&r.index)
-                {
+                if r.class == RegClass::Gp && (24..24 + MAX_LOOP_DEPTH as u8).contains(&r.index) {
                     return Err(format!(
                         "kernel '{name}': body uses reserved induction register x{}",
                         r.index
@@ -174,7 +178,10 @@ impl Kernel {
             if m.bytes == 0 {
                 return Err(format!("kernel '{name}': zero-byte memory access"));
             }
-            if let MemPattern::Strided { elem_bytes, count, .. } = m.pattern {
+            if let MemPattern::Strided {
+                elem_bytes, count, ..
+            } = m.pattern
+            {
                 if elem_bytes == 0 || count == 0 || elem_bytes * count != m.bytes {
                     return Err(format!(
                         "kernel '{name}': strided walk {elem_bytes}x{count} != {} bytes",

@@ -15,7 +15,6 @@
 //! DESIGN.md. Latencies approximate a modern Arm core (Neoverse-class) and
 //! are fixed across the entire design space, as in the paper.
 
-
 /// Functional classes of macro-operations retired by the core model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum OpClass {
@@ -75,8 +74,12 @@ pub enum PortClass {
 
 impl PortClass {
     /// All port classes in fixed order.
-    pub const ALL: [PortClass; 4] =
-        [PortClass::LoadStore, PortClass::Vector, PortClass::Predicate, PortClass::Scalar];
+    pub const ALL: [PortClass; 4] = [
+        PortClass::LoadStore,
+        PortClass::Vector,
+        PortClass::Predicate,
+        PortClass::Scalar,
+    ];
 
     /// Index into per-port-class arrays.
     #[inline]
@@ -192,7 +195,10 @@ impl OpClass {
     /// Whether the op writes memory.
     #[inline]
     pub fn is_store(self) -> bool {
-        matches!(self, OpClass::Store | OpClass::VecStore | OpClass::VecScatter)
+        matches!(
+            self,
+            OpClass::Store | OpClass::VecStore | OpClass::VecScatter
+        )
     }
 
     /// Whether the op accesses memory at all.
@@ -229,7 +235,10 @@ impl OpClass {
 
     /// Index into `ALL`-ordered statistics arrays.
     pub fn index(self) -> usize {
-        OpClass::ALL.iter().position(|&c| c == self).expect("op class in ALL")
+        OpClass::ALL
+            .iter()
+            .position(|&c| c == self)
+            .expect("op class in ALL")
     }
 
     /// Short tag for statistics output.

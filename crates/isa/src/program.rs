@@ -84,7 +84,11 @@ impl Program {
             "kernel '{}' exceeds MAX_LOOP_DEPTH",
             kernel.name
         );
-        let mut p = Program { name: kernel.name.clone(), ops: Vec::new(), loops: Vec::new() };
+        let mut p = Program {
+            name: kernel.name.clone(),
+            ops: Vec::new(),
+            loops: Vec::new(),
+        };
         lower_stmts(&kernel.body, 0, &mut p);
         p
     }
@@ -132,7 +136,10 @@ fn lower_stmts(stmts: &[Stmt], depth: usize, p: &mut Program) {
     for s in stmts {
         match s {
             Stmt::Instr(t) => {
-                p.ops.push(StaticInstr { template: *t, role: OpRole::Body });
+                p.ops.push(StaticInstr {
+                    template: *t,
+                    role: OpRole::Body,
+                });
             }
             Stmt::Loop { trip, body } => {
                 if *trip == 0 {
@@ -147,11 +154,7 @@ fn lower_stmts(stmts: &[Stmt], depth: usize, p: &mut Program) {
                 // and writes the induction GP reg and writes NZCV, so the
                 // condition-register file sees real rename pressure.
                 p.ops.push(StaticInstr {
-                    template: InstrTemplate::compute(
-                        OpClass::IntAlu,
-                        &[ind, Reg::nzcv()],
-                        &[ind],
-                    ),
+                    template: InstrTemplate::compute(OpClass::IntAlu, &[ind, Reg::nzcv()], &[ind]),
                     role: OpRole::LoopAdd(id),
                 });
                 // Conditional branch on the flags.
@@ -160,7 +163,12 @@ fn lower_stmts(stmts: &[Stmt], depth: usize, p: &mut Program) {
                     role: OpRole::LoopBranch(id),
                 });
                 let branch = (p.ops.len() - 1) as u32;
-                p.loops.push(LoopMeta { header, branch, trip: *trip, depth: depth as u8 });
+                p.loops.push(LoopMeta {
+                    header,
+                    branch,
+                    trip: *trip,
+                    depth: depth as u8,
+                });
             }
         }
     }
@@ -172,7 +180,11 @@ mod tests {
     use crate::kir::AddrExpr;
 
     fn alu() -> Stmt {
-        Stmt::Instr(InstrTemplate::compute(OpClass::IntAlu, &[Reg::gp(0)], &[Reg::gp(1)]))
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::IntAlu,
+            &[Reg::gp(0)],
+            &[Reg::gp(1)],
+        ))
     }
 
     fn load(depth: usize) -> Stmt {

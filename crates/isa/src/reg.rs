@@ -6,7 +6,6 @@
 //! registers per class, so instructions carry architectural register
 //! operands tagged with their class.
 
-
 /// The four architectural register classes renamed by the core model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum RegClass {
@@ -79,25 +78,37 @@ impl Reg {
     /// General-purpose register `x{i}`.
     #[inline]
     pub const fn gp(i: u8) -> Reg {
-        Reg { class: RegClass::Gp, index: i }
+        Reg {
+            class: RegClass::Gp,
+            index: i,
+        }
     }
 
     /// FP/SVE register `z{i}` (aliasing `d{i}`/`v{i}`).
     #[inline]
     pub const fn fp(i: u8) -> Reg {
-        Reg { class: RegClass::Fp, index: i }
+        Reg {
+            class: RegClass::Fp,
+            index: i,
+        }
     }
 
     /// Predicate register `p{i}`.
     #[inline]
     pub const fn pred(i: u8) -> Reg {
-        Reg { class: RegClass::Pred, index: i }
+        Reg {
+            class: RegClass::Pred,
+            index: i,
+        }
     }
 
     /// The NZCV condition flags register.
     #[inline]
     pub const fn nzcv() -> Reg {
-        Reg { class: RegClass::Cond, index: 0 }
+        Reg {
+            class: RegClass::Cond,
+            index: 0,
+        }
     }
 
     /// Whether the index is valid for the class.
@@ -122,7 +133,10 @@ impl RegList {
     /// Empty list.
     #[inline]
     pub const fn empty() -> RegList {
-        RegList { regs: [Reg::gp(0); 4], len: 0 }
+        RegList {
+            regs: [Reg::gp(0); 4],
+            len: 0,
+        }
     }
 
     /// Build from a slice (panics if longer than 4).
@@ -205,9 +219,27 @@ mod tests {
 
     #[test]
     fn reg_constructors() {
-        assert_eq!(Reg::gp(5), Reg { class: RegClass::Gp, index: 5 });
-        assert_eq!(Reg::fp(31), Reg { class: RegClass::Fp, index: 31 });
-        assert_eq!(Reg::pred(0), Reg { class: RegClass::Pred, index: 0 });
+        assert_eq!(
+            Reg::gp(5),
+            Reg {
+                class: RegClass::Gp,
+                index: 5
+            }
+        );
+        assert_eq!(
+            Reg::fp(31),
+            Reg {
+                class: RegClass::Fp,
+                index: 31
+            }
+        );
+        assert_eq!(
+            Reg::pred(0),
+            Reg {
+                class: RegClass::Pred,
+                index: 0
+            }
+        );
         assert_eq!(Reg::nzcv().class, RegClass::Cond);
         assert!(Reg::gp(31).is_valid());
         assert!(!Reg::fp(32).is_valid());

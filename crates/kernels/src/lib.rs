@@ -25,11 +25,14 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod layout;
 pub mod minibude;
 pub mod minisweep;
 pub mod stream;
 pub mod tealeaf;
+
+pub use cache::WorkloadCache;
 
 use armdse_isa::{OpSummary, Program};
 
@@ -123,13 +126,15 @@ pub fn build_workload(app: App, scale: WorkloadScale, vl_bits: u32) -> Workload 
         App::Stream => stream::kernel(&stream::StreamParams::for_scale(scale), vl_bits),
         App::MiniBude => minibude::kernel(&minibude::BudeParams::for_scale(scale), vl_bits),
         App::TeaLeaf => tealeaf::kernel(&tealeaf::TeaLeafParams::for_scale(scale), vl_bits),
-        App::MiniSweep => {
-            minisweep::kernel(&minisweep::SweepParams::for_scale(scale), vl_bits)
-        }
+        App::MiniSweep => minisweep::kernel(&minisweep::SweepParams::for_scale(scale), vl_bits),
     };
     let program = Program::lower(&kernel);
     let summary = OpSummary::of(&program);
-    Workload { app, program, summary }
+    Workload {
+        app,
+        program,
+        summary,
+    }
 }
 
 #[cfg(test)]
@@ -158,7 +163,11 @@ mod tests {
     #[test]
     fn all_apps_build_at_all_scales() {
         for a in App::ALL {
-            for s in [WorkloadScale::Tiny, WorkloadScale::Small, WorkloadScale::Standard] {
+            for s in [
+                WorkloadScale::Tiny,
+                WorkloadScale::Small,
+                WorkloadScale::Standard,
+            ] {
                 for vl in [128, 512, 2048] {
                     let w = build_workload(a, s, vl);
                     assert!(w.summary.total() > 0, "{a:?} {s:?} vl={vl} empty");
@@ -172,11 +181,18 @@ mod tests {
         // STREAM and miniBUDE are heavily vectorised; TeaLeaf and
         // MiniSweep are not (paper Fig. 1).
         for vl in [128, 512, 2048] {
-            let s = build_workload(App::Stream, WorkloadScale::Small, vl).summary.sve_fraction();
-            let b = build_workload(App::MiniBude, WorkloadScale::Small, vl).summary.sve_fraction();
-            let t = build_workload(App::TeaLeaf, WorkloadScale::Small, vl).summary.sve_fraction();
-            let m =
-                build_workload(App::MiniSweep, WorkloadScale::Small, vl).summary.sve_fraction();
+            let s = build_workload(App::Stream, WorkloadScale::Small, vl)
+                .summary
+                .sve_fraction();
+            let b = build_workload(App::MiniBude, WorkloadScale::Small, vl)
+                .summary
+                .sve_fraction();
+            let t = build_workload(App::TeaLeaf, WorkloadScale::Small, vl)
+                .summary
+                .sve_fraction();
+            let m = build_workload(App::MiniSweep, WorkloadScale::Small, vl)
+                .summary
+                .sve_fraction();
             assert!(s > 0.4, "STREAM sve {s} at vl={vl}");
             assert!(b > 0.4, "miniBUDE sve {b} at vl={vl}");
             assert!(t < 0.15, "TeaLeaf sve {t} at vl={vl}");
@@ -187,8 +203,12 @@ mod tests {
     #[test]
     fn longer_vectors_retire_fewer_instructions() {
         for a in [App::Stream, App::MiniBude] {
-            let short = build_workload(a, WorkloadScale::Standard, 128).summary.total();
-            let long = build_workload(a, WorkloadScale::Standard, 2048).summary.total();
+            let short = build_workload(a, WorkloadScale::Standard, 128)
+                .summary
+                .total();
+            let long = build_workload(a, WorkloadScale::Standard, 2048)
+                .summary
+                .total();
             assert!(
                 long * 4 < short,
                 "{a:?}: vl=2048 should retire far fewer instructions ({long} vs {short})"
@@ -200,9 +220,14 @@ mod tests {
     fn scalar_apps_insensitive_to_vl() {
         for a in [App::TeaLeaf, App::MiniSweep] {
             let short = build_workload(a, WorkloadScale::Small, 128).summary.total();
-            let long = build_workload(a, WorkloadScale::Small, 2048).summary.total();
+            let long = build_workload(a, WorkloadScale::Small, 2048)
+                .summary
+                .total();
             let ratio = short as f64 / long as f64;
-            assert!(ratio < 1.3, "{a:?}: near-scalar code should barely shrink ({ratio})");
+            assert!(
+                ratio < 1.3,
+                "{a:?}: near-scalar code should barely shrink ({ratio})"
+            );
         }
     }
 
@@ -218,7 +243,9 @@ mod tests {
         // retired instructions at the shortest (most instruction-hungry)
         // vector length.
         for a in App::ALL {
-            let n = build_workload(a, WorkloadScale::Standard, 128).summary.total();
+            let n = build_workload(a, WorkloadScale::Standard, 128)
+                .summary
+                .total();
             assert!(
                 (10_000..400_000).contains(&n),
                 "{a:?} standard scale retires {n} instructions"

@@ -30,9 +30,21 @@ impl BudeParams {
     /// Preset for a workload scale. `Standard` keeps the paper's 26 atoms.
     pub fn for_scale(scale: WorkloadScale) -> BudeParams {
         match scale {
-            WorkloadScale::Tiny => BudeParams { poses: 16, atoms: 4, iterations: 1 },
-            WorkloadScale::Small => BudeParams { poses: 64, atoms: 8, iterations: 1 },
-            WorkloadScale::Standard => BudeParams { poses: 128, atoms: 26, iterations: 2 },
+            WorkloadScale::Tiny => BudeParams {
+                poses: 16,
+                atoms: 4,
+                iterations: 1,
+            },
+            WorkloadScale::Small => BudeParams {
+                poses: 64,
+                atoms: 8,
+                iterations: 1,
+            },
+            WorkloadScale::Standard => BudeParams {
+                poses: 128,
+                atoms: 26,
+                iterations: 2,
+            },
         }
     }
 }
@@ -106,7 +118,11 @@ pub fn kernel(p: &BudeParams, vl_bits: u32) -> Kernel {
     // Per-block body: load the pose block, run the atom loop, combine the
     // accumulators and store the energies.
     let block_body = vec![
-        Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[p0], &[Reg::gp(5)])),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::PredOp,
+            &[p0],
+            &[Reg::gp(5)],
+        )),
         Stmt::Instr(InstrTemplate::load(
             OpClass::VecLoad,
             Reg::fp(0),
@@ -178,8 +194,16 @@ mod tests {
 
     #[test]
     fn atom_loop_drives_work() {
-        let base = BudeParams { poses: 64, atoms: 8, iterations: 1 };
-        let more = BudeParams { poses: 64, atoms: 16, iterations: 1 };
+        let base = BudeParams {
+            poses: 64,
+            atoms: 8,
+            iterations: 1,
+        };
+        let more = BudeParams {
+            poses: 64,
+            atoms: 16,
+            iterations: 1,
+        };
         let a = summarise(base, 512).total();
         let b = summarise(more, 512).total();
         assert!(b > a + a / 2, "doubling atoms should nearly double work");

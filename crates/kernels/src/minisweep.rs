@@ -35,9 +35,21 @@ impl SweepParams {
     /// grid and scales angles/octants for simulation-time parity.
     pub fn for_scale(scale: WorkloadScale) -> SweepParams {
         match scale {
-            WorkloadScale::Tiny => SweepParams { ncell: 2, angles: 2, octants: 1 },
-            WorkloadScale::Small => SweepParams { ncell: 4, angles: 8, octants: 1 },
-            WorkloadScale::Standard => SweepParams { ncell: 4, angles: 16, octants: 4 },
+            WorkloadScale::Tiny => SweepParams {
+                ncell: 2,
+                angles: 2,
+                octants: 1,
+            },
+            WorkloadScale::Small => SweepParams {
+                ncell: 4,
+                angles: 8,
+                octants: 1,
+            },
+            WorkloadScale::Standard => SweepParams {
+                ncell: 4,
+                angles: 16,
+                octants: 4,
+            },
         }
     }
 }
@@ -63,7 +75,13 @@ pub fn kernel(p: &SweepParams, _vl_bits: u32) -> Kernel {
     let (dz, dy, dx, da) = (1usize, 2usize, 3usize, 4usize);
 
     let sload = |dst: u8, expr: AddrExpr| {
-        Stmt::Instr(InstrTemplate::load(OpClass::Load, Reg::fp(dst), &[Reg::gp(1)], expr, 8))
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::Load,
+            Reg::fp(dst),
+            &[Reg::gp(1)],
+            expr,
+            8,
+        ))
     };
     let sstore = |src_reg: u8, expr: AddrExpr| {
         Stmt::Instr(InstrTemplate::store(
@@ -182,7 +200,11 @@ mod tests {
     fn face_store_feeds_next_cell_load() {
         // The x-face address is identical for consecutive x cells at the
         // same (y, z, angle): a genuine load-after-store chain.
-        let p = SweepParams { ncell: 2, angles: 1, octants: 1 };
+        let p = SweepParams {
+            ncell: 2,
+            angles: 1,
+            octants: 1,
+        };
         let prog = Program::lower(&kernel(&p, 128));
         let mut face_x_loads = vec![];
         let mut face_x_stores = vec![];
@@ -202,9 +224,24 @@ mod tests {
 
     #[test]
     fn work_scales_with_angles_and_octants() {
-        let base = summarise(SweepParams { ncell: 4, angles: 4, octants: 1 }).total();
-        let more_angles = summarise(SweepParams { ncell: 4, angles: 8, octants: 1 }).total();
-        let more_octants = summarise(SweepParams { ncell: 4, angles: 4, octants: 2 }).total();
+        let base = summarise(SweepParams {
+            ncell: 4,
+            angles: 4,
+            octants: 1,
+        })
+        .total();
+        let more_angles = summarise(SweepParams {
+            ncell: 4,
+            angles: 8,
+            octants: 1,
+        })
+        .total();
+        let more_octants = summarise(SweepParams {
+            ncell: 4,
+            angles: 4,
+            octants: 2,
+        })
+        .total();
         assert!(more_angles > base + base / 2);
         assert_eq!(more_octants, 2 * base);
     }
@@ -212,7 +249,8 @@ mod tests {
     #[test]
     fn footprint_is_l1_scale() {
         let p = SweepParams::for_scale(WorkloadScale::Standard);
-        let bytes = (p.ncell.pow(3) * p.angles + p.ncell.pow(3) + 3 * p.ncell.pow(2) * p.angles) * 8;
+        let bytes =
+            (p.ncell.pow(3) * p.angles + p.ncell.pow(3) + 3 * p.ncell.pow(2) * p.angles) * 8;
         assert!(bytes < 64 * 1024, "footprint {bytes}");
     }
 }

@@ -174,7 +174,11 @@ pub fn kernel(p: &StreamParams, vl_bits: u32) -> Kernel {
         Stmt::repeat(trip, triad),
     ];
 
-    let body = if p.passes > 1 { vec![Stmt::repeat(p.passes, pass)] } else { pass };
+    let body = if p.passes > 1 {
+        vec![Stmt::repeat(p.passes, pass)]
+    } else {
+        pass
+    };
     Kernel::new("stream", body)
 }
 

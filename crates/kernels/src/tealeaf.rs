@@ -38,9 +38,21 @@ impl TeaLeafParams {
     /// Preset for a workload scale.
     pub fn for_scale(scale: WorkloadScale) -> TeaLeafParams {
         match scale {
-            WorkloadScale::Tiny => TeaLeafParams { nx: 6, ny: 6, cg_iters: 1 },
-            WorkloadScale::Small => TeaLeafParams { nx: 12, ny: 12, cg_iters: 3 },
-            WorkloadScale::Standard => TeaLeafParams { nx: 20, ny: 20, cg_iters: 5 },
+            WorkloadScale::Tiny => TeaLeafParams {
+                nx: 6,
+                ny: 6,
+                cg_iters: 1,
+            },
+            WorkloadScale::Small => TeaLeafParams {
+                nx: 12,
+                ny: 12,
+                cg_iters: 3,
+            },
+            WorkloadScale::Standard => TeaLeafParams {
+                nx: 20,
+                ny: 20,
+                cg_iters: 5,
+            },
         }
     }
 
@@ -69,10 +81,21 @@ pub fn kernel(p: &TeaLeafParams, vl_bits: u32) -> Kernel {
     let interior_i = p.nx - 2;
 
     let sload = |dst: u8, expr: AddrExpr| {
-        Stmt::Instr(InstrTemplate::load(OpClass::Load, Reg::fp(dst), &[Reg::gp(1)], expr, 8))
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::Load,
+            Reg::fp(dst),
+            &[Reg::gp(1)],
+            expr,
+            8,
+        ))
     };
     let sstore = |src: u8, expr: AddrExpr| {
-        Stmt::Instr(InstrTemplate::store(OpClass::Store, &[Reg::fp(src), Reg::gp(2)], expr, 8))
+        Stmt::Instr(InstrTemplate::store(
+            OpClass::Store,
+            &[Reg::fp(src), Reg::gp(2)],
+            expr,
+            8,
+        ))
     };
     let fp = |op, d: u8, s: &[u8]| {
         let srcs: Vec<Reg> = s.iter().map(|&i| Reg::fp(i)).collect();
@@ -153,7 +176,11 @@ pub fn kernel(p: &TeaLeafParams, vl_bits: u32) -> Kernel {
     let pupdate = Stmt::repeat(
         cells.div_ceil(lanes64),
         vec![
-            Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[p0], &[Reg::gp(5)])),
+            Stmt::Instr(InstrTemplate::compute(
+                OpClass::PredOp,
+                &[p0],
+                &[Reg::gp(5)],
+            )),
             Stmt::Instr(InstrTemplate::load(
                 OpClass::VecLoad,
                 Reg::fp(20),
@@ -224,12 +251,19 @@ mod tests {
         let s = summarise(TeaLeafParams::for_scale(WorkloadScale::Small), 128);
         let loads = s.count(OpClass::Load);
         let flops = s.count(OpClass::FpFma) + s.count(OpClass::FpAdd) + s.count(OpClass::FpMul);
-        assert!(loads > flops, "loads {loads} flops {flops}: TeaLeaf is load heavy");
+        assert!(
+            loads > flops,
+            "loads {loads} flops {flops}: TeaLeaf is load heavy"
+        );
     }
 
     #[test]
     fn stencil_touches_neighbours() {
-        let p = TeaLeafParams { nx: 6, ny: 6, cg_iters: 1 };
+        let p = TeaLeafParams {
+            nx: 6,
+            ny: 6,
+            cg_iters: 1,
+        };
         let prog = Program::lower(&kernel(&p, 128));
         // The stencil's north/south neighbour loads are one row apart.
         let addrs: Vec<u64> = TraceCursor::new(&prog)
@@ -245,8 +279,24 @@ mod tests {
 
     #[test]
     fn work_scales_with_cg_iterations() {
-        let one = summarise(TeaLeafParams { nx: 10, ny: 10, cg_iters: 1 }, 128).total();
-        let four = summarise(TeaLeafParams { nx: 10, ny: 10, cg_iters: 4 }, 128).total();
+        let one = summarise(
+            TeaLeafParams {
+                nx: 10,
+                ny: 10,
+                cg_iters: 1,
+            },
+            128,
+        )
+        .total();
+        let four = summarise(
+            TeaLeafParams {
+                nx: 10,
+                ny: 10,
+                cg_iters: 4,
+            },
+            128,
+        )
+        .total();
         assert_eq!(four, 4 * one);
     }
 

@@ -66,8 +66,7 @@ impl BankedHierarchy {
         debug_assert!(params.validate().is_ok(), "invalid MemParams");
         // A line transfer occupies its bank for the interface transfer time.
         let beats = f64::from(params.line_bytes) / 8.0;
-        let base_occupancy =
-            crate::params::ns_to_core_cycles(beats / params.ram_clock_ghz);
+        let base_occupancy = crate::params::ns_to_core_cycles(beats / params.ram_clock_ghz);
         let occupancy = base_occupancy * u64::from(1 + co_runners);
         let queue_wait = base_occupancy * u64::from(co_runners) / 2;
         BankedHierarchy {
@@ -155,7 +154,10 @@ impl MemoryModel for BankedHierarchy {
                 0,
                 "unaligned line request {line_addr:#x}"
             );
-            assert!(complete >= now, "completion time {complete} before request {now}");
+            assert!(
+                complete >= now,
+                "completion time {complete} before request {now}"
+            );
             assert!(
                 self.stats.demand_requests_conserved(),
                 "request accounting leak: {:?}",
@@ -201,7 +203,10 @@ mod tests {
         let lb = u64::from(p.line_bytes);
         // Eight consecutive lines land in eight distinct banks.
         let times: Vec<Cycle> = (0..8).map(|i| m.access(i * lb, false, 0)).collect();
-        assert!(times.windows(2).all(|w| w[0] == w[1]), "no contention expected: {times:?}");
+        assert!(
+            times.windows(2).all(|w| w[0] == w[1]),
+            "no contention expected: {times:?}"
+        );
     }
 
     #[test]

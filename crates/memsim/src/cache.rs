@@ -64,7 +64,9 @@ impl Cache {
     /// Probe for `line_addr` without changing any state.
     pub fn probe(&self, line_addr: u64) -> bool {
         let s = self.set_of(line_addr);
-        self.set_ways(s).iter().any(|w| w.valid && w.tag == line_addr)
+        self.set_ways(s)
+            .iter()
+            .any(|w| w.valid && w.tag == line_addr)
     }
 
     #[inline]
@@ -110,7 +112,12 @@ impl Cache {
                 (i, r)
             }
         };
-        ways[victim_idx] = Way { tag: line_addr, valid: true, dirty: is_store, lru: tick };
+        ways[victim_idx] = Way {
+            tag: line_addr,
+            valid: true,
+            dirty: is_store,
+            lru: tick,
+        };
         result
     }
 

@@ -133,7 +133,10 @@ impl MemoryModel for Hierarchy {
                 0,
                 "unaligned line request {line_addr:#x}"
             );
-            assert!(complete >= now, "completion time {complete} before request {now}");
+            assert!(
+                complete >= now,
+                "completion time {complete} before request {now}"
+            );
             assert!(
                 self.stats.demand_requests_conserved(),
                 "request accounting leak: {:?}",

@@ -8,7 +8,6 @@
 //! so that core (18) + memory (12) equals the paper's stated "thirty
 //! variable input features".
 
-
 /// Fixed core clock frequency in GHz (matches a ThunderX2-class part; the
 /// paper varies cache/RAM clocks relative to a fixed core).
 pub const CORE_CLOCK_GHZ: f64 = 2.5;
@@ -67,7 +66,10 @@ impl MemParams {
     /// constraints).
     pub fn validate(&self) -> Result<(), String> {
         if !self.line_bytes.is_power_of_two() || self.line_bytes < 8 {
-            return Err(format!("line_bytes {} must be a power of two >= 8", self.line_bytes));
+            return Err(format!(
+                "line_bytes {} must be a power of two >= 8",
+                self.line_bytes
+            ));
         }
         for (name, size, assoc) in [
             ("L1", self.l1_size_kib, self.l1_assoc),
@@ -75,7 +77,9 @@ impl MemParams {
         ] {
             let lines = size as u64 * 1024 / u64::from(self.line_bytes);
             if lines == 0 || !lines.is_multiple_of(u64::from(assoc)) {
-                return Err(format!("{name}: {size} KiB not divisible into {assoc}-way sets"));
+                return Err(format!(
+                    "{name}: {size} KiB not divisible into {assoc}-way sets"
+                ));
             }
             let sets = lines / u64::from(assoc);
             if !sets.is_power_of_two() {

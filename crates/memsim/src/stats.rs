@@ -1,6 +1,5 @@
 //! Memory-hierarchy statistics counters.
 
-
 /// Counters accumulated by a memory model over one simulation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MemStats {
@@ -69,15 +68,30 @@ mod tests {
 
     #[test]
     fn hit_rates_computed() {
-        let s = MemStats { l1_hits: 3, l1_misses: 1, l2_hits: 1, l2_misses: 0, ..Default::default() };
+        let s = MemStats {
+            l1_hits: 3,
+            l1_misses: 1,
+            l2_hits: 1,
+            l2_misses: 0,
+            ..Default::default()
+        };
         assert!((s.l1_hit_rate().unwrap() - 0.75).abs() < 1e-12);
         assert!((s.l2_hit_rate().unwrap() - 1.0).abs() < 1e-12);
     }
 
     #[test]
     fn merge_sums_fields() {
-        let mut a = MemStats { l1_hits: 1, requests: 2, ..Default::default() };
-        let b = MemStats { l1_hits: 4, writebacks: 7, requests: 5, ..Default::default() };
+        let mut a = MemStats {
+            l1_hits: 1,
+            requests: 2,
+            ..Default::default()
+        };
+        let b = MemStats {
+            l1_hits: 4,
+            writebacks: 7,
+            requests: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.l1_hits, 5);
         assert_eq!(a.writebacks, 7);

@@ -31,10 +31,20 @@ impl DecisionTreeRegressor {
         loop {
             match self.node(i) {
                 ExplainNode::Leaf { value } => return (steps, value),
-                ExplainNode::Split { feature, threshold, left, right } => {
+                ExplainNode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     let value = row[feature];
                     let went_left = value <= threshold;
-                    steps.push(PathStep { feature, threshold, value, went_left });
+                    steps.push(PathStep {
+                        feature,
+                        threshold,
+                        value,
+                        went_left,
+                    });
                     i = if went_left { left } else { right };
                 }
             }
@@ -72,7 +82,12 @@ impl DecisionTreeRegressor {
             ExplainNode::Leaf { value } => {
                 out.push_str(&format!("{pad}leaf: {}\n", trim(value)));
             }
-            ExplainNode::Split { feature, threshold, left, right } => {
+            ExplainNode::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if depth >= max_depth {
                     out.push_str(&format!("{pad}...\n"));
                     return;

@@ -26,7 +26,11 @@ pub struct ForestParams {
 
 impl Default for ForestParams {
     fn default() -> Self {
-        ForestParams { n_trees: 32, max_features: None, tree: TreeParams::default() }
+        ForestParams {
+            n_trees: 32,
+            max_features: None,
+            tree: TreeParams::default(),
+        }
     }
 }
 
@@ -64,7 +68,12 @@ impl RandomForest {
             feats.shuffle(&mut rng);
             feats.truncate(m_feat);
             feats.sort_unstable();
-            trees.push(DecisionTreeRegressor::fit_with(&bx, &by, params.tree, Some(&feats)));
+            trees.push(DecisionTreeRegressor::fit_with(
+                &bx,
+                &by,
+                params.tree,
+                Some(&feats),
+            ));
         }
         RandomForest { trees }
     }
@@ -129,7 +138,10 @@ mod tests {
     #[test]
     fn n_trees_respected() {
         let (x, y) = noisy_quadratic();
-        let p = ForestParams { n_trees: 5, ..Default::default() };
+        let p = ForestParams {
+            n_trees: 5,
+            ..Default::default()
+        };
         assert_eq!(RandomForest::fit_with(&x, &y, p, 0).n_trees(), 5);
     }
 

@@ -47,7 +47,10 @@ impl ImportanceReport {
 
     /// Importance percentage of a named feature.
     pub fn percent_of(&self, name: &str) -> Option<f64> {
-        self.features.iter().find(|f| f.name == name).map(|f| f.percent)
+        self.features
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.percent)
     }
 
     /// The top-`k` features by percentage.
@@ -98,10 +101,17 @@ pub fn permutation_importance(
         .map(|(&inc, name)| FeatureImportance {
             name: name.clone(),
             mean_error_increase: inc,
-            percent: if total > 0.0 { 100.0 * inc / total } else { 0.0 },
+            percent: if total > 0.0 {
+                100.0 * inc / total
+            } else {
+                0.0
+            },
         })
         .collect();
-    ImportanceReport { features, baseline_mae: baseline }
+    ImportanceReport {
+        features,
+        baseline_mae: baseline,
+    }
 }
 
 #[cfg(test)]

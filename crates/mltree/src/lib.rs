@@ -44,8 +44,8 @@ pub use forest::RandomForest;
 pub use importance::{permutation_importance, ImportanceReport};
 pub use linear::LinearRegression;
 pub use matrix::{Dataset, Matrix};
-pub use partial::{partial_dependence, partial_dependence_speedup};
 pub use metrics::{mae, mean_relative_accuracy, mse, r2, within_tolerance};
+pub use partial::{partial_dependence, partial_dependence_speedup};
 pub use split::train_test_split;
 pub use tree::DecisionTreeRegressor;
 

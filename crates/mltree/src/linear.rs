@@ -65,7 +65,12 @@ impl LinearRegression {
 impl Regressor for LinearRegression {
     fn predict_one(&self, row: &[f64]) -> f64 {
         debug_assert_eq!(row.len(), self.weights.len());
-        self.intercept + row.iter().zip(&self.weights).map(|(x, w)| x * w).sum::<f64>()
+        self.intercept
+            + row
+                .iter()
+                .zip(&self.weights)
+                .map(|(x, w)| x * w)
+                .sum::<f64>()
     }
 }
 

@@ -1,6 +1,5 @@
 //! Dense row-major matrix and labelled dataset containers.
 
-
 /// A dense row-major `f64` matrix.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Matrix {
@@ -13,7 +12,11 @@ impl Matrix {
     /// An empty matrix with `cols` columns.
     pub fn new(cols: usize) -> Matrix {
         assert!(cols > 0, "matrix needs at least one column");
-        Matrix { data: Vec::new(), rows: 0, cols }
+        Matrix {
+            data: Vec::new(),
+            rows: 0,
+            cols,
+        }
     }
 
     /// Build from row slices.
@@ -95,7 +98,11 @@ impl Dataset {
     pub fn new(x: Matrix, y: Vec<f64>, feature_names: Vec<String>) -> Dataset {
         assert_eq!(x.rows(), y.len(), "x/y length mismatch");
         assert_eq!(x.cols(), feature_names.len(), "x/name width mismatch");
-        Dataset { x, y, feature_names }
+        Dataset {
+            x,
+            y,
+            feature_names,
+        }
     }
 
     /// Number of samples.

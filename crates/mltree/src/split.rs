@@ -6,7 +6,10 @@ use armdse_rng::{SeedableRng, SliceRandom, Xoshiro256pp};
 /// Split `data` into (train, test) with `test_frac` of rows in the test
 /// set, shuffled deterministically by `seed`.
 pub fn train_test_split(data: &Dataset, test_frac: f64, seed: u64) -> (Dataset, Dataset) {
-    assert!((0.0..1.0).contains(&test_frac), "test_frac must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&test_frac),
+        "test_frac must be in [0, 1)"
+    );
     let n = data.len();
     assert!(n >= 2, "need at least two samples to split");
     let mut idx: Vec<usize> = (0..n).collect();

@@ -23,7 +23,11 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        TreeParams { max_depth: None, min_samples_split: 2, min_samples_leaf: 1 }
+        TreeParams {
+            max_depth: None,
+            min_samples_split: 2,
+            min_samples_leaf: 1,
+        }
     }
 }
 
@@ -33,7 +37,12 @@ enum Node {
     /// Terminal node predicting the mean of its training targets.
     Leaf { value: f64, n: u32 },
     /// Internal split: rows with `x[feature] <= threshold` go left.
-    Split { feature: u16, threshold: f64, left: u32, right: u32 },
+    Split {
+        feature: u16,
+        threshold: f64,
+        left: u32,
+        right: u32,
+    },
 }
 
 /// A fitted CART regression tree.
@@ -75,7 +84,11 @@ impl DecisionTreeRegressor {
         let mut indices: Vec<u32> = (0..x.rows() as u32).collect();
         let root = builder.alloc_node();
         builder.build(root, &mut indices, 0);
-        DecisionTreeRegressor { nodes: builder.nodes, n_features: x.cols(), params }
+        DecisionTreeRegressor {
+            nodes: builder.nodes,
+            n_features: x.cols(),
+            params,
+        }
     }
 
     /// Number of nodes.
@@ -85,7 +98,10 @@ impl DecisionTreeRegressor {
 
     /// Number of leaves.
     pub fn leaf_count(&self) -> usize {
-        self.nodes.iter().filter(|n| matches!(n, Node::Leaf { .. })).count()
+        self.nodes
+            .iter()
+            .filter(|n| matches!(n, Node::Leaf { .. }))
+            .count()
     }
 
     /// Maximum depth of the fitted tree.
@@ -117,14 +133,17 @@ impl DecisionTreeRegressor {
     pub(crate) fn node(&self, i: u32) -> crate::explain::ExplainNode {
         match &self.nodes[i as usize] {
             Node::Leaf { value, .. } => crate::explain::ExplainNode::Leaf { value: *value },
-            Node::Split { feature, threshold, left, right } => {
-                crate::explain::ExplainNode::Split {
-                    feature: *feature as usize,
-                    threshold: *threshold,
-                    left: *left,
-                    right: *right,
-                }
-            }
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => crate::explain::ExplainNode::Split {
+                feature: *feature as usize,
+                threshold: *threshold,
+                left: *left,
+                right: *right,
+            },
         }
     }
 }
@@ -136,8 +155,17 @@ impl Regressor for DecisionTreeRegressor {
         loop {
             match self.nodes[i as usize] {
                 Node::Leaf { value, .. } => return value,
-                Node::Split { feature, threshold, left, right } => {
-                    i = if row[feature as usize] <= threshold { left } else { right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    i = if row[feature as usize] <= threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -181,10 +209,17 @@ impl<'a> Builder<'a> {
         let depth_ok = self.params.max_depth.is_none_or(|d| depth < d);
         let splittable = n >= self.params.min_samples_split && depth_ok && node_sse > 1e-12;
 
-        let best = if splittable { self.best_split(idx, sum) } else { None };
+        let best = if splittable {
+            self.best_split(idx, sum)
+        } else {
+            None
+        };
         match best {
             None => {
-                self.nodes[slot as usize] = Node::Leaf { value: mean, n: n as u32 };
+                self.nodes[slot as usize] = Node::Leaf {
+                    value: mean,
+                    n: n as u32,
+                };
             }
             Some(b) => {
                 // Partition in place: left = x[feature] <= threshold.
@@ -222,8 +257,10 @@ impl<'a> Builder<'a> {
 
         for &f in self.features {
             self.scratch.clear();
-            self.scratch
-                .extend(idx.iter().map(|&i| (self.x.get(i as usize, f), self.y[i as usize])));
+            self.scratch.extend(
+                idx.iter()
+                    .map(|&i| (self.x.get(i as usize, f), self.y[i as usize])),
+            );
             // total_cmp: feature values are finite by construction.
             self.scratch.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
 
@@ -290,8 +327,9 @@ mod tests {
 
     #[test]
     fn step_function_learned_exactly() {
-        let pts: Vec<(f64, f64)> =
-            (0..20).map(|i| (i as f64, if i < 10 { 1.0 } else { 9.0 })).collect();
+        let pts: Vec<(f64, f64)> = (0..20)
+            .map(|i| (i as f64, if i < 10 { 1.0 } else { 9.0 }))
+            .collect();
         let (x, y) = xy(&pts);
         let t = DecisionTreeRegressor::fit(&x, &y);
         assert_eq!(t.leaf_count(), 2);
@@ -318,7 +356,10 @@ mod tests {
         let t = DecisionTreeRegressor::fit_with(
             &x,
             &y,
-            TreeParams { max_depth: Some(2), ..Default::default() },
+            TreeParams {
+                max_depth: Some(2),
+                ..Default::default()
+            },
             None,
         );
         assert!(t.depth() <= 2);
@@ -332,7 +373,10 @@ mod tests {
         let t = DecisionTreeRegressor::fit_with(
             &x,
             &y,
-            TreeParams { min_samples_leaf: 4, ..Default::default() },
+            TreeParams {
+                min_samples_leaf: 4,
+                ..Default::default()
+            },
             None,
         );
         fn check(nodes_n: &DecisionTreeRegressor) -> bool {
@@ -345,15 +389,19 @@ mod tests {
 
     #[test]
     fn predictions_within_training_target_hull() {
-        let pts: Vec<(f64, f64)> =
-            (0..50).map(|i| ((i % 7) as f64, ((i * 13) % 41) as f64)).collect();
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| ((i % 7) as f64, ((i * 13) % 41) as f64))
+            .collect();
         let (x, y) = xy(&pts);
         let t = DecisionTreeRegressor::fit(&x, &y);
         let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for q in 0..100 {
             let p = t.predict_one(&[q as f64 / 10.0]);
-            assert!((lo..=hi).contains(&p), "prediction {p} outside [{lo}, {hi}]");
+            assert!(
+                (lo..=hi).contains(&p),
+                "prediction {p} outside [{lo}, {hi}]"
+            );
         }
     }
 
@@ -363,7 +411,9 @@ mod tests {
         let rows: Vec<Vec<f64>> = (0..40)
             .map(|i| vec![(i % 3) as f64, (i % 2) as f64])
             .collect();
-        let y: Vec<f64> = (0..40).map(|i| if i % 2 == 0 { 0.0 } else { 100.0 }).collect();
+        let y: Vec<f64> = (0..40)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 100.0 })
+            .collect();
         let x = Matrix::from_rows(&rows);
         let t = DecisionTreeRegressor::fit(&x, &y);
         assert_eq!(t.predict_one(&[0.0, 0.0]), 0.0);
@@ -375,7 +425,9 @@ mod tests {
     #[test]
     fn feature_mask_restricts_splits() {
         let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, (i % 2) as f64]).collect();
-        let y: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 0.0 } else { 1.0 }).collect();
+        let y: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 1.0 })
+            .collect();
         let x = Matrix::from_rows(&rows);
         // Restricted to the uninformative-but-splittable feature 0, the
         // tree must work much harder (more nodes) than with feature 1.

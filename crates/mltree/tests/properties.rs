@@ -47,8 +47,9 @@ fn tree_predictions_never_leave_the_training_target_range() {
         // Query far outside the training distribution too: leaf means
         // still bound the output.
         for _ in 0..50 {
-            let q: Vec<f64> =
-                (0..x.cols()).map(|_| rng.gen_f64() * 2000.0 - 1000.0).collect();
+            let q: Vec<f64> = (0..x.cols())
+                .map(|_| rng.gen_f64() * 2000.0 - 1000.0)
+                .collect();
             let p = t.predict_one(&q);
             assert!(
                 (lo..=hi).contains(&p),
@@ -66,8 +67,9 @@ fn forest_predictions_never_leave_the_training_target_range() {
         let (lo, hi) = target_hull(&y);
         let f = RandomForest::fit(&x, &y, ds);
         for _ in 0..30 {
-            let q: Vec<f64> =
-                (0..x.cols()).map(|_| rng.gen_f64() * 2000.0 - 1000.0).collect();
+            let q: Vec<f64> = (0..x.cols())
+                .map(|_| rng.gen_f64() * 2000.0 - 1000.0)
+                .collect();
             let p = f.predict_one(&q);
             assert!(
                 (lo..=hi).contains(&p),
@@ -86,7 +88,9 @@ fn forest_prediction_is_exactly_the_mean_of_member_trees() {
         assert!(f.n_trees() > 0);
         assert_eq!(f.trees().len(), f.n_trees());
         for _ in 0..20 {
-            let q: Vec<f64> = (0..x.cols()).map(|_| rng.gen_f64() * 200.0 - 100.0).collect();
+            let q: Vec<f64> = (0..x.cols())
+                .map(|_| rng.gen_f64() * 200.0 - 100.0)
+                .collect();
             let mean: f64 =
                 f.trees().iter().map(|t| t.predict_one(&q)).sum::<f64>() / f.n_trees() as f64;
             let p = f.predict_one(&q);
@@ -109,7 +113,10 @@ fn permutation_importances_are_finite_and_nonnegative_on_training_data() {
         // importance must be >= 0, and every figure finite.
         let t = DecisionTreeRegressor::fit(&x, &y);
         let rep = permutation_importance(&t, &x, &y, &names, 5, 77 + ds);
-        assert!(rep.baseline_mae.abs() < 1e-9, "dataset {ds}: tree did not memorise");
+        assert!(
+            rep.baseline_mae.abs() < 1e-9,
+            "dataset {ds}: tree did not memorise"
+        );
         let mut positive_sum = 0.0;
         for fi in &rep.features {
             assert!(

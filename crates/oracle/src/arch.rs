@@ -133,7 +133,11 @@ impl ArchState {
         };
         match m.pattern {
             MemPattern::Contiguous => push_span(m.addr, u64::from(m.bytes)),
-            MemPattern::Strided { elem_bytes, stride, count } => {
+            MemPattern::Strided {
+                elem_bytes,
+                stride,
+                count,
+            } => {
                 for k in 0..i64::from(count) {
                     let a = (m.addr as i64 + stride * k) as u64;
                     push_span(a, u64::from(elem_bytes));
@@ -226,12 +230,7 @@ impl ArchState {
             }
         }
         if self.mem != other.mem {
-            let mut words: Vec<u64> = self
-                .mem
-                .keys()
-                .chain(other.mem.keys())
-                .copied()
-                .collect();
+            let mut words: Vec<u64> = self.mem.keys().chain(other.mem.keys()).copied().collect();
             words.sort_unstable();
             words.dedup();
             for w in words {
@@ -272,7 +271,12 @@ mod tests {
             op: OpClass::Store,
             dests: RegList::empty(),
             srcs: RegList::from_slice(&[Reg::gp(1)]),
-            mem: Some(MemRef { addr, bytes, kind: MemKind::Store, pattern: MemPattern::Contiguous }),
+            mem: Some(MemRef {
+                addr,
+                bytes,
+                kind: MemKind::Store,
+                pattern: MemPattern::Contiguous,
+            }),
             branch: None,
         }
     }
@@ -283,7 +287,12 @@ mod tests {
             op: OpClass::Load,
             dests: RegList::from_slice(&[Reg::gp(2)]),
             srcs: RegList::from_slice(&[Reg::gp(1)]),
-            mem: Some(MemRef { addr, bytes, kind: MemKind::Load, pattern: MemPattern::Contiguous }),
+            mem: Some(MemRef {
+                addr,
+                bytes,
+                kind: MemKind::Load,
+                pattern: MemPattern::Contiguous,
+            }),
             branch: None,
         }
     }
@@ -347,7 +356,10 @@ mod tests {
             dests: RegList::empty(),
             srcs: RegList::from_slice(&[Reg::nzcv()]),
             mem: None,
-            branch: Some(BranchInfo { taken, target: 0x80 }),
+            branch: Some(BranchInfo {
+                taken,
+                target: 0x80,
+            }),
         };
         let mut t = ArchState::new();
         t.apply(&br(true));
@@ -368,7 +380,11 @@ mod tests {
                 addr: 0x3000,
                 bytes: 32,
                 kind: MemKind::Store,
-                pattern: MemPattern::Strided { elem_bytes: 8, stride: 64, count: 4 },
+                pattern: MemPattern::Strided {
+                    elem_bytes: 8,
+                    stride: 64,
+                    count: 4,
+                },
             }),
             branch: None,
         };
@@ -376,7 +392,10 @@ mod tests {
         s.apply(&gather);
         assert_eq!(s.words_written(), 4);
         for k in 0..4u64 {
-            assert_ne!(s.word(0x3000 + 64 * k), ArchState::initial_word(0x3000 + 64 * k));
+            assert_ne!(
+                s.word(0x3000 + 64 * k),
+                ArchState::initial_word(0x3000 + 64 * k)
+            );
         }
     }
 

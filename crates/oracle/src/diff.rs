@@ -3,7 +3,7 @@
 //! [`check_kernel`] runs one kernel through three independent executions —
 //! the in-order reference interpreter ([`crate::interp`]), a trace-cursor
 //! replay of the lowered program, and the OoO pipeline's commit-order
-//! retirement stream ([`armdse_simcore::simulate_traced`]) — applies the
+//! retirement stream (any [`SimBackend`]'s traced run) — applies the
 //! same [`ArchState`] value semantics to each, and requires every final
 //! architectural state and retired-op count to agree. [`fuzz`] drives the
 //! seeded random generator through this check for a whole campaign.
@@ -18,24 +18,16 @@ use crate::interp::interpret;
 use armdse_isa::{Kernel, OpSummary, Program, TraceCursor};
 use armdse_memsim::MemParams;
 use armdse_rng::{SeedableRng, Xoshiro256pp};
-use armdse_simcore::{simulate_traced, simulate_traced_proxy, CoreParams};
+use armdse_simcore::{BankedProxy, CoreParams, Idealized, SimBackend};
 
-/// Which memory hierarchy backs the simulated run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Backend {
-    /// Infinite-bank hierarchy (the paper's simulation path).
-    Default,
-    /// Finite-banked hardware-proxy hierarchy.
-    HardwareProxy,
-}
-
-/// Run one kernel through interpreter, cursor replay, and the OoO core;
-/// return `Err` describing the first divergence found.
+/// Run one kernel through interpreter, cursor replay, and the OoO core
+/// on the given simulation backend; return `Err` describing the first
+/// divergence found.
 pub fn check_kernel(
     kernel: &Kernel,
     core: &CoreParams,
     mem: &MemParams,
-    backend: Backend,
+    backend: &dyn SimBackend,
 ) -> Result<(), String> {
     kernel.validate()?;
     let program = Program::lower(kernel);
@@ -47,7 +39,11 @@ pub fn check_kernel(
     let mut cursor_summary = OpSummary::default();
     for di in TraceCursor::new(&program) {
         cursor_state.apply(&di);
-        cursor_summary.record(di.op, di.mem.map_or(0, |m| u64::from(m.bytes)), di.mem.map(|m| m.kind));
+        cursor_summary.record(
+            di.op,
+            di.mem.map_or(0, |m| u64::from(m.bytes)),
+            di.mem.map(|m| m.kind),
+        );
     }
     if let Some(d) = reference.state.diff(&cursor_state) {
         return Err(format!("interpreter vs lowered-trace divergence: {d}"));
@@ -60,12 +56,12 @@ pub fn check_kernel(
     }
 
     // Simulated run with commit-order trace.
-    let (stats, trace) = match backend {
-        Backend::Default => simulate_traced(&program, core, mem),
-        Backend::HardwareProxy => simulate_traced_proxy(&program, core, mem),
-    };
+    let (stats, trace) = backend.run_traced(&program, core, mem);
     if stats.hit_cycle_limit {
-        return Err(format!("simulation wedged: hit cycle limit at {} cycles", stats.cycles));
+        return Err(format!(
+            "simulation wedged: hit cycle limit at {} cycles",
+            stats.cycles
+        ));
     }
     if !stats.validated {
         return Err(format!(
@@ -92,7 +88,11 @@ pub fn check_kernel(
     let mut commit_summary = OpSummary::default();
     for di in &trace {
         commit_state.apply(di);
-        commit_summary.record(di.op, di.mem.map_or(0, |m| u64::from(m.bytes)), di.mem.map(|m| m.kind));
+        commit_summary.record(
+            di.op,
+            di.mem.map_or(0, |m| u64::from(m.bytes)),
+            di.mem.map(|m| m.kind),
+        );
     }
     if let Some(d) = reference.state.diff(&commit_state) {
         return Err(format!("interpreter vs core commit-stream divergence: {d}"));
@@ -120,7 +120,11 @@ pub struct FuzzConfig {
 
 impl Default for FuzzConfig {
     fn default() -> FuzzConfig {
-        FuzzConfig { programs: 200, seed: 0xA5C3_2024, gen: GenConfig::default() }
+        FuzzConfig {
+            programs: 200,
+            seed: 0xA5C3_2024,
+            gen: GenConfig::default(),
+        }
     }
 }
 
@@ -132,8 +136,8 @@ pub struct FuzzFailure {
     pub index: usize,
     /// Kernel name.
     pub kernel: String,
-    /// Backend the program ran on.
-    pub backend: Backend,
+    /// Name of the backend the program ran on (see [`SimBackend::name`]).
+    pub backend: &'static str,
     /// Divergence description from [`check_kernel`].
     pub error: String,
 }
@@ -165,13 +169,20 @@ pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
     for i in 0..cfg.programs {
         let kernel = random_kernel(&mut rng, &cfg.gen, format!("fuzz-{:#x}-{i}", cfg.seed));
         let core = random_core_params(&mut rng);
-        let backend =
-            if i % 4 == 3 { Backend::HardwareProxy } else { Backend::Default };
+        let backend: &dyn SimBackend = if i % 4 == 3 { &BankedProxy } else { &Idealized };
         if let Err(error) = check_kernel(&kernel, &core, &mem, backend) {
-            failures.push(FuzzFailure { index: i, kernel: kernel.name.clone(), backend, error });
+            failures.push(FuzzFailure {
+                index: i,
+                kernel: kernel.name.clone(),
+                backend: backend.name(),
+                error,
+            });
         }
     }
-    FuzzReport { programs: cfg.programs, failures }
+    FuzzReport {
+        programs: cfg.programs,
+        failures,
+    }
 }
 
 #[cfg(test)]
@@ -192,8 +203,8 @@ mod tests {
             minisweep::kernel(&minisweep::SweepParams::for_scale(WorkloadScale::Tiny), 128),
         ];
         for k in &kernels {
-            check_kernel(k, &core, &mem, Backend::Default).unwrap();
-            check_kernel(k, &core, &mem, Backend::HardwareProxy).unwrap();
+            check_kernel(k, &core, &mem, &Idealized).unwrap();
+            check_kernel(k, &core, &mem, &BankedProxy).unwrap();
         }
     }
 
@@ -210,12 +221,15 @@ mod tests {
                 &[],
             ))],
         );
-        assert!(check_kernel(&bad, &core, &mem, Backend::Default).is_err());
+        assert!(check_kernel(&bad, &core, &mem, &Idealized).is_err());
     }
 
     #[test]
     fn short_fuzz_campaign_is_clean_and_deterministic() {
-        let cfg = FuzzConfig { programs: 40, ..FuzzConfig::default() };
+        let cfg = FuzzConfig {
+            programs: 40,
+            ..FuzzConfig::default()
+        };
         let a = fuzz(&cfg);
         assert!(a.ok(), "fuzz failures: {:#?}", a.failures);
         assert_eq!(a.programs, 40);

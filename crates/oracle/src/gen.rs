@@ -34,7 +34,11 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> GenConfig {
-        GenConfig { max_depth: 3, max_body: 6, max_trip: 5 }
+        GenConfig {
+            max_depth: 3,
+            max_body: 6,
+            max_trip: 5,
+        }
     }
 }
 
@@ -61,8 +65,8 @@ fn pick<T: Copy, R: Rng>(rng: &mut R, items: &[T]) -> T {
 /// induction variables (see `armdse_isa::program::induction_reg`).
 fn gp<R: Rng>(rng: &mut R) -> Reg {
     const POOL: [u8; 26] = [
-        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22,
-        23, 30, 31,
+        0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 20, 21, 22, 23, 30,
+        31,
     ];
     Reg::gp(pick(rng, &POOL))
 }
@@ -158,13 +162,19 @@ fn gen_instr<R: Rng>(rng: &mut R, depth: usize) -> InstrTemplate {
         68..=69 => InstrTemplate::compute(OpClass::IntDiv, &[gp(rng)], &srcs(rng, 2, gp)),
         // -- scalar FP --
         70..=75 => {
-            let (op, n) = (pick(rng, &[OpClass::FpAdd, OpClass::FpMul, OpClass::FpFma]), rng.gen_range(1..=3));
+            let (op, n) = (
+                pick(rng, &[OpClass::FpAdd, OpClass::FpMul, OpClass::FpFma]),
+                rng.gen_range(1..=3),
+            );
             InstrTemplate::compute(op, &[fp(rng)], &srcs(rng, n, fp))
         }
         76..=77 => InstrTemplate::compute(OpClass::FpDiv, &[fp(rng)], &srcs(rng, 2, fp)),
         // -- SVE vector --
         78..=85 => {
-            let (op, n) = (pick(rng, &[OpClass::VecAlu, OpClass::VecFp, OpClass::VecFma]), rng.gen_range(1..=3));
+            let (op, n) = (
+                pick(rng, &[OpClass::VecAlu, OpClass::VecFp, OpClass::VecFma]),
+                rng.gen_range(1..=3),
+            );
             InstrTemplate::compute(op, &[fp(rng)], &srcs(rng, n, fp))
         }
         86..=87 => InstrTemplate::compute(OpClass::VecDiv, &[fp(rng)], &srcs(rng, 2, fp)),
@@ -189,8 +199,11 @@ fn gen_block<R: Rng>(rng: &mut R, cfg: &GenConfig, depth: usize) -> Vec<Stmt> {
             if depth < cfg.max_depth && loops < 2 && rng.gen_bool(0.35) {
                 loops += 1;
                 // Occasional zero-trip loop: lowering must drop it.
-                let trip =
-                    if rng.gen_bool(0.06) { 0 } else { rng.gen_range(1..=cfg.max_trip) };
+                let trip = if rng.gen_bool(0.06) {
+                    0
+                } else {
+                    rng.gen_range(1..=cfg.max_trip)
+                };
                 Stmt::repeat(trip, gen_block(rng, cfg, depth + 1))
             } else {
                 Stmt::Instr(gen_instr(rng, depth))
@@ -232,7 +245,11 @@ pub fn random_core_params<R: Rng>(rng: &mut R) -> CoreParams {
         loads_per_cycle: rng.gen_range(1..=8u32),
         stores_per_cycle: rng.gen_range(1..=8u32),
     };
-    debug_assert_eq!(p.validate(), Ok(()), "generator produced invalid core params");
+    debug_assert_eq!(
+        p.validate(),
+        Ok(()),
+        "generator produced invalid core params"
+    );
     p
 }
 
@@ -323,7 +340,10 @@ mod tests {
             OpClass::PredOp,
             OpClass::Branch,
         ] {
-            assert!(total.per_class[c.index()] > 0, "no {c:?} generated in 200 kernels");
+            assert!(
+                total.per_class[c.index()] > 0,
+                "no {c:?} generated in 200 kernels"
+            );
         }
     }
 }

@@ -84,11 +84,18 @@ impl Interp {
             pattern: m.pattern,
         });
         // Explicit kernel-body branches fall through.
-        let branch = t
-            .op
-            .is_branch()
-            .then_some(BranchInfo { taken: false, target: pc + INSTR_BYTES });
-        let di = DynInstr { pc, op: t.op, dests: t.dests, srcs: t.srcs, mem, branch };
+        let branch = t.op.is_branch().then_some(BranchInfo {
+            taken: false,
+            target: pc + INSTR_BYTES,
+        });
+        let di = DynInstr {
+            pc,
+            op: t.op,
+            dests: t.dests,
+            srcs: t.srcs,
+            mem,
+            branch,
+        };
         self.retire(&di);
     }
 
@@ -157,7 +164,11 @@ pub fn interpret(kernel: &Kernel) -> InterpResult {
     interp.exec_block(&kernel.body, 0, 0);
     let retired = interp.summary.total();
     debug_assert_eq!(retired, interp.state.retired());
-    InterpResult { state: interp.state, summary: interp.summary, retired }
+    InterpResult {
+        state: interp.state,
+        summary: interp.summary,
+        retired,
+    }
 }
 
 #[cfg(test)]
@@ -257,11 +268,14 @@ mod tests {
         let k = Kernel::new(
             "z",
             vec![
-                Stmt::repeat(0, vec![Stmt::Instr(InstrTemplate::compute(
-                    OpClass::IntAlu,
-                    &[Reg::gp(0)],
-                    &[],
-                ))]),
+                Stmt::repeat(
+                    0,
+                    vec![Stmt::Instr(InstrTemplate::compute(
+                        OpClass::IntAlu,
+                        &[Reg::gp(0)],
+                        &[],
+                    ))],
+                ),
                 Stmt::Instr(InstrTemplate::compute(OpClass::IntMul, &[Reg::gp(1)], &[])),
             ],
         );

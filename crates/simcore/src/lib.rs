@@ -25,18 +25,20 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod params;
 pub mod pipeline;
 pub mod regfile;
 pub mod stats;
 
+pub use backend::{BankedProxy, Contended, Idealized, SimBackend, Traced};
 pub use params::CoreParams;
 pub use pipeline::Pipeline;
 pub use stats::{SimStats, StallStats};
 
 use armdse_isa::instr::DynInstr;
 use armdse_isa::{OpSummary, Program};
-use armdse_memsim::{BankedHierarchy, Hierarchy, MemParams, MemoryModel};
+use armdse_memsim::{MemParams, MemoryModel};
 
 /// Default cycle-limit slack: a run is declared wedged (and invalid) if it
 /// exceeds `MAX_CPI_GUARD` cycles per dynamic instruction.
@@ -48,43 +50,32 @@ pub fn cycle_limit(program: &Program) -> u64 {
 }
 
 /// Simulate `program` on the default (infinite-bank, SST-like) memory
-/// hierarchy. This is the paper's simulation path.
+/// hierarchy. Back-compat shim for [`backend::Idealized`] — new code
+/// should pick a [`SimBackend`] value instead of a function name.
 pub fn simulate(program: &Program, core: &CoreParams, mem: &MemParams) -> SimStats {
-    simulate_with(program, core, Hierarchy::new(*mem))
+    Idealized.run(program, core, mem)
 }
 
-/// Simulate `program` on the finite-banked "hardware proxy" hierarchy
-/// (the stand-in for the paper's physical ThunderX2 runs in Table I).
-pub fn simulate_hardware_proxy(
-    program: &Program,
-    core: &CoreParams,
-    mem: &MemParams,
-) -> SimStats {
-    simulate_with(program, core, BankedHierarchy::new(*mem))
+/// Simulate `program` on the finite-banked "hardware proxy" hierarchy.
+/// Back-compat shim for [`backend::BankedProxy`].
+pub fn simulate_hardware_proxy(program: &Program, core: &CoreParams, mem: &MemParams) -> SimStats {
+    BankedProxy.run(program, core, mem)
 }
 
 /// Simulate under multi-core memory contention: `co_runners` phantom
-/// cores saturate the shared DRAM controller (the paper's §VII
-/// future-work scenario, built on the finite-banked model).
+/// cores saturate the shared DRAM controller. Back-compat shim for
+/// [`backend::Contended`].
 pub fn simulate_contended(
     program: &Program,
     core: &CoreParams,
     mem: &MemParams,
     co_runners: u32,
 ) -> SimStats {
-    simulate_with(
-        program,
-        core,
-        BankedHierarchy::with_contention(*mem, armdse_memsim::banked::DEFAULT_BANKS, co_runners),
-    )
+    Contended { co_runners }.run(program, core, mem)
 }
 
 /// Simulate with an arbitrary memory backend.
-pub fn simulate_with<M: MemoryModel>(
-    program: &Program,
-    core: &CoreParams,
-    mem: M,
-) -> SimStats {
+pub fn simulate_with<M: MemoryModel>(program: &Program, core: &CoreParams, mem: M) -> SimStats {
     core.validate().expect("core parameters must validate");
     let pipeline = Pipeline::new(program, *core, mem);
     let mut stats = pipeline.run(cycle_limit(program));
@@ -95,24 +86,26 @@ pub fn simulate_with<M: MemoryModel>(
 
 /// Simulate on the default hierarchy and return the commit-order
 /// retirement stream alongside the statistics (see
-/// [`Pipeline::run_traced`]). Used by `armdse-oracle` to replay the
-/// retired instructions with value semantics and check the core's
+/// [`Pipeline::run_traced`]). Back-compat shim for
+/// `Traced(Idealized)` — used by `armdse-oracle` to replay the retired
+/// instructions with value semantics and check the core's
 /// architectural behaviour against the reference interpreter.
 pub fn simulate_traced(
     program: &Program,
     core: &CoreParams,
     mem: &MemParams,
 ) -> (SimStats, Vec<DynInstr>) {
-    simulate_traced_with(program, core, Hierarchy::new(*mem))
+    Traced(Idealized).run(program, core, mem)
 }
 
 /// [`simulate_traced`] on the finite-banked hardware-proxy hierarchy.
+/// Back-compat shim for `Traced(BankedProxy)`.
 pub fn simulate_traced_proxy(
     program: &Program,
     core: &CoreParams,
     mem: &MemParams,
 ) -> (SimStats, Vec<DynInstr>) {
-    simulate_traced_with(program, core, BankedHierarchy::new(*mem))
+    Traced(BankedProxy).run(program, core, mem)
 }
 
 /// [`simulate_traced`] with an arbitrary memory backend.
@@ -184,8 +177,18 @@ mod tests {
             c.vector_length = vl;
             cycles.push(run(App::Stream, WorkloadScale::Small, &c, &m).cycles);
         }
-        assert!(cycles[1] < cycles[0], "vl512 {} !< vl128 {}", cycles[1], cycles[0]);
-        assert!(cycles[2] < cycles[1], "vl2048 {} !< vl512 {}", cycles[2], cycles[1]);
+        assert!(
+            cycles[1] < cycles[0],
+            "vl512 {} !< vl128 {}",
+            cycles[1],
+            cycles[0]
+        );
+        assert!(
+            cycles[2] < cycles[1],
+            "vl2048 {} !< vl512 {}",
+            cycles[2],
+            cycles[1]
+        );
     }
 
     #[test]
@@ -198,7 +201,10 @@ mod tests {
         c.vector_length = 2048;
         let long = run(App::MiniSweep, WorkloadScale::Small, &c, &m).cycles;
         let ratio = short as f64 / long as f64;
-        assert!((0.8..1.25).contains(&ratio), "scalar code moved {ratio}x with VL");
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "scalar code moved {ratio}x with VL"
+        );
     }
 
     #[test]
@@ -287,7 +293,10 @@ mod tests {
         let fast = run(App::TeaLeaf, WorkloadScale::Small, &c, &m).cycles;
         m.l1_latency = 8;
         let slow = run(App::TeaLeaf, WorkloadScale::Small, &c, &m).cycles;
-        assert!(slow > fast + fast / 10, "l1 lat 8 ({slow}) should hurt vs 1 ({fast})");
+        assert!(
+            slow > fast + fast / 10,
+            "l1 lat 8 ({slow}) should hurt vs 1 ({fast})"
+        );
     }
 
     #[test]
@@ -305,7 +314,11 @@ mod tests {
         let (mut c, m) = tx2();
         c.commit_width = 1;
         let s = run(App::MiniBude, WorkloadScale::Tiny, &c, &m);
-        assert!(s.ipc() <= 1.0 + 1e-9, "ipc {} exceeds commit width", s.ipc());
+        assert!(
+            s.ipc() <= 1.0 + 1e-9,
+            "ipc {} exceeds commit width",
+            s.ipc()
+        );
     }
 
     #[test]

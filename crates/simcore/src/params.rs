@@ -108,13 +108,14 @@ impl CoreParams {
     /// ("Load and Store Bandwidths must be large enough to load and store
     /// at least data as large as the vector length").
     pub fn validate(&self) -> Result<(), String> {
-        if !self.vector_length.is_power_of_two()
-            || !(128..=2048).contains(&self.vector_length)
-        {
+        if !self.vector_length.is_power_of_two() || !(128..=2048).contains(&self.vector_length) {
             return Err(format!("vector_length {} invalid", self.vector_length));
         }
         if !self.fetch_block_bytes.is_power_of_two() || self.fetch_block_bytes < 4 {
-            return Err(format!("fetch_block_bytes {} invalid", self.fetch_block_bytes));
+            return Err(format!(
+                "fetch_block_bytes {} invalid",
+                self.fetch_block_bytes
+            ));
         }
         let vl_bytes = self.vector_length / 8;
         if self.load_bandwidth < vl_bytes {

@@ -15,7 +15,9 @@
 //! width — the structures the paper varies. This matches the paper's
 //! focus: its design space contains no branch-predictor parameters.
 
-use crate::params::{CoreParams, DISPATCH_RATE, FETCH_QUEUE_CAP, MIN_FORWARD_LATENCY, RENAME_BUFFER_CAP, RS_SIZE};
+use crate::params::{
+    CoreParams, DISPATCH_RATE, FETCH_QUEUE_CAP, MIN_FORWARD_LATENCY, RENAME_BUFFER_CAP, RS_SIZE,
+};
 use crate::regfile::{RenameUnit, RenamedDest, Seq};
 use crate::stats::SimStats;
 use armdse_isa::instr::{DynInstr, MemPattern, MemRef};
@@ -107,7 +109,11 @@ fn request_plan(m: &MemRef, line_bytes: u32) -> (u64, u16, i64, u32) {
                 m.bytes.div_ceil(u32::from(lines)),
             )
         }
-        MemPattern::Strided { elem_bytes, stride, count } => {
+        MemPattern::Strided {
+            elem_bytes,
+            stride,
+            count,
+        } => {
             // One request per element: the defining gather/scatter cost.
             (m.addr, count as u16, stride, elem_bytes)
         }
@@ -118,7 +124,11 @@ fn request_plan(m: &MemRef, line_bytes: u32) -> (u64, u16, i64, u32) {
 fn span_of(m: &MemRef) -> (u64, u64) {
     match m.pattern {
         MemPattern::Contiguous => (m.addr, m.addr + u64::from(m.bytes)),
-        MemPattern::Strided { elem_bytes, stride, count } => {
+        MemPattern::Strided {
+            elem_bytes,
+            stride,
+            count,
+        } => {
             let last = m.addr as i64 + stride * (i64::from(count) - 1);
             let lo = (m.addr as i64).min(last).max(0) as u64;
             let hi = (m.addr as i64).max(last) as u64 + u64::from(elem_bytes);
@@ -324,7 +334,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
 
         // LSQ completion width: loads writing back per cycle.
         for _ in 0..self.params.lsq_completion_width {
-            let Some(seq) = self.completed_loads.pop_front() else { break };
+            let Some(seq) = self.completed_loads.pop_front() else {
+                break;
+            };
             self.complete_dests(seq, &mut woken);
             self.uop_mut(seq).stage = Stage::Done;
         }
@@ -422,8 +434,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                     continue;
                 }
                 StoreHazard::Forward => {
-                    let complete =
-                        self.now + self.mem.l1_hit_latency().max(MIN_FORWARD_LATENCY);
+                    let complete = self.now + self.mem.l1_hit_latency().max(MIN_FORWARD_LATENCY);
                     let u = self.uop_mut(seq);
                     u.mem_complete = complete;
                     u.stage = Stage::MemWait;
@@ -482,27 +493,37 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             assert!(
                 used_reqs <= p.mem_requests_per_cycle,
                 "cycle {}: {} memory requests issued, limit {}",
-                self.now, used_reqs, p.mem_requests_per_cycle
+                self.now,
+                used_reqs,
+                p.mem_requests_per_cycle
             );
             assert!(
                 used_loads <= p.loads_per_cycle,
                 "cycle {}: {} load requests issued, limit {}",
-                self.now, used_loads, p.loads_per_cycle
+                self.now,
+                used_loads,
+                p.loads_per_cycle
             );
             assert!(
                 used_stores <= p.stores_per_cycle,
                 "cycle {}: {} store requests issued, limit {}",
-                self.now, used_stores, p.stores_per_cycle
+                self.now,
+                used_stores,
+                p.stores_per_cycle
             );
             assert!(
                 used_load_bw <= p.load_bandwidth,
                 "cycle {}: {} load bytes requested, bandwidth {}",
-                self.now, used_load_bw, p.load_bandwidth
+                self.now,
+                used_load_bw,
+                p.load_bandwidth
             );
             assert!(
                 used_store_bw <= p.store_bandwidth,
                 "cycle {}: {} store bytes requested, bandwidth {}",
-                self.now, used_store_bw, p.store_bandwidth
+                self.now,
+                used_store_bw,
+                p.store_bandwidth
             );
         }
     }
@@ -528,7 +549,8 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                         e.seq < seq && e.data_ready,
                         "store-to-load forwarding from store {} to load {} \
                          (older required, data must be ready)",
-                        e.seq, seq
+                        e.seq,
+                        seq
                     );
                     StoreHazard::Forward
                 } else {
@@ -543,7 +565,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
 
     fn commit(&mut self) {
         for _ in 0..self.params.commit_width {
-            let Some(front) = self.window.front() else { break };
+            let Some(front) = self.window.front() else {
+                break;
+            };
             if front.stage != Stage::Done {
                 break;
             }
@@ -593,8 +617,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             let lat = u64::from(u.op.exec_latency());
             let occupancy = if u.op.pipelined() { 1 } else { lat };
             // Find a free port of this class.
-            let Some(pi) = self.port_busy[class.index()].iter().position(|b| *b <= now)
-            else {
+            let Some(pi) = self.port_busy[class.index()].iter().position(|b| *b <= now) else {
                 continue;
             };
             self.port_busy[class.index()][pi] = now + occupancy;
@@ -611,7 +634,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
 
     fn dispatch(&mut self) {
         for _ in 0..DISPATCH_RATE {
-            let Some(&seq) = self.rename_q.front() else { break };
+            let Some(&seq) = self.rename_q.front() else {
+                break;
+            };
             if self.rob_count >= self.params.rob_size {
                 self.stats.stalls.rob_full += 1;
                 break;
@@ -697,7 +722,11 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 }
             }
             // Rename destinations.
-            let mut dests = [RenamedDest { class: RegClass::Gp, phys: 0, prev: 0 }; 2];
+            let mut dests = [RenamedDest {
+                class: RegClass::Gp,
+                phys: 0,
+                prev: 0,
+            }; 2];
             let mut ndests = 0u8;
             for d in di.dests.iter() {
                 dests[ndests as usize] = self.rename.rename_dest(d);
@@ -752,7 +781,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             if self.fetch_q.len() >= FETCH_QUEUE_CAP {
                 break;
             }
-            let Some(di) = self.pending_fetch.take() else { break };
+            let Some(di) = self.pending_fetch.take() else {
+                break;
+            };
             self.pending_fetch = self.cursor.next_instr();
             let taken = di.branch.map(|b| b.taken).unwrap_or(false);
             let pc = di.pc;
@@ -783,8 +814,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 break;
             }
             // Fell out of the loop-buffer range: drop back to block fetch.
-            if let (Some((lo, hi)), Some(next)) = (self.loop_mode, self.pending_fetch.as_ref())
-            {
+            if let (Some((lo, hi)), Some(next)) = (self.loop_mode, self.pending_fetch.as_ref()) {
                 if next.pc < lo || next.pc > hi {
                     self.loop_mode = None;
                     self.loop_candidate = None;
@@ -807,22 +837,30 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         assert!(
             self.rob_count <= p.rob_size,
             "cycle {}: ROB holds {} uops, capacity {}",
-            self.now, self.rob_count, p.rob_size
+            self.now,
+            self.rob_count,
+            p.rob_size
         );
         assert!(
             self.rs.len() <= RS_SIZE,
             "cycle {}: RS holds {} uops, capacity {}",
-            self.now, self.rs.len(), RS_SIZE
+            self.now,
+            self.rs.len(),
+            RS_SIZE
         );
         assert!(
             self.lq_count <= p.load_queue,
             "cycle {}: load queue holds {} loads, capacity {}",
-            self.now, self.lq_count, p.load_queue
+            self.now,
+            self.lq_count,
+            p.load_queue
         );
         assert!(
             self.sq.len() as u32 <= p.store_queue,
             "cycle {}: store queue holds {} stores, capacity {}",
-            self.now, self.sq.len(), p.store_queue
+            self.now,
+            self.sq.len(),
+            p.store_queue
         );
         assert!(
             self.rename_q.len() <= RENAME_BUFFER_CAP,
@@ -867,7 +905,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 assert!(
                     e.seq > ps,
                     "cycle {}: store queue out of program order ({} after {})",
-                    self.now, e.seq, ps
+                    self.now,
+                    e.seq,
+                    ps
                 );
             }
             prev = Some(e.seq);
@@ -880,7 +920,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 assert!(
                     e.seq < self.window_base,
                     "cycle {}: store {} committed ahead of the ROB frontier {}",
-                    self.now, e.seq, self.window_base
+                    self.now,
+                    e.seq,
+                    self.window_base
                 );
                 assert!(
                     e.data_ready,
@@ -892,7 +934,8 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 assert!(
                     e.seq >= self.window_base,
                     "cycle {}: uncommitted store {} already retired",
-                    self.now, e.seq
+                    self.now,
+                    e.seq
                 );
             }
         }
@@ -919,7 +962,8 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         }
         for class in RegClass::ALL {
             assert!(
-                self.rename.check_conservation(class, in_flight[class.index()]),
+                self.rename
+                    .check_conservation(class, in_flight[class.index()]),
                 "cycle {}: {class:?} free list leaked or duplicated a register",
                 self.now
             );

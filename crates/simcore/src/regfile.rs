@@ -21,7 +21,10 @@ struct ClassFile {
 
 impl ClassFile {
     fn new(arch: u32, phys: u32) -> ClassFile {
-        assert!(phys > arch, "physical file smaller than architectural state");
+        assert!(
+            phys > arch,
+            "physical file smaller than architectural state"
+        );
         ClassFile {
             map: (0..arch).collect(),
             free: (arch..phys).rev().collect(),
@@ -93,7 +96,11 @@ impl RenameUnit {
         file.map[d.index as usize] = phys;
         file.ready[phys as usize] = false;
         debug_assert!(file.waiters[phys as usize].is_empty());
-        RenamedDest { class: d.class, phys, prev }
+        RenamedDest {
+            class: d.class,
+            phys,
+            prev,
+        }
     }
 
     /// Resolve a source operand: returns the physical register and whether
@@ -142,9 +149,7 @@ impl RenameUnit {
     pub fn check_free_ready(&self, class: RegClass) -> bool {
         let f = &self.files[class.index()];
         f.free.iter().all(|&p| {
-            f.ready[p as usize]
-                && f.waiters[p as usize].is_empty()
-                && !f.map.contains(&p)
+            f.ready[p as usize] && f.waiters[p as usize].is_empty() && !f.map.contains(&p)
         })
     }
 }

@@ -30,7 +30,7 @@ pub struct StallStats {
 }
 
 /// Full result of simulating one workload on one configuration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SimStats {
     /// Total simulated core cycles (the paper's target variable).
     pub cycles: u64,
@@ -77,7 +77,11 @@ mod tests {
 
     #[test]
     fn ipc_computed() {
-        let s = SimStats { cycles: 100, retired: 250, ..Default::default() };
+        let s = SimStats {
+            cycles: 100,
+            retired: 250,
+            ..Default::default()
+        };
         assert!((s.ipc() - 2.5).abs() < 1e-12);
     }
 }

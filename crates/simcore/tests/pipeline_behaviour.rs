@@ -35,7 +35,11 @@ fn ipc_bounded_by_scalar_ports() {
     c.commit_width = 16;
     let s = run(&alu_loop(500, 8), &c, &MemParams::thunderx2());
     assert!(s.ipc() <= 3.05, "ipc {} exceeds scalar port count", s.ipc());
-    assert!(s.ipc() > 2.0, "ipc {} suspiciously low for independent ALUs", s.ipc());
+    assert!(
+        s.ipc() > 2.0,
+        "ipc {} suspiciously low for independent ALUs",
+        s.ipc()
+    );
 }
 
 #[test]
@@ -50,8 +54,18 @@ fn store_to_load_forwarding_beats_cold_memory() {
             addr,
             8,
         )),
-        Stmt::Instr(InstrTemplate::load(OpClass::Load, Reg::fp(1), &[Reg::gp(1)], addr, 8)),
-        Stmt::Instr(InstrTemplate::compute(OpClass::FpAdd, &[Reg::fp(0)], &[Reg::fp(1)])),
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::Load,
+            Reg::fp(1),
+            &[Reg::gp(1)],
+            addr,
+            8,
+        )),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::FpAdd,
+            &[Reg::fp(0)],
+            &[Reg::fp(1)],
+        )),
     ];
     let k = Kernel::new("fwd", vec![Stmt::repeat(200, body)]);
     let mut mem = MemParams::thunderx2();
@@ -119,7 +133,12 @@ fn loads_per_cycle_limits_memory_issue() {
     let one = run(&k, &c, &MemParams::thunderx2());
     c.loads_per_cycle = 6;
     let six = run(&k, &c, &MemParams::thunderx2());
-    assert!(six.cycles < one.cycles, "six {} !< one {}", six.cycles, one.cycles);
+    assert!(
+        six.cycles < one.cycles,
+        "six {} !< one {}",
+        six.cycles,
+        one.cycles
+    );
 }
 
 #[test]
@@ -127,14 +146,12 @@ fn wide_vector_store_splits_into_line_requests() {
     // One 256-byte vector store per iteration over 64-byte lines: 4 line
     // requests each. stores_per_cycle=1 means a store drains over >= 4
     // cycles; the store queue should back-pressure a tight loop.
-    let body = vec![
-        Stmt::Instr(InstrTemplate::store(
-            OpClass::VecStore,
-            &[Reg::fp(0), Reg::gp(1)],
-            AddrExpr::linear(0x10_0000, 0, 256),
-            256,
-        )),
-    ];
+    let body = vec![Stmt::Instr(InstrTemplate::store(
+        OpClass::VecStore,
+        &[Reg::fp(0), Reg::gp(1)],
+        AddrExpr::linear(0x10_0000, 0, 256),
+        256,
+    ))];
     let k = Kernel::new("wides", vec![Stmt::repeat(200, body)]);
     let mut c = CoreParams::thunderx2();
     c.vector_length = 2048;
@@ -253,8 +270,16 @@ fn commit_is_in_order_and_complete() {
     // Mixed kernel: every instruction must retire exactly once even when
     // completion order is scrambled by latencies.
     let body = vec![
-        Stmt::Instr(InstrTemplate::compute(OpClass::FpDiv, &[Reg::fp(0)], &[Reg::fp(1)])),
-        Stmt::Instr(InstrTemplate::compute(OpClass::IntAlu, &[Reg::gp(0)], &[Reg::gp(1)])),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::FpDiv,
+            &[Reg::fp(0)],
+            &[Reg::fp(1)],
+        )),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::IntAlu,
+            &[Reg::gp(0)],
+            &[Reg::gp(1)],
+        )),
         Stmt::Instr(InstrTemplate::load(
             OpClass::Load,
             Reg::fp(2),
@@ -262,7 +287,11 @@ fn commit_is_in_order_and_complete() {
             AddrExpr::linear(0x3_0000, 0, 64),
             8,
         )),
-        Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[Reg::pred(0)], &[Reg::gp(0)])),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::PredOp,
+            &[Reg::pred(0)],
+            &[Reg::gp(0)],
+        )),
     ];
     let k = Kernel::new("mix", vec![Stmt::repeat(123, body)]);
     let p = Program::lower(&k);
@@ -307,7 +336,11 @@ mod gather {
         let m = p.ops[0].template.mem.unwrap();
         assert!(matches!(
             m.pattern,
-            MemPattern::Strided { elem_bytes: 8, stride: 256, count: 8 }
+            MemPattern::Strided {
+                elem_bytes: 8,
+                stride: 256,
+                count: 8
+            }
         ));
         assert_eq!(m.bytes, 64);
     }

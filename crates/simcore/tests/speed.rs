@@ -1,6 +1,6 @@
 use armdse_kernels::{build_workload, App, WorkloadScale};
-use armdse_simcore::{simulate, CoreParams};
 use armdse_memsim::MemParams;
+use armdse_simcore::{simulate, CoreParams};
 use std::time::Instant;
 
 #[test]
@@ -12,7 +12,14 @@ fn speed() {
         let t = Instant::now();
         let s = simulate(&w.program, &c, &m);
         let dt = t.elapsed();
-        println!("{:10} instrs={:7} cycles={:8} ipc={:.2} wall={:?} validated={}",
-            app.name(), s.retired, s.cycles, s.ipc(), dt, s.validated);
+        println!(
+            "{:10} instrs={:7} cycles={:8} ipc={:.2} wall={:?} validated={}",
+            app.name(),
+            s.retired,
+            s.cycles,
+            s.ipc(),
+            dt,
+            s.validated
+        );
     }
 }

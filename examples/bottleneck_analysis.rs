@@ -36,7 +36,10 @@ fn main() {
     let mut tiny_rob = healthy;
     tiny_rob.core.rob_size = 8;
     let s = run("ROB = 8", &tiny_rob);
-    println!("  -> {:.1}x slower; dispatch stalled on a full ROB\n", ratio(&s, &base));
+    println!(
+        "  -> {:.1}x slower; dispatch stalled on a full ROB\n",
+        ratio(&s, &base)
+    );
 
     let mut few_regs = healthy;
     few_regs.core.fp_regs = 38;
@@ -50,7 +53,10 @@ fn main() {
     thin_frontend.core.fetch_block_bytes = 4;
     thin_frontend.core.loop_buffer_size = 1;
     let s = run("fetch block 4 B, no loop buf", &thin_frontend);
-    println!("  -> {:.1}x slower; decode starved by one-instruction fetches\n", ratio(&s, &base));
+    println!(
+        "  -> {:.1}x slower; decode starved by one-instruction fetches\n",
+        ratio(&s, &base)
+    );
 
     let mut fixed_by_loop_buffer = thin_frontend;
     fixed_by_loop_buffer.core.loop_buffer_size = 256;

@@ -37,11 +37,21 @@ fn jacobi_kernel(n: u64, iters: u64, vl_bits: u32) -> Kernel {
     };
 
     let vload = |dst: u8, expr: AddrExpr| {
-        Stmt::Instr(InstrTemplate::load(OpClass::VecLoad, Reg::fp(dst), &[Reg::gp(1), p0], expr, vb))
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::VecLoad,
+            Reg::fp(dst),
+            &[Reg::gp(1), p0],
+            expr,
+            vb,
+        ))
     };
 
     let inner = vec![
-        Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[p0], &[Reg::gp(5)])),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::PredOp,
+            &[p0],
+            &[Reg::gp(5)],
+        )),
         vload(0, cell(input, -1, 0)),
         vload(1, cell(input, 1, 0)),
         vload(2, cell(input, 0, -8)),
@@ -83,7 +93,10 @@ fn main() {
     let n = 64; // 64x64 grid, 32 KiB per array
     println!("2-D Jacobi {n}x{n}, custom kernel on the armdse pipeline\n");
 
-    println!("{:>8} {:>10} {:>10} {:>7} {:>7}", "VL", "instrs", "cycles", "IPC", "SVE%");
+    println!(
+        "{:>8} {:>10} {:>10} {:>7} {:>7}",
+        "VL", "instrs", "cycles", "IPC", "SVE%"
+    );
     for vl in [128u32, 256, 512, 1024, 2048] {
         let program = Program::lower(&jacobi_kernel(n, 2, vl));
         let summary = OpSummary::of(&program);

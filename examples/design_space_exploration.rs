@@ -7,9 +7,9 @@
 //! cargo run --release --example design_space_exploration
 //! ```
 
-use armdse::core::orchestrator::{generate_dataset, GenOptions};
+use armdse::core::orchestrator::GenOptions;
 use armdse::core::space::ParamSpace;
-use armdse::core::{DseDataset, SurrogateSuite};
+use armdse::core::{DseDataset, Engine, RunPlan, SurrogateSuite};
 use armdse::kernels::{App, WorkloadScale};
 use armdse::mltree::Regressor;
 
@@ -25,8 +25,17 @@ fn main() {
         threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         apps: App::ALL.to_vec(),
     };
-    println!("simulating {} configs x {} apps ...", opts.configs, opts.apps.len());
-    let data = generate_dataset(&space, &opts);
+    println!(
+        "simulating {} configs x {} apps ...",
+        opts.configs,
+        opts.apps.len()
+    );
+    let plan = RunPlan::new(&space, &opts).expect("valid plan");
+    let engine = Engine::idealized();
+    let mut data = DseDataset::default();
+    engine
+        .run(&plan, &mut data)
+        .expect("in-memory sink cannot fail");
     println!("dataset: {} validated rows\n", data.rows.len());
 
     // T3: train one decision tree per application (80/20 split).

@@ -6,12 +6,16 @@
 //! ```
 
 use armdse::core::space::ParamSpace;
-use armdse::core::{runner, DesignConfig};
+use armdse::core::{DesignConfig, Engine};
 use armdse::kernels::{App, WorkloadScale};
 
 fn main() {
     // The paper's design space (Tables II + III).
     let space = ParamSpace::paper();
+
+    // One engine per exploration: it owns the workload cache, so the
+    // four apps are built once and reused across both design points.
+    let engine = Engine::idealized();
 
     // A random design point — every sampled point satisfies the paper's
     // constraints (bandwidth covers one vector, L2 dominates L1).
@@ -24,7 +28,7 @@ fn main() {
     for cfg in [("sampled", &sampled), ("thunderx2", &baseline)] {
         println!("--- {} ---", cfg.0);
         for app in App::ALL {
-            let stats = runner::simulate(app, WorkloadScale::Small, cfg.1);
+            let stats = engine.simulate_config(app, WorkloadScale::Small, cfg.1);
             assert!(stats.validated, "simulation failed validation");
             println!(
                 "{:10}  cycles={:>9}  retired={:>7}  IPC={:.2}  SVE={:.1}%  L1 hit={:.1}%",

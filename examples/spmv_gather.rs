@@ -21,13 +21,7 @@ use armdse::isa::{lanes, op::OpClass, InstrTemplate, OpSummary, Program, Reg};
 /// consecutive touched elements (modelling the matrix's bandwidth).
 /// With `idealised = true`, the gather is replaced by a contiguous
 /// vector load of the same width — the "perfectly sorted matrix" bound.
-fn spmv_kernel(
-    rows: u64,
-    nnz_per_row: u64,
-    spread: i64,
-    vl_bits: u32,
-    idealised: bool,
-) -> Kernel {
+fn spmv_kernel(rows: u64, nnz_per_row: u64, spread: i64, vl_bits: u32, idealised: bool) -> Kernel {
     let lanes64 = lanes(vl_bits, 64);
     let vb = vl_bits / 8;
     let vals = 0x1000_0000u64; // matrix values (streamed)
@@ -38,7 +32,11 @@ fn spmv_kernel(
     // Depths: 0 = row, 1 = nnz block within the row.
     let blocks = nnz_per_row.div_ceil(lanes64);
     let block_body = vec![
-        Stmt::Instr(InstrTemplate::compute(OpClass::PredOp, &[p0], &[Reg::gp(5)])),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::PredOp,
+            &[p0],
+            &[Reg::gp(5)],
+        )),
         // Stream the matrix values.
         Stmt::Instr(InstrTemplate::load(
             OpClass::VecLoad,
@@ -77,7 +75,11 @@ fn spmv_kernel(
     let row_body = vec![
         Stmt::repeat(blocks, block_body),
         // Horizontal reduce + store y[row].
-        Stmt::Instr(InstrTemplate::compute(OpClass::VecAlu, &[Reg::fp(3)], &[Reg::fp(2)])),
+        Stmt::Instr(InstrTemplate::compute(
+            OpClass::VecAlu,
+            &[Reg::fp(3)],
+            &[Reg::fp(2)],
+        )),
         Stmt::Instr(InstrTemplate::store(
             OpClass::Store,
             &[Reg::fp(3), Reg::gp(3)],
@@ -116,14 +118,23 @@ fn main() {
     for vl in [128u32, 512, 2048] {
         let g = run(vl, 512, false, 2);
         let c = run(vl, 512, true, 2);
-        println!("{:>8} {:>14} {:>14} {:>9.2}x", vl, g, c, g as f64 / c as f64);
+        println!(
+            "{:>8} {:>14} {:>14} {:>9.2}x",
+            vl,
+            g,
+            c,
+            g as f64 / c as f64
+        );
     }
 
     // The tax is paid in memory requests, so it responds to the
     // request-rate design parameters the paper varies.
     println!("\ngather-version sensitivity to loads-per-cycle (VL=2048):");
     for lpc in [1u32, 2, 4, 8, 16] {
-        println!("  loads/cycle {lpc:>2} -> {:>8} cycles", run(2048, 512, false, lpc));
+        println!(
+            "  loads/cycle {lpc:>2} -> {:>8} cycles",
+            run(2048, 512, false, lpc)
+        );
     }
 
     println!(

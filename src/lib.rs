@@ -10,8 +10,10 @@
 //!   xoshiro256++ streams) behind a `rand`-shaped API.
 //! * [`mltree`] — decision-tree regression, random forest, linear regression,
 //!   permutation feature importance.
-//! * [`core`] — design-space parameter space, constrained sampling, parallel
-//!   orchestration, dataset handling, and the surrogate-analysis pipeline.
+//! * [`core`] — design-space parameter space, constrained sampling, the
+//!   resumable [`core::engine::Engine`] run path (pluggable backends,
+//!   streaming row sinks, checkpoint/resume), dataset handling, and the
+//!   surrogate-analysis pipeline.
 //! * [`analysis`] — experiment harness regenerating every table and figure.
 //! * [`oracle`] — architecturally exact reference interpreter, random
 //!   KIR program generator, and differential fuzzer (the repo's stand-in
@@ -20,22 +22,24 @@
 //! ## Quickstart
 //!
 //! ```
-//! use armdse::core::{config::DesignConfig, runner, space::ParamSpace};
+//! use armdse::core::{space::ParamSpace, Engine};
 //! use armdse::kernels::{App, WorkloadScale};
 //!
-//! // Sample one design point and simulate STREAM on it.
+//! // Sample one design point and simulate STREAM on it. The engine
+//! // caches workloads, so repeated queries rebuild nothing.
 //! let space = ParamSpace::paper();
 //! let cfg = space.sample_seeded(42);
-//! let stats = runner::simulate(App::Stream, WorkloadScale::Tiny, &cfg);
+//! let engine = Engine::idealized();
+//! let stats = engine.simulate_config(App::Stream, WorkloadScale::Tiny, &cfg);
 //! assert!(stats.cycles > 0);
 //! ```
 
 pub use armdse_analysis as analysis;
-pub use armdse_rng as rng;
 pub use armdse_core as core;
 pub use armdse_isa as isa;
 pub use armdse_kernels as kernels;
 pub use armdse_memsim as memsim;
 pub use armdse_mltree as mltree;
 pub use armdse_oracle as oracle;
+pub use armdse_rng as rng;
 pub use armdse_simcore as simcore;

@@ -1,9 +1,10 @@
 //! End-to-end integration: the full paper pipeline through the public
-//! API — sampling → simulation → dataset → surrogate → introspection.
+//! API — sampling → plan → engine run → dataset → surrogate →
+//! introspection.
 
-use armdse::core::orchestrator::{generate_dataset, GenOptions};
+use armdse::core::orchestrator::GenOptions;
 use armdse::core::space::ParamSpace;
-use armdse::core::{DseDataset, SurrogateSuite};
+use armdse::core::{DseDataset, Engine, RunPlan, SurrogateSuite};
 use armdse::kernels::{App, WorkloadScale};
 use armdse::mltree::Regressor;
 
@@ -17,12 +18,22 @@ fn opts() -> GenOptions {
     }
 }
 
+fn dataset(space: &ParamSpace, opts: &GenOptions) -> DseDataset {
+    let plan = RunPlan::new(space, opts).expect("valid plan");
+    let mut data = DseDataset::default();
+    Engine::idealized()
+        .run(&plan, &mut data)
+        .expect("in-memory sink cannot fail");
+    data
+}
+
 #[test]
 fn full_pipeline_dataset_to_importance() {
     let space = ParamSpace::paper();
-    let data = generate_dataset(&space, &opts());
+    let data = dataset(&space, &opts());
     // Every sampled config validates on every app at Tiny scale.
     assert_eq!(data.rows.len(), 50 * 4);
+    assert!(data.discarded.is_empty());
 
     let suite = SurrogateSuite::train(&data, 0.2, 5);
     assert_eq!(suite.models.len(), 4);
@@ -42,7 +53,7 @@ fn dataset_round_trips_through_csv_file() {
     let space = ParamSpace::paper();
     let mut o = opts();
     o.configs = 8;
-    let data = generate_dataset(&space, &o);
+    let data = dataset(&space, &o);
     let path = std::env::temp_dir().join("armdse_e2e_dataset.csv");
     data.save_csv(&path).unwrap();
     let back = DseDataset::load_csv(&path).unwrap();
@@ -60,7 +71,7 @@ fn dataset_round_trips_through_csv_file() {
 #[test]
 fn surrogate_predictions_are_cheap_and_deterministic() {
     let space = ParamSpace::paper();
-    let data = generate_dataset(&space, &opts());
+    let data = dataset(&space, &opts());
     let suite = SurrogateSuite::train(&data, 0.2, 1);
     let model = suite.model(App::Stream).unwrap();
     let cfg = space.sample_seeded(123_456);
@@ -76,11 +87,14 @@ fn surrogate_interpolates_in_plausible_range() {
     // training targets (trees cannot extrapolate) — the property that
     // makes the paper's introspection meaningful.
     let space = ParamSpace::paper();
-    let data = generate_dataset(&space, &opts());
+    let data = dataset(&space, &opts());
     let suite = SurrogateSuite::train(&data, 0.2, 1);
     for m in &suite.models {
-        let ys: Vec<f64> =
-            data.for_app(m.app).iter().map(|r| r.cycles as f64).collect();
+        let ys: Vec<f64> = data
+            .for_app(m.app)
+            .iter()
+            .map(|r| r.cycles as f64)
+            .collect();
         let lo = ys.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = ys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for seed in 1000..1020 {
@@ -100,7 +114,7 @@ fn per_app_trees_differ() {
     // The paper trains one model per application because the codes have
     // contrasting performance trends; the fitted trees must differ.
     let space = ParamSpace::paper();
-    let data = generate_dataset(&space, &opts());
+    let data = dataset(&space, &opts());
     let suite = SurrogateSuite::train(&data, 0.2, 1);
     let cfg = space.sample_seeded(777);
     let preds: Vec<f64> = suite
@@ -113,5 +127,8 @@ fn per_app_trees_differ() {
         .map(|p| p.to_bits())
         .collect::<std::collections::HashSet<_>>()
         .len();
-    assert!(distinct >= 3, "per-app models should predict differently: {preds:?}");
+    assert!(
+        distinct >= 3,
+        "per-app models should predict differently: {preds:?}"
+    );
 }

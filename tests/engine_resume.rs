@@ -1,0 +1,159 @@
+//! Golden checkpoint/resume test (the engine's headline guarantee): a
+//! campaign paused mid-flight at a chunk boundary and resumed later —
+//! even with a different worker count — must produce a dataset CSV
+//! byte-identical to the uninterrupted run. This is what makes long
+//! T2 simulation campaigns restartable without invalidating the
+//! `seed + config_index` determinism contract.
+
+use armdse::core::orchestrator::GenOptions;
+use armdse::core::space::ParamSpace;
+use armdse::core::{CsvSink, Engine, Progress, RunControl, RunPlan};
+use armdse::kernels::{App, WorkloadScale};
+use std::path::PathBuf;
+
+const CONFIGS: usize = 12; // 12 configs x 4 apps = 48 jobs
+const CHUNK: usize = 8; // 6 chunks — several checkpoint boundaries
+
+fn opts(threads: usize) -> GenOptions {
+    GenOptions {
+        configs: CONFIGS,
+        scale: WorkloadScale::Tiny,
+        seed: 0xC0FF_EE00,
+        threads,
+        apps: App::ALL.to_vec(),
+    }
+}
+
+fn plan(threads: usize) -> RunPlan {
+    RunPlan::new(&ParamSpace::paper(), &opts(threads))
+        .expect("valid plan")
+        .with_chunk_jobs(CHUNK)
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("armdse_engine_resume_{name}"))
+}
+
+/// Uninterrupted reference run: plain CSV sink, no checkpointing.
+fn fresh_csv(threads: usize) -> Vec<u8> {
+    let path = tmp(&format!("fresh_{threads}.csv"));
+    let mut sink = CsvSink::create(&path).unwrap();
+    let summary = Engine::idealized().run(&plan(threads), &mut sink).unwrap();
+    assert!(summary.completed);
+    assert_eq!(summary.jobs_done, CONFIGS * App::ALL.len());
+    drop(sink);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Interrupted run: pause after `pause_after_chunks` chunks, then resume
+/// with `resume_threads` workers and run to completion.
+fn interrupted_csv(
+    run_threads: usize,
+    resume_threads: usize,
+    pause_after_chunks: usize,
+) -> Vec<u8> {
+    let tag = format!("resumed_{run_threads}_{resume_threads}_{pause_after_chunks}");
+    let path = tmp(&format!("{tag}.csv"));
+    let ckpt = tmp(&format!("{tag}.ckpt"));
+
+    // Phase 1: run until the observer pulls the plug.
+    let mut chunks = 0usize;
+    let mut observer = |_p: &Progress| {
+        chunks += 1;
+        chunks < pause_after_chunks
+    };
+    let mut sink = CsvSink::create(&path).unwrap();
+    let summary = Engine::idealized()
+        .run_controlled(
+            &plan(run_threads),
+            &mut sink,
+            RunControl {
+                checkpoint: Some(&ckpt),
+                resume: false,
+                observer: Some(&mut observer),
+            },
+        )
+        .unwrap();
+    assert!(
+        !summary.completed,
+        "pause_after_chunks too large for the campaign"
+    );
+    assert_eq!(summary.jobs_done, pause_after_chunks * CHUNK);
+    drop(sink);
+
+    // Phase 2: a later invocation (possibly with different parallelism)
+    // appends to the same CSV and resumes from the checkpoint.
+    let mut sink = CsvSink::append(&path).unwrap();
+    let summary = Engine::idealized()
+        .run_controlled(
+            &plan(resume_threads),
+            &mut sink,
+            RunControl {
+                checkpoint: Some(&ckpt),
+                resume: true,
+                observer: None,
+            },
+        )
+        .unwrap();
+    assert!(summary.completed);
+    assert_eq!(summary.resumed_from, pause_after_chunks * CHUNK);
+    drop(sink);
+
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    std::fs::remove_file(&ckpt).ok();
+    bytes
+}
+
+#[test]
+fn resumed_run_is_byte_identical_single_threaded() {
+    let fresh = fresh_csv(1);
+    let resumed = interrupted_csv(1, 1, 2);
+    assert_eq!(
+        fresh, resumed,
+        "1-thread resume diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn resumed_run_is_byte_identical_multi_threaded() {
+    let fresh = fresh_csv(8);
+    let resumed = interrupted_csv(8, 8, 3);
+    assert_eq!(
+        fresh, resumed,
+        "8-thread resume diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn thread_count_may_change_across_the_pause() {
+    // The checkpoint fingerprint deliberately excludes the worker count:
+    // a campaign paused on an 8-way box must resume cleanly on 1 thread
+    // (and vice versa) with identical output.
+    let fresh = fresh_csv(1);
+    assert_eq!(
+        fresh,
+        interrupted_csv(8, 1, 1),
+        "8→1 thread resume diverged"
+    );
+    assert_eq!(
+        fresh,
+        interrupted_csv(1, 8, 4),
+        "1→8 thread resume diverged"
+    );
+}
+
+#[test]
+fn pause_point_does_not_leak_into_the_bytes() {
+    // Every possible chunk boundary yields the same final file.
+    let fresh = fresh_csv(2);
+    for pause in 1..=5 {
+        assert_eq!(
+            fresh,
+            interrupted_csv(2, 2, pause),
+            "resume after chunk {pause} diverged"
+        );
+    }
+}

@@ -18,7 +18,9 @@ use std::fs;
 use std::path::PathBuf;
 
 fn golden_path(name: &str) -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden").join(name)
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
 }
 
 /// Compare `actual` against the named fixture, or rewrite the fixture
@@ -49,8 +51,16 @@ fn edge_case_table() -> Table {
         &["plain", "quoted,comma", "escapes"],
         vec![
             vec!["a".into(), "b,c".into(), "say \"hi\"".into()],
-            vec!["line\nbreak".into(), "cr\rreturn".into(), "crlf\r\nboth".into()],
-            vec!["tab\there".into(), "back\\slash".into(), "ctrl\u{1}char".into()],
+            vec![
+                "line\nbreak".into(),
+                "cr\rreturn".into(),
+                "crlf\r\nboth".into(),
+            ],
+            vec![
+                "tab\there".into(),
+                "back\\slash".into(),
+                "ctrl\u{1}char".into(),
+            ],
             vec!["".into(), "  padded  ".into(), "héllo 世界".into()],
         ],
     )
@@ -74,8 +84,18 @@ fn sample_dataset() -> DseDataset {
     let f = DesignConfig::thunderx2().to_features();
     DseDataset {
         rows: vec![
-            Row { app: App::Stream, features: f, cycles: 123_456, sve_fraction: 0.5625 },
-            Row { app: App::TeaLeaf, features: f, cycles: 7_890, sve_fraction: 0.03125 },
+            Row {
+                app: App::Stream,
+                features: f,
+                cycles: 123_456,
+                sve_fraction: 0.5625,
+            },
+            Row {
+                app: App::TeaLeaf,
+                features: f,
+                cycles: 7_890,
+                sve_fraction: 0.03125,
+            },
         ],
         discarded: Vec::new(),
     }
@@ -198,9 +218,15 @@ fn json_value(s: &str) -> Result<&str, String> {
         }),
         Some('[') => json_seq(&s[1..], ']', json_value),
         Some('"') => json_string_lit(s),
-        Some('t') => s.strip_prefix("true").ok_or_else(|| "bad literal".to_string()),
-        Some('f') => s.strip_prefix("false").ok_or_else(|| "bad literal".to_string()),
-        Some('n') => s.strip_prefix("null").ok_or_else(|| "bad literal".to_string()),
+        Some('t') => s
+            .strip_prefix("true")
+            .ok_or_else(|| "bad literal".to_string()),
+        Some('f') => s
+            .strip_prefix("false")
+            .ok_or_else(|| "bad literal".to_string()),
+        Some('n') => s
+            .strip_prefix("null")
+            .ok_or_else(|| "bad literal".to_string()),
         Some(c) if c == '-' || c.is_ascii_digit() => {
             let end = s
                 .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
@@ -264,6 +290,9 @@ fn emitted_json_is_rfc8259_wellformed() {
         tables_to_json(&[plain_table(), edge_case_table()]),
     ] {
         let rest = json_value(&body).unwrap_or_else(|e| panic!("invalid JSON ({e}): {body}"));
-        assert!(rest.trim().is_empty(), "trailing garbage after JSON value: {rest:?}");
+        assert!(
+            rest.trim().is_empty(),
+            "trailing garbage after JSON value: {rest:?}"
+        );
     }
 }

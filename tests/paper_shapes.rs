@@ -6,17 +6,22 @@
 use armdse::analysis::sweeps::{self, SweepOptions};
 use armdse::analysis::{fig1, table1};
 use armdse::core::space::ParamSpace;
+use armdse::core::Engine;
 use armdse::kernels::{App, WorkloadScale};
 
 fn sweep_opts() -> SweepOptions {
-    SweepOptions { base_configs: 4, scale: WorkloadScale::Small, seed: 808 }
+    SweepOptions {
+        base_configs: 4,
+        scale: WorkloadScale::Small,
+        seed: 808,
+    }
 }
 
 /// Fig. 1 shape: STREAM/miniBUDE heavily vectorised at every VL;
 /// TeaLeaf marginal; MiniSweep not at all.
 #[test]
 fn fig1_vectorisation_split() {
-    let f = fig1::run(WorkloadScale::Small);
+    let f = fig1::run(&Engine::idealized(), WorkloadScale::Small);
     for vl in fig1::VLS {
         assert!(f.sve_pct(App::Stream, vl).unwrap() > 40.0);
         assert!(f.sve_pct(App::MiniBude, vl).unwrap() > 60.0);
@@ -29,7 +34,7 @@ fn fig1_vectorisation_split() {
 /// hardware proxy, with error varying by app (access-pattern dependent).
 #[test]
 fn table1_validation_band() {
-    let t = table1::run(WorkloadScale::Small);
+    let t = table1::run(&Engine::idealized(), WorkloadScale::Small);
     assert_eq!(t.rows.len(), 4);
     for r in &t.rows {
         assert!(
@@ -39,14 +44,17 @@ fn table1_validation_band() {
             r.pct_difference
         );
     }
-    assert!(t.mean_pct_difference() > 0.5, "proxy should not agree exactly");
+    assert!(
+        t.mean_pct_difference() > 0.5,
+        "proxy should not agree exactly"
+    );
 }
 
 /// Fig. 6 shape: 16x longer vectors buy a 4-16x speedup on the
 /// vectorised codes (paper: 7-9x), larger for STREAM than miniBUDE.
 #[test]
 fn fig6_vector_length_scaling() {
-    let f = sweeps::fig6(&ParamSpace::paper(), &sweep_opts());
+    let f = sweeps::fig6(&Engine::idealized(), &ParamSpace::paper(), &sweep_opts());
     let stream = f.speedup(App::Stream, 2048).unwrap();
     let bude = f.speedup(App::MiniBude, 2048).unwrap();
     assert!((4.0..16.0).contains(&stream), "STREAM speedup {stream}");
@@ -58,7 +66,11 @@ fn fig6_vector_length_scaling() {
     // Monotone increase along the sweep.
     let series = &f.series[0];
     for w in series.points.windows(2) {
-        assert!(w[1].2 >= w[0].2 * 0.95, "VL speedup should grow: {:?}", series.points);
+        assert!(
+            w[1].2 >= w[0].2 * 0.95,
+            "VL speedup should grow: {:?}",
+            series.points
+        );
     }
 }
 
@@ -66,7 +78,7 @@ fn fig6_vector_length_scaling() {
 /// benefit is on memory-bound STREAM.
 #[test]
 fn fig7_rob_saturation() {
-    let f = sweeps::fig7(&ParamSpace::paper(), &sweep_opts());
+    let f = sweeps::fig7(&Engine::idealized(), &ParamSpace::paper(), &sweep_opts());
     for app in App::ALL {
         let at_152 = f.speedup(app, 152).unwrap();
         let at_512 = f.speedup(app, 512).unwrap();
@@ -89,7 +101,7 @@ fn fig7_rob_saturation() {
 /// the knee further registers buy almost nothing.
 #[test]
 fn fig8_fp_register_wall() {
-    let f = sweeps::fig8(&ParamSpace::paper(), &sweep_opts());
+    let f = sweeps::fig8(&Engine::idealized(), &ParamSpace::paper(), &sweep_opts());
     for app in App::ALL {
         let knee = f.speedup(app, 144).unwrap();
         let max = f.speedup(app, 512).unwrap();

@@ -32,7 +32,8 @@ fn sampler_always_valid() {
     sweep(0xA11D, 256, |rng| {
         let seed = rng.gen_range(0..100_000u64);
         let cfg = space.sample_seeded(seed);
-        cfg.validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
     });
 }
 
@@ -155,7 +156,11 @@ fn cursor_length_matches_analytic() {
         // And the analytic summary matches the traced one.
         let mut observed = OpSummary::default();
         for d in TraceCursor::new(&p) {
-            observed.record(d.op, d.mem.map_or(0, |m| u64::from(m.bytes)), d.mem.map(|m| m.kind));
+            observed.record(
+                d.op,
+                d.mem.map_or(0, |m| u64::from(m.bytes)),
+                d.mem.map(|m| m.kind),
+            );
         }
         assert_eq!(observed, OpSummary::of(&p));
     });

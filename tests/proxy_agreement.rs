@@ -1,6 +1,6 @@
 //! Architectural agreement between the two memory back-ends.
 //!
-//! `simulate` (idealised hierarchy) and `simulate_hardware_proxy`
+//! [`Idealized`] (idealised hierarchy) and [`BankedProxy`]
 //! (finite-banked hierarchy, the stand-in for the paper's physical
 //! ThunderX2 in Table I) model the *same* machine at different timing
 //! fidelity. Everything architectural — retired instruction count,
@@ -11,7 +11,7 @@
 use armdse::core::space::ParamSpace;
 use armdse::kernels::{build_workload, App, WorkloadScale};
 use armdse::oracle::ArchState;
-use armdse::simcore::{simulate, simulate_hardware_proxy, simulate_traced, simulate_traced_proxy};
+use armdse::simcore::{BankedProxy, Idealized, SimBackend, Traced};
 
 #[test]
 fn backends_agree_architecturally_on_every_app() {
@@ -19,12 +19,18 @@ fn backends_agree_architecturally_on_every_app() {
     for (i, &app) in App::ALL.iter().enumerate() {
         let cfg = space.sample_seeded(0x7A6E + i as u64);
         let w = build_workload(app, WorkloadScale::Tiny, cfg.core.vector_length);
-        let a = simulate(&w.program, &cfg.core, &cfg.mem);
-        let b = simulate_hardware_proxy(&w.program, &cfg.core, &cfg.mem);
+        let a = Idealized.run(&w.program, &cfg.core, &cfg.mem);
+        let b = BankedProxy.run(&w.program, &cfg.core, &cfg.mem);
 
         assert_eq!(a.retired, b.retired, "{app:?}: retired count diverged");
-        assert_eq!(a.observed, b.observed, "{app:?}: retirement summary diverged");
-        assert_eq!(a.validated, b.validated, "{app:?}: validation verdict diverged");
+        assert_eq!(
+            a.observed, b.observed,
+            "{app:?}: retirement summary diverged"
+        );
+        assert_eq!(
+            a.validated, b.validated,
+            "{app:?}: validation verdict diverged"
+        );
         assert!(a.validated, "{app:?}: run failed validation");
         assert!(!a.hit_cycle_limit && !b.hit_cycle_limit);
     }
@@ -34,10 +40,13 @@ fn backends_agree_architecturally_on_every_app() {
 fn backends_commit_the_identical_instruction_stream() {
     let cfg = armdse::core::DesignConfig::thunderx2();
     let w = build_workload(App::Stream, WorkloadScale::Tiny, cfg.core.vector_length);
-    let (a, trace_a) = simulate_traced(&w.program, &cfg.core, &cfg.mem);
-    let (b, trace_b) = simulate_traced_proxy(&w.program, &cfg.core, &cfg.mem);
+    let (a, trace_a) = Traced(Idealized).run(&w.program, &cfg.core, &cfg.mem);
+    let (b, trace_b) = Traced(BankedProxy).run(&w.program, &cfg.core, &cfg.mem);
 
-    assert_eq!(trace_a, trace_b, "commit streams diverged between back-ends");
+    assert_eq!(
+        trace_a, trace_b,
+        "commit streams diverged between back-ends"
+    );
     assert_eq!(trace_a.len() as u64, a.retired);
 
     // Same committed stream ⇒ same architectural state under the oracle's
@@ -55,14 +64,26 @@ fn backends_commit_the_identical_instruction_stream() {
 }
 
 #[test]
+fn traced_adapter_is_timing_transparent() {
+    // Wrapping a backend in `Traced` must not perturb its statistics:
+    // the trace is an observation channel, not a different model.
+    let cfg = armdse::core::DesignConfig::thunderx2();
+    let w = build_workload(App::TeaLeaf, WorkloadScale::Tiny, cfg.core.vector_length);
+    let plain = BankedProxy.run(&w.program, &cfg.core, &cfg.mem);
+    let (traced, trace) = Traced(BankedProxy).run(&w.program, &cfg.core, &cfg.mem);
+    assert_eq!(plain, traced, "Traced adapter changed the statistics");
+    assert_eq!(trace.len() as u64, plain.retired);
+}
+
+#[test]
 fn backends_differ_only_in_timing() {
     // The banked hierarchy must actually change timing somewhere in the
     // space, or the proxy is vacuous; pick the paper's reference machine
     // where contention is known to bite.
     let cfg = armdse::core::DesignConfig::thunderx2();
     let w = build_workload(App::Stream, WorkloadScale::Small, cfg.core.vector_length);
-    let a = simulate(&w.program, &cfg.core, &cfg.mem);
-    let b = simulate_hardware_proxy(&w.program, &cfg.core, &cfg.mem);
+    let a = Idealized.run(&w.program, &cfg.core, &cfg.mem);
+    let b = BankedProxy.run(&w.program, &cfg.core, &cfg.mem);
     assert_eq!(a.retired, b.retired);
     assert_eq!(a.observed, b.observed);
     assert_ne!(a.cycles, b.cycles, "proxy back-end never affected timing");
