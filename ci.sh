@@ -13,6 +13,10 @@ cargo bench --no-run --offline --workspace
 cargo fmt --check
 cargo clippy --all-targets --offline --workspace -- -D warnings
 
+# Documentation lane: rustdoc must build clean (broken intra-doc links,
+# missing docs on warn-gated crates, and bad code fences all fail).
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
 # Checkpoint/resume smoke: pause a small dataset campaign after its
 # first chunk (--max-chunks 1 leaves dataset.ckpt behind), resume it at
 # a different thread count, and require the finished CSV byte-identical
@@ -29,6 +33,17 @@ cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
   --configs 40 --scale tiny --seed 7 --threads 1 --out "$SMOKE/paused" --resume
 test ! -f "$SMOKE/paused/dataset.ckpt"
 cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/paused/dataset.csv"
+
+# Observability smoke: the same campaign with --metrics must stream one
+# counter row per job (docs/METRICS.md schema), emit the bottleneck
+# cross-tab, and leave the dataset bytes untouched (metrics
+# transparency, checked against the fresh run above).
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 4 --out "$SMOKE/observed" \
+  --metrics "$SMOKE/observed/metrics"
+cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/observed/dataset.csv"
+test -f "$SMOKE/observed/metrics/metrics.csv"
+test -f "$SMOKE/observed/metrics/bottleneck.txt"
 
 # Invariant lane: rebuild the simulator with cycle-level structural
 # checks compiled in and rerun the crates they gate. Any violation

@@ -4,6 +4,7 @@
 //! repro <experiment> [--configs N] [--scale tiny|small|standard]
 //!                    [--seed N] [--sweep-configs N] [--threads N]
 //!                    [--out DIR] [--resume] [--max-chunks N]
+//!                    [--metrics DIR]
 //!
 //! experiments:
 //!   fig1      SVE fraction of retired instructions per vector length
@@ -31,19 +32,29 @@
 //! `--max-chunks N` pauses generation after N chunks (leaving the
 //! checkpoint in place), giving scripts a deterministic interruption
 //! point; ci.sh uses it to smoke-test the resume path.
+//!
+//! `--metrics DIR` additionally runs every dataset job with cycle
+//! accounting enabled, streaming one counter row per job to
+//! `DIR/metrics.csv` (schema: docs/METRICS.md) alongside the dataset
+//! rows, with the same determinism and checkpoint/resume guarantees.
+//! After a completed campaign the bottleneck analysis
+//! (cycle-accounting shares + the bottleneck-vs-importance cross-tab)
+//! is emitted into the same directory.
 //! All experiments in one invocation share a single [`Engine`] (and so
 //! one workload cache).
 
 use armdse_analysis::report::{discarded_table, tables_to_json, Table};
 use armdse_analysis::sweeps::SweepOptions;
 use armdse_analysis::{
-    accuracy, crossval, fig1, headline, importance, multicore, sweeps, table1, unseen, ExpOptions,
+    accuracy, bottleneck, crossval, fig1, headline, importance, multicore, sweeps, table1, unseen,
+    ExpOptions,
 };
 use armdse_core::engine::{CsvSink, Engine, Progress, RunControl, RunPlan};
+use armdse_core::metrics::{MetricsCsvSink, MetricsSink};
 use armdse_core::space::ParamSpace;
 use armdse_core::{ArmdseError, DseDataset, SurrogateSuite};
 use armdse_kernels::WorkloadScale;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 struct Cli {
@@ -52,6 +63,7 @@ struct Cli {
     out: PathBuf,
     resume: bool,
     max_chunks: Option<usize>,
+    metrics: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -61,6 +73,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut out = PathBuf::from("results");
     let mut resume = false;
     let mut max_chunks = None;
+    let mut metrics = None;
     while let Some(flag) = args.next() {
         let mut val = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -79,6 +92,7 @@ fn parse_args() -> Result<Cli, String> {
             "--out" => out = PathBuf::from(val()?),
             "--resume" => resume = true,
             "--max-chunks" => max_chunks = Some(val()?.parse().map_err(|e| format!("{e}"))?),
+            "--metrics" => metrics = Some(PathBuf::from(val()?)),
             f => return Err(format!("unknown flag {f}")),
         }
     }
@@ -88,6 +102,7 @@ fn parse_args() -> Result<Cli, String> {
         out,
         resume,
         max_chunks,
+        metrics,
     })
 }
 
@@ -95,7 +110,7 @@ fn main() {
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N]");
+            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR]");
             std::process::exit(2);
         }
     };
@@ -295,6 +310,16 @@ fn dataset(cli: &Cli, space: &ParamSpace, engine: &Engine, force_regen: bool) ->
         CsvSink::create(&path)
     }
     .unwrap_or_else(|e| fail(e));
+    let mut metrics_sink = cli.metrics.as_ref().map(|dir| {
+        std::fs::create_dir_all(dir).expect("create metrics directory");
+        let mpath = dir.join("metrics.csv");
+        if resuming && mpath.exists() {
+            MetricsCsvSink::append(&mpath)
+        } else {
+            MetricsCsvSink::create(&mpath)
+        }
+        .unwrap_or_else(|e| fail(e))
+    });
     let mut chunks = 0usize;
     let max_chunks = cli.max_chunks;
     let mut observer = |p: &Progress| {
@@ -317,6 +342,7 @@ fn dataset(cli: &Cli, space: &ParamSpace, engine: &Engine, force_regen: bool) ->
                 checkpoint: Some(&ckpt),
                 resume: resuming,
                 observer: Some(&mut observer),
+                metrics: metrics_sink.as_mut().map(|m| m as &mut dyn MetricsSink),
             },
         )
         .unwrap_or_else(|e| fail(e));
@@ -340,7 +366,48 @@ fn dataset(cli: &Cli, space: &ParamSpace, engine: &Engine, force_regen: bool) ->
         sink.rows_written(),
         path.display()
     );
-    DseDataset::load_csv(&path).expect("reload the dataset just written")
+    let data = DseDataset::load_csv(&path).expect("reload the dataset just written");
+    if let Some(dir) = &cli.metrics {
+        emit_metrics_analysis(cli, dir, &data);
+    }
+    data
+}
+
+/// Load the streamed metrics CSV back, derive per-app bottleneck labels,
+/// and cross-tabulate them against the surrogate's permutation
+/// importances. Artifacts land in the metrics directory (not `--out`):
+/// `bottleneck.{txt,csv,json}` next to `metrics.csv`.
+fn emit_metrics_analysis(cli: &Cli, dir: &Path, data: &DseDataset) {
+    let mpath = dir.join("metrics.csv");
+    let table = match bottleneck::MetricsTable::load_csv(&mpath) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("[repro] metrics analysis skipped: {e}");
+            return;
+        }
+    };
+    eprintln!(
+        "[repro] {} metrics rows in {}",
+        table.len(),
+        mpath.display()
+    );
+    let suite = SurrogateSuite::train(data, 0.2, cli.opts.seed);
+    let fig = importance::from_suite(&suite, "Fig. 3");
+    let tables = bottleneck::run(&table, &fig).tables();
+    let mut text = String::new();
+    for t in &tables {
+        text.push_str(&t.to_text());
+        text.push('\n');
+    }
+    println!("{text}");
+    let write = |ext: &str, body: &str| {
+        std::fs::write(dir.join(format!("bottleneck.{ext}")), body)
+            .expect("write metrics artifact");
+    };
+    write("txt", &text);
+    let csv: Vec<String> = tables.iter().map(|t| t.to_csv()).collect();
+    write("csv", &csv.join("\n"));
+    write("json", &tables_to_json(&tables));
 }
 
 /// Persist one experiment table as `.txt` + `.csv` + `.json`.

@@ -24,6 +24,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod bottleneck;
 pub mod crossval;
 pub mod fig1;
 pub mod headline;

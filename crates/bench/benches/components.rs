@@ -38,6 +38,14 @@ fn main() {
         );
     }
 
+    // Metrics-collection overhead: the same simulation with cycle
+    // accounting enabled. Compare against simulate/STREAM to measure
+    // the cost of the observability layer (expected: a few percent).
+    let w_m = build_workload(App::Stream, WorkloadScale::Small, cfg.core.vector_length);
+    h.bench_throughput("simulate_metrics/STREAM", w_m.summary.total(), || {
+        black_box(Idealized.run_with_metrics(&w_m.program, &cfg.core, &cfg.mem))
+    });
+
     // Trace-cursor decode throughput.
     let w = build_workload(App::Stream, WorkloadScale::Small, 128);
     h.bench_throughput("cursor/stream_small", w.summary.total(), || {

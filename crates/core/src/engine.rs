@@ -42,10 +42,11 @@
 use crate::config::DesignConfig;
 use crate::dataset::{write_csv_header, write_csv_row, DiscardedRun, DseDataset, Row};
 use crate::error::ArmdseError;
+use crate::metrics::{MetricsRow, MetricsSink};
 use crate::orchestrator::GenOptions;
 use crate::space::{ParamSpace, FEATURE_NAMES};
 use armdse_kernels::{App, Workload, WorkloadCache, WorkloadScale};
-use armdse_simcore::{Idealized, SimBackend, SimStats};
+use armdse_simcore::{Counters, Idealized, SimBackend, SimStats};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -379,6 +380,14 @@ pub struct RunControl<'a> {
     /// Called after each chunk; returning `false` pauses the run (the
     /// checkpoint, if any, is already saved — resume picks up there).
     pub observer: Option<&'a mut dyn FnMut(&Progress) -> bool>,
+    /// Optional observability stream: when set, every job additionally
+    /// runs with cycle accounting enabled and emits one
+    /// [`MetricsRow`] (including discarded jobs) in job order. Metrics
+    /// collection never changes the dataset rows — the backend contract
+    /// ([`SimBackend::run_with_metrics`]) guarantees identical
+    /// [`SimStats`]. When `None` (the default), no counter is allocated
+    /// and the run path is byte-for-byte the plain one.
+    pub metrics: Option<&'a mut dyn MetricsSink>,
 }
 
 /// Outcome of [`Engine::run_controlled`].
@@ -397,6 +406,9 @@ pub struct RunSummary {
     /// Whether the campaign ran to completion (false: observer paused).
     pub completed: bool,
 }
+
+/// One job's chunk result: index, dataset outcome, optional metrics row.
+type ChunkResult = (usize, Result<Row, DiscardedRun>, Option<Box<MetricsRow>>);
 
 /// The unified run path: a pluggable backend plus the shared workload
 /// cache, executing validated plans into row sinks.
@@ -445,6 +457,21 @@ impl Engine {
     /// reusing the shared workload cache.
     pub fn simulate_config(&self, app: App, scale: WorkloadScale, cfg: &DesignConfig) -> SimStats {
         self.simulate_config_on(self.backend.as_ref(), app, scale, cfg)
+    }
+
+    /// Simulate one `(app, config)` pair with cycle accounting enabled,
+    /// returning the per-cycle attribution counters alongside the
+    /// statistics. The statistics are guaranteed identical to
+    /// [`Engine::simulate_config`] (metrics transparency).
+    pub fn simulate_config_metrics(
+        &self,
+        app: App,
+        scale: WorkloadScale,
+        cfg: &DesignConfig,
+    ) -> (SimStats, Counters) {
+        let w = self.cache.get(app, scale, cfg.core.vector_length);
+        self.backend
+            .run_with_metrics(&w.program, &cfg.core, &cfg.mem)
     }
 
     /// Like [`Engine::simulate_config`] on an explicit backend (lets
@@ -507,10 +534,11 @@ impl Engine {
             }
         }
 
+        let with_metrics = ctl.metrics.is_some();
         let (mut rows, mut discarded) = (0usize, 0usize);
         while done < total_jobs {
             let end = (done + plan.chunk_jobs).min(total_jobs);
-            for (_, result) in self.run_chunk(plan, done, end) {
+            for (_, result, metrics_row) in self.run_chunk(plan, done, end, with_metrics) {
                 match result {
                     Ok(row) => {
                         sink.row(&row)?;
@@ -521,9 +549,15 @@ impl Engine {
                         discarded += 1;
                     }
                 }
+                if let (Some(m), Some(msink)) = (metrics_row, ctl.metrics.as_deref_mut()) {
+                    msink.metrics(&m)?;
+                }
             }
             done = end;
             sink.chunk_end()?;
+            if let Some(msink) = ctl.metrics.as_deref_mut() {
+                msink.chunk_end()?;
+            }
             if let Some(path) = ctl.checkpoint {
                 Checkpoint {
                     fingerprint,
@@ -563,13 +597,15 @@ impl Engine {
     }
 
     /// Execute jobs `start..end` across the plan's worker threads and
-    /// return the results sorted by job index.
+    /// return the results sorted by job index. With `with_metrics`, each
+    /// result additionally carries its per-job [`MetricsRow`].
     fn run_chunk(
         &self,
         plan: &RunPlan,
         start: usize,
         end: usize,
-    ) -> Vec<(usize, Result<Row, DiscardedRun>)> {
+        with_metrics: bool,
+    ) -> Vec<ChunkResult> {
         let n = end - start;
         let threads = plan.threads.clamp(1, n);
         let pins: Vec<(&str, f64)> = plan
@@ -578,13 +614,12 @@ impl Engine {
             .map(|(name, v)| (name.as_str(), *v))
             .collect();
         let counter = AtomicUsize::new(start);
-        let results: Mutex<Vec<(usize, Result<Row, DiscardedRun>)>> =
-            Mutex::new(Vec::with_capacity(n));
+        let results: Mutex<Vec<ChunkResult>> = Mutex::new(Vec::with_capacity(n));
 
         std::thread::scope(|s| {
             for _ in 0..threads {
                 s.spawn(|| {
-                    let mut local: Vec<(usize, Result<Row, DiscardedRun>)> = Vec::new();
+                    let mut local: Vec<ChunkResult> = Vec::new();
                     loop {
                         let job = counter.fetch_add(1, Ordering::Relaxed);
                         if job >= end {
@@ -595,7 +630,13 @@ impl Engine {
                         let cfg = plan
                             .space
                             .sample_seeded_pinned(plan.seed + cfg_idx as u64, &pins);
-                        local.push((job, self.run_job(app, cfg_idx, plan.scale, &cfg)));
+                        let (result, metrics_row) = if with_metrics {
+                            let (r, m) = self.run_job_metrics(app, job, cfg_idx, plan.scale, &cfg);
+                            (r, Some(m))
+                        } else {
+                            (self.run_job(app, cfg_idx, plan.scale, &cfg), None)
+                        };
+                        local.push((job, result, metrics_row));
                     }
                     results
                         .lock()
@@ -606,20 +647,17 @@ impl Engine {
         });
 
         let mut collected = results.into_inner().expect("worker poisoned results");
-        collected.sort_unstable_by_key(|(job, _)| *job);
+        collected.sort_unstable_by_key(|(job, ..)| *job);
         collected
     }
 
-    /// Run one simulation; `Err` reports a run that failed validation
-    /// (the paper discards such runs — we record what was dropped).
-    fn run_job(
-        &self,
+    /// Build the dataset-facing outcome from one job's statistics.
+    fn job_outcome(
         app: App,
         config_index: usize,
-        scale: WorkloadScale,
         cfg: &DesignConfig,
+        stats: &SimStats,
     ) -> Result<Row, DiscardedRun> {
-        let stats = self.simulate_config(app, scale, cfg);
         if stats.validated {
             Ok(Row {
                 app,
@@ -635,6 +673,45 @@ impl Engine {
                 hit_cycle_limit: stats.hit_cycle_limit,
             })
         }
+    }
+
+    /// Run one simulation with cycle accounting enabled, producing both
+    /// the dataset-facing outcome and the per-job metrics row.
+    fn run_job_metrics(
+        &self,
+        app: App,
+        job: usize,
+        config_index: usize,
+        scale: WorkloadScale,
+        cfg: &DesignConfig,
+    ) -> (Result<Row, DiscardedRun>, Box<MetricsRow>) {
+        let (stats, counters) = self.simulate_config_metrics(app, scale, cfg);
+        let outcome = Engine::job_outcome(app, config_index, cfg, &stats);
+        let row = Box::new(MetricsRow {
+            job,
+            config_index,
+            app,
+            validated: stats.validated,
+            cycles: stats.cycles,
+            retired: stats.retired,
+            counters,
+            stalls: stats.stalls,
+            mem: stats.mem,
+        });
+        (outcome, row)
+    }
+
+    /// Run one simulation; `Err` reports a run that failed validation
+    /// (the paper discards such runs — we record what was dropped).
+    fn run_job(
+        &self,
+        app: App,
+        config_index: usize,
+        scale: WorkloadScale,
+        cfg: &DesignConfig,
+    ) -> Result<Row, DiscardedRun> {
+        let stats = self.simulate_config(app, scale, cfg);
+        Engine::job_outcome(app, config_index, cfg, &stats)
     }
 }
 
@@ -811,6 +888,7 @@ mod tests {
                         let _ = &mut stop_after_first;
                         pr.jobs_done < 5
                     }),
+                    ..RunControl::default()
                 },
             )
             .unwrap();
@@ -901,6 +979,56 @@ mod tests {
             "second run must hit the cache"
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn metrics_stream_has_one_row_per_job_in_order() {
+        let e = Engine::idealized();
+        let p = plan(4, 3).with_chunk_jobs(3); // 8 jobs -> chunks of 3,3,2
+        let mut data = DseDataset::default();
+        let mut metrics: Vec<MetricsRow> = Vec::new();
+        let s = e
+            .run_controlled(
+                &p,
+                &mut data,
+                RunControl {
+                    metrics: Some(&mut metrics),
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert!(s.completed);
+        assert_eq!(metrics.len(), p.jobs(), "one metrics row per job");
+        for (i, m) in metrics.iter().enumerate() {
+            assert_eq!(m.job, i, "metrics rows must arrive in job order");
+            assert_eq!(m.config_index, i / p.apps().len());
+            assert_eq!(m.app, p.apps()[i % p.apps().len()]);
+            assert_eq!(m.counters.cycles, m.cycles);
+            assert!(m.counters.conserves(), "job {i} leaked a cycle");
+        }
+        let validated = metrics.iter().filter(|m| m.validated).count();
+        assert_eq!(validated, data.rows.len());
+        assert_eq!(metrics.len() - validated, data.discarded.len());
+    }
+
+    #[test]
+    fn metrics_collection_does_not_change_the_dataset() {
+        let e = Engine::idealized();
+        let p = plan(5, 2);
+        let mut plain = DseDataset::default();
+        e.run(&p, &mut plain).unwrap();
+        let mut observed = DseDataset::default();
+        let mut metrics: Vec<MetricsRow> = Vec::new();
+        e.run_controlled(
+            &p,
+            &mut observed,
+            RunControl {
+                metrics: Some(&mut metrics),
+                ..RunControl::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, observed, "metrics must be transparent");
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub mod config;
 pub mod dataset;
 pub mod engine;
 pub mod error;
+pub mod metrics;
 pub mod orchestrator;
 pub mod runner;
 pub mod space;
@@ -64,5 +65,6 @@ pub use config::DesignConfig;
 pub use dataset::{DseDataset, Row};
 pub use engine::{CsvSink, Engine, Progress, RowSink, RunControl, RunPlan, RunSummary};
 pub use error::ArmdseError;
+pub use metrics::{MetricsCsvSink, MetricsRow, MetricsSink};
 pub use space::{ParamSpace, FEATURE_COUNT};
 pub use surrogate::{AppModel, ModelMetrics, SurrogateSuite};

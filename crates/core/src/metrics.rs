@@ -1,0 +1,296 @@
+//! Per-job metrics rows and pluggable metrics sinks.
+//!
+//! The observability counterpart of [`crate::engine::RowSink`]: when a
+//! campaign runs with metrics enabled, the engine executes every job
+//! through [`armdse_simcore::SimBackend::run_with_metrics`] and streams
+//! one [`MetricsRow`] per job — *including* validation-discarded jobs,
+//! flagged via [`MetricsRow::validated`] — into a [`MetricsSink`] in job
+//! order. Because exactly one row is emitted per job, the metrics stream
+//! shares the dataset stream's determinism guarantee: byte-identical at
+//! any thread count, and checkpoint/resume-safe at chunk granularity.
+//!
+//! The CSV schema (one row per job) is documented column-by-column in
+//! `docs/METRICS.md`; [`metrics_csv_columns`] is the single source of
+//! truth for the header.
+
+use crate::error::ArmdseError;
+use armdse_kernels::App;
+use armdse_memsim::MemStats;
+use armdse_simcore::{Counters, StallStats};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// Per-event stall-counter column names (the `ev_` CSV segment).
+///
+/// These are the pipeline's *event* counters ([`StallStats`]): a stage
+/// may record several per cycle, so unlike the exclusive `stall_*`
+/// cycle-attribution buckets they do not sum to the cycle count. The
+/// loop-buffer counter is omitted here because it already rides in the
+/// [`Counters`] segment as `loop_buffer_cycles`.
+pub const EVENT_COLUMNS: [&str; 9] = [
+    "ev_rename_gp",
+    "ev_rename_fp",
+    "ev_rename_pred",
+    "ev_rename_cond",
+    "ev_rob_full",
+    "ev_rs_full",
+    "ev_lq_full",
+    "ev_sq_full",
+    "ev_fetch_starved",
+];
+
+/// [`StallStats`] values in [`EVENT_COLUMNS`] order.
+pub fn event_values(s: &StallStats) -> [u64; 9] {
+    [
+        s.rename_gp,
+        s.rename_fp,
+        s.rename_pred,
+        s.rename_cond,
+        s.rob_full,
+        s.rs_full,
+        s.lq_full,
+        s.sq_full,
+        s.fetch_starved,
+    ]
+}
+
+/// One job's worth of observability counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsRow {
+    /// Global job index (`config_index × apps + app slot`).
+    pub job: usize,
+    /// Design-point index within the campaign (seed offset).
+    pub config_index: usize,
+    /// Application simulated.
+    pub app: App,
+    /// Whether the run passed output validation (discarded jobs still
+    /// emit a metrics row, with this flag false).
+    pub validated: bool,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub retired: u64,
+    /// Exclusive cycle-attribution buckets and occupancy histograms.
+    pub counters: Counters,
+    /// Non-exclusive per-stage stall event counters.
+    pub stalls: StallStats,
+    /// Memory-hierarchy counters.
+    pub mem: MemStats,
+}
+
+/// Receives the deterministic metrics stream of a campaign, in job
+/// order. Mirrors [`crate::engine::RowSink`]: `chunk_end` fires at every
+/// chunk boundary *before* the engine persists a checkpoint, so durable
+/// sinks are never behind the checkpoint.
+pub trait MetricsSink {
+    /// Receive one per-job metrics row.
+    fn metrics(&mut self, row: &MetricsRow) -> Result<(), ArmdseError>;
+
+    /// Chunk boundary: make buffered output durable (default: no-op).
+    fn chunk_end(&mut self) -> Result<(), ArmdseError> {
+        Ok(())
+    }
+}
+
+/// The in-memory sink: collects every row.
+impl MetricsSink for Vec<MetricsRow> {
+    fn metrics(&mut self, row: &MetricsRow) -> Result<(), ArmdseError> {
+        self.push(row.clone());
+        Ok(())
+    }
+}
+
+/// The full metrics CSV header, in emission order: job identity, then
+/// the [`Counters`] segment, then the `ev_` event segment, then the
+/// [`MemStats`] segment.
+pub fn metrics_csv_columns() -> Vec<String> {
+    let mut cols: Vec<String> = [
+        "job",
+        "config_index",
+        "app",
+        "validated",
+        "cycles",
+        "retired",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    cols.extend(Counters::column_names());
+    cols.extend(EVENT_COLUMNS.iter().map(|s| s.to_string()));
+    cols.extend(MemStats::column_names().iter().map(|s| s.to_string()));
+    cols
+}
+
+/// Write the metrics CSV header line.
+pub fn write_metrics_header(w: &mut impl Write) -> std::io::Result<()> {
+    writeln!(w, "{}", metrics_csv_columns().join(","))
+}
+
+/// Write one metrics CSV row (column order pinned by
+/// [`metrics_csv_columns`]).
+pub fn write_metrics_row(w: &mut impl Write, r: &MetricsRow) -> std::io::Result<()> {
+    write!(
+        w,
+        "{},{},{},{},{},{}",
+        r.job,
+        r.config_index,
+        r.app.name(),
+        u8::from(r.validated),
+        r.cycles,
+        r.retired
+    )?;
+    for v in r.counters.values() {
+        write!(w, ",{v}")?;
+    }
+    for v in event_values(&r.stalls) {
+        write!(w, ",{v}")?;
+    }
+    for v in r.mem.values() {
+        write!(w, ",{v}")?;
+    }
+    writeln!(w)
+}
+
+/// Streams metrics rows straight to a CSV file (constant memory), the
+/// observability analogue of [`crate::engine::CsvSink`].
+pub struct MetricsCsvSink {
+    w: BufWriter<std::fs::File>,
+    rows_written: usize,
+}
+
+impl MetricsCsvSink {
+    /// Create (truncate) `path` and write the CSV header.
+    pub fn create(path: &Path) -> Result<MetricsCsvSink, ArmdseError> {
+        let mut w = BufWriter::new(std::fs::File::create(path)?);
+        write_metrics_header(&mut w)?;
+        Ok(MetricsCsvSink { w, rows_written: 0 })
+    }
+
+    /// Open `path` for appending (resume: header already present).
+    pub fn append(path: &Path) -> Result<MetricsCsvSink, ArmdseError> {
+        let f = std::fs::OpenOptions::new().append(true).open(path)?;
+        Ok(MetricsCsvSink {
+            w: BufWriter::new(f),
+            rows_written: 0,
+        })
+    }
+
+    /// Rows written through this sink instance.
+    pub fn rows_written(&self) -> usize {
+        self.rows_written
+    }
+}
+
+impl MetricsSink for MetricsCsvSink {
+    fn metrics(&mut self, row: &MetricsRow) -> Result<(), ArmdseError> {
+        write_metrics_row(&mut self.w, row)?;
+        self.rows_written += 1;
+        Ok(())
+    }
+
+    fn chunk_end(&mut self) -> Result<(), ArmdseError> {
+        self.w.flush()?;
+        self.w.get_ref().sync_data().map_err(ArmdseError::from)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armdse_simcore::CoreParams;
+
+    fn sample_row() -> MetricsRow {
+        MetricsRow {
+            job: 3,
+            config_index: 1,
+            app: App::Stream,
+            validated: true,
+            cycles: 100,
+            retired: 250,
+            counters: Counters::new(&CoreParams::thunderx2()),
+            stalls: StallStats::default(),
+            mem: MemStats::default(),
+        }
+    }
+
+    #[test]
+    fn header_and_row_have_the_same_arity() {
+        let mut header = Vec::new();
+        let mut row = Vec::new();
+        write_metrics_header(&mut header).unwrap();
+        write_metrics_row(&mut row, &sample_row()).unwrap();
+        let h = String::from_utf8(header).unwrap();
+        let r = String::from_utf8(row).unwrap();
+        assert_eq!(
+            h.trim_end().split(',').count(),
+            r.trim_end().split(',').count()
+        );
+    }
+
+    #[test]
+    fn identity_columns_lead_the_header() {
+        let cols = metrics_csv_columns();
+        assert_eq!(
+            &cols[..6],
+            &[
+                "job",
+                "config_index",
+                "app",
+                "validated",
+                "cycles",
+                "retired"
+            ]
+        );
+        assert!(cols.iter().any(|c| c == "stall_rob_full"));
+        assert!(cols.iter().any(|c| c == "ev_rob_full"));
+        assert!(cols.iter().any(|c| c == "dram_queue_wait_cycles"));
+        let unique: std::collections::BTreeSet<&String> = cols.iter().collect();
+        assert_eq!(unique.len(), cols.len(), "duplicate column name");
+    }
+
+    #[test]
+    fn event_columns_align_with_values() {
+        let s = StallStats {
+            rob_full: 7,
+            fetch_starved: 2,
+            ..Default::default()
+        };
+        let vals = event_values(&s);
+        assert_eq!(vals.len(), EVENT_COLUMNS.len());
+        let at = |name: &str| vals[EVENT_COLUMNS.iter().position(|c| *c == name).unwrap()];
+        assert_eq!(at("ev_rob_full"), 7);
+        assert_eq!(at("ev_fetch_starved"), 2);
+    }
+
+    #[test]
+    fn vec_sink_collects_rows() {
+        let mut sink: Vec<MetricsRow> = Vec::new();
+        sink.metrics(&sample_row()).unwrap();
+        sink.chunk_end().unwrap();
+        assert_eq!(sink.len(), 1);
+        assert_eq!(sink[0].job, 3);
+    }
+
+    #[test]
+    fn csv_sink_create_then_append_is_one_stream() {
+        let path = std::env::temp_dir().join("armdse_metrics_sink_unit.csv");
+        let mut r = sample_row();
+        {
+            let mut s = MetricsCsvSink::create(&path).unwrap();
+            s.metrics(&r).unwrap();
+            s.chunk_end().unwrap();
+            assert_eq!(s.rows_written(), 1);
+        }
+        {
+            r.job = 4;
+            let mut s = MetricsCsvSink::append(&path).unwrap();
+            s.metrics(&r).unwrap();
+            s.chunk_end().unwrap();
+        }
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body.lines().count(), 3, "header + two rows");
+        assert!(body.lines().nth(1).unwrap().starts_with("3,1,STREAM,1,"));
+        assert!(body.lines().nth(2).unwrap().starts_with("4,1,STREAM,1,"));
+        std::fs::remove_file(&path).ok();
+    }
+}

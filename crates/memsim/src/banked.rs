@@ -89,10 +89,16 @@ impl BankedHierarchy {
     }
 
     /// DRAM access with bank contention: the access starts when its bank
-    /// frees up and holds the bank for the transfer time.
+    /// frees up and holds the bank for the transfer time. Queue time
+    /// spent waiting for a busy bank feeds the DRAM-queue counters.
     fn ram_access(&mut self, line_addr: u64, ready_at: Cycle) -> Cycle {
         let b = self.bank_of(line_addr);
         let start = ready_at.max(self.bank_free[b]);
+        let wait = start - ready_at;
+        if wait > 0 {
+            self.stats.dram_queue_waits += 1;
+            self.stats.dram_queue_wait_cycles += wait;
+        }
         self.bank_free[b] = start + self.bank_occupancy;
         start + self.ram_lat
     }
@@ -122,6 +128,7 @@ impl BankedHierarchy {
                 self.stats.l1_misses += 1;
                 if l1_miss == LookupResult::MissEvictDirty {
                     self.stats.writebacks += 1;
+                    self.stats.l1_writebacks += 1;
                 }
                 let probe_done = now + self.l1_lat + self.l2_lat;
                 let complete = match self.l2.access(line_addr, false) {
@@ -133,6 +140,7 @@ impl BankedHierarchy {
                         self.stats.l2_misses += 1;
                         if l2_miss == LookupResult::MissEvictDirty {
                             self.stats.writebacks += 1;
+                            self.stats.l2_writebacks += 1;
                         }
                         self.ram_access(line_addr, probe_done)
                     }
@@ -147,6 +155,10 @@ impl BankedHierarchy {
 impl MemoryModel for BankedHierarchy {
     fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
         let complete = self.access_inner(line_addr, is_store, now);
+        // Outstanding-fill (MSHR) occupancy, sampled once per access.
+        let outstanding = self.in_flight.len() as u64;
+        self.stats.mshr_peak = self.stats.mshr_peak.max(outstanding);
+        self.stats.mshr_occupancy_sum += outstanding;
         #[cfg(feature = "check-invariants")]
         {
             assert_eq!(
@@ -161,6 +173,11 @@ impl MemoryModel for BankedHierarchy {
             assert!(
                 self.stats.demand_requests_conserved(),
                 "request accounting leak: {:?}",
+                self.stats
+            );
+            assert!(
+                self.stats.writebacks_conserved(),
+                "writeback accounting leak: {:?}",
                 self.stats
             );
         }

@@ -63,12 +63,14 @@ impl Hierarchy {
                 self.stats.l2_misses += 1;
                 if miss == LookupResult::MissEvictDirty {
                     self.stats.writebacks += 1;
+                    self.stats.l2_writebacks += 1;
                 }
                 now + self.l1_lat + self.l2_lat + self.ram_lat
             }
         };
         if self.l1.access(line_addr, is_store) == LookupResult::MissEvictDirty {
             self.stats.writebacks += 1;
+            self.stats.l1_writebacks += 1;
         }
         self.in_flight.insert(line_addr, complete);
         complete
@@ -112,6 +114,7 @@ impl Hierarchy {
                 self.stats.l1_misses += 1;
                 if miss == LookupResult::MissEvictDirty {
                     self.stats.writebacks += 1;
+                    self.stats.l1_writebacks += 1;
                 }
                 // The L1 tag was allocated by `access`; resolve timing via
                 // L2/DRAM. (miss_path re-touches L1 — harmless LRU bump.)
@@ -126,6 +129,10 @@ impl Hierarchy {
 impl MemoryModel for Hierarchy {
     fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
         let complete = self.access_inner(line_addr, is_store, now);
+        // Outstanding-fill (MSHR) occupancy, sampled once per access.
+        let outstanding = self.in_flight.len() as u64;
+        self.stats.mshr_peak = self.stats.mshr_peak.max(outstanding);
+        self.stats.mshr_occupancy_sum += outstanding;
         #[cfg(feature = "check-invariants")]
         {
             assert_eq!(
@@ -140,6 +147,11 @@ impl MemoryModel for Hierarchy {
             assert!(
                 self.stats.demand_requests_conserved(),
                 "request accounting leak: {:?}",
+                self.stats
+            );
+            assert!(
+                self.stats.writebacks_conserved(),
+                "writeback accounting leak: {:?}",
                 self.stats
             );
         }

@@ -15,10 +15,29 @@ pub struct MemStats {
     pub merged: u64,
     /// Prefetch fills issued.
     pub prefetches: u64,
-    /// Dirty-line writebacks (either level).
+    /// Dirty-line writebacks (either level; equals
+    /// `l1_writebacks + l2_writebacks`).
     pub writebacks: u64,
+    /// Dirty lines evicted from L1.
+    pub l1_writebacks: u64,
+    /// Dirty lines evicted from L2 (to DRAM).
+    pub l2_writebacks: u64,
     /// Total demand line requests (hits + misses + merged).
     pub requests: u64,
+    /// Peak number of outstanding line fills (the MSHR analogue),
+    /// sampled after each access. Upper bound: completed fills are
+    /// trimmed lazily, so stale entries may inflate the sample (see
+    /// docs/METRICS.md).
+    pub mshr_peak: u64,
+    /// Sum of outstanding-fill counts sampled after each access
+    /// (mean MSHR occupancy per access = `mshr_occupancy_sum /
+    /// requests`). Same lazy-trim caveat as [`MemStats::mshr_peak`].
+    pub mshr_occupancy_sum: u64,
+    /// DRAM accesses that found their bank busy and had to queue
+    /// (always 0 on the infinite-bank [`crate::Hierarchy`]).
+    pub dram_queue_waits: u64,
+    /// Total cycles DRAM accesses spent queued behind a busy bank.
+    pub dram_queue_wait_cycles: u64,
 }
 
 impl MemStats {
@@ -42,7 +61,21 @@ impl MemStats {
         self.l1_hits + self.l1_misses + self.merged == self.requests
     }
 
+    /// Writeback-accounting conservation: every writeback left exactly
+    /// one cache level. Asserted alongside
+    /// [`MemStats::demand_requests_conserved`].
+    pub fn writebacks_conserved(&self) -> bool {
+        self.l1_writebacks + self.l2_writebacks == self.writebacks
+    }
+
+    /// Mean outstanding-fill (MSHR) occupancy per access; `None` when no
+    /// accesses occurred.
+    pub fn mshr_mean_occupancy(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.mshr_occupancy_sum as f64 / self.requests as f64)
+    }
+
     /// Fold another stats block into this one (parallel shard merging).
+    /// `mshr_peak` merges as a maximum; every other field is a sum.
     pub fn merge(&mut self, other: &MemStats) {
         self.l1_hits += other.l1_hits;
         self.l1_misses += other.l1_misses;
@@ -51,7 +84,54 @@ impl MemStats {
         self.merged += other.merged;
         self.prefetches += other.prefetches;
         self.writebacks += other.writebacks;
+        self.l1_writebacks += other.l1_writebacks;
+        self.l2_writebacks += other.l2_writebacks;
         self.requests += other.requests;
+        self.mshr_peak = self.mshr_peak.max(other.mshr_peak);
+        self.mshr_occupancy_sum += other.mshr_occupancy_sum;
+        self.dram_queue_waits += other.dram_queue_waits;
+        self.dram_queue_wait_cycles += other.dram_queue_wait_cycles;
+    }
+
+    /// CSV column names for [`MemStats::values`] (the metrics-row schema
+    /// segment owned by the memory hierarchy).
+    pub fn column_names() -> [&'static str; 14] {
+        [
+            "l1_hits",
+            "l1_misses",
+            "l2_hits",
+            "l2_misses",
+            "merged",
+            "prefetches",
+            "writebacks",
+            "l1_writebacks",
+            "l2_writebacks",
+            "requests",
+            "mshr_peak",
+            "mshr_occupancy_sum",
+            "dram_queue_waits",
+            "dram_queue_wait_cycles",
+        ]
+    }
+
+    /// Counter values in [`MemStats::column_names`] order.
+    pub fn values(&self) -> [u64; 14] {
+        [
+            self.l1_hits,
+            self.l1_misses,
+            self.l2_hits,
+            self.l2_misses,
+            self.merged,
+            self.prefetches,
+            self.writebacks,
+            self.l1_writebacks,
+            self.l2_writebacks,
+            self.requests,
+            self.mshr_peak,
+            self.mshr_occupancy_sum,
+            self.dram_queue_waits,
+            self.dram_queue_wait_cycles,
+        ]
     }
 }
 
@@ -77,6 +157,68 @@ mod tests {
         };
         assert!((s.l1_hit_rate().unwrap() - 0.75).abs() < 1e-12);
         assert!((s.l2_hit_rate().unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn writeback_split_conservation() {
+        let mut s = MemStats::default();
+        assert!(s.writebacks_conserved());
+        s.writebacks = 3;
+        s.l1_writebacks = 2;
+        s.l2_writebacks = 1;
+        assert!(s.writebacks_conserved());
+        s.l2_writebacks = 2;
+        assert!(!s.writebacks_conserved());
+    }
+
+    #[test]
+    fn mshr_mean_occupancy_per_access() {
+        let mut s = MemStats::default();
+        assert!(s.mshr_mean_occupancy().is_none());
+        s.requests = 4;
+        s.mshr_occupancy_sum = 6;
+        assert!((s.mshr_mean_occupancy().unwrap() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_columns_and_values_align() {
+        let s = MemStats {
+            mshr_peak: 9,
+            dram_queue_wait_cycles: 17,
+            ..Default::default()
+        };
+        let cols = MemStats::column_names();
+        let vals = s.values();
+        assert_eq!(cols.len(), vals.len());
+        assert_eq!(
+            vals[cols.iter().position(|c| *c == "mshr_peak").unwrap()],
+            9
+        );
+        let w = cols
+            .iter()
+            .position(|c| *c == "dram_queue_wait_cycles")
+            .unwrap();
+        assert_eq!(vals[w], 17);
+    }
+
+    #[test]
+    fn merge_takes_max_of_mshr_peak() {
+        let mut a = MemStats {
+            mshr_peak: 3,
+            mshr_occupancy_sum: 10,
+            dram_queue_waits: 1,
+            ..Default::default()
+        };
+        let b = MemStats {
+            mshr_peak: 2,
+            mshr_occupancy_sum: 5,
+            dram_queue_waits: 4,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.mshr_peak, 3);
+        assert_eq!(a.mshr_occupancy_sum, 15);
+        assert_eq!(a.dram_queue_waits, 5);
     }
 
     #[test]

@@ -5,8 +5,11 @@
 //! replay of the lowered program, and the OoO pipeline's commit-order
 //! retirement stream (any [`SimBackend`]'s traced run) — applies the
 //! same [`ArchState`] value semantics to each, and requires every final
-//! architectural state and retired-op count to agree. [`fuzz`] drives the
-//! seeded random generator through this check for a whole campaign.
+//! architectural state and retired-op count to agree. A fourth, metrics
+//! lane re-runs the simulation with cycle accounting enabled and
+//! requires identical statistics (metrics transparency) plus exact
+//! cycle conservation across the attribution buckets. [`fuzz`] drives
+//! the seeded random generator through this check for a whole campaign.
 //!
 //! With the `check-invariants` feature enabled, every simulated cycle also
 //! runs the pipeline's structural invariant assertions, so a clean fuzz
@@ -101,6 +104,29 @@ pub fn check_kernel(
         return Err(format!(
             "commit-stream op summary {:?} != reference {:?}",
             commit_summary, reference.summary
+        ));
+    }
+
+    // Metrics-transparency lane: running the same job with cycle
+    // accounting enabled must not perturb any statistic (architectural
+    // or timing), and the attribution must account for every cycle.
+    let (metrics_stats, counters) = backend.run_with_metrics(&program, core, mem);
+    if metrics_stats != stats {
+        return Err(format!(
+            "metrics run perturbed the simulation: {metrics_stats:?} != {stats:?}"
+        ));
+    }
+    if counters.cycles != stats.cycles {
+        return Err(format!(
+            "counter cycle total {} != simulated cycles {}",
+            counters.cycles, stats.cycles
+        ));
+    }
+    if !counters.conserves() {
+        return Err(format!(
+            "cycle attribution leak: {} cycles but {} attributed",
+            counters.cycles,
+            counters.attributed_cycles()
         ));
     }
     Ok(())

@@ -1,7 +1,8 @@
 //! Architecturally exact in-order reference interpreter.
 //!
 //! Executes a [`Kernel`] by walking its statement tree directly — *not*
-//! via [`Program::lower`] or [`TraceCursor`](armdse_isa::TraceCursor) —
+//! via [`Program::lower`](armdse_isa::Program::lower) or
+//! [`TraceCursor`](armdse_isa::TraceCursor) —
 //! so the static layout (instruction indices, PCs), the loop-control
 //! synthesis (induction increment + compare-and-branch per iteration),
 //! and the affine address evaluation are all re-derived independently of

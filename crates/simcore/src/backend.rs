@@ -23,9 +23,10 @@
 //!   point as the value's call operator (used by the oracle's replay
 //!   checks).
 
+use crate::counters::Counters;
 use crate::params::CoreParams;
 use crate::stats::SimStats;
-use crate::{simulate_traced_with, simulate_with};
+use crate::{simulate_traced_with, simulate_with, simulate_with_metrics_with};
 use armdse_isa::instr::DynInstr;
 use armdse_isa::Program;
 use armdse_memsim::{BankedHierarchy, Hierarchy, MemParams};
@@ -53,6 +54,20 @@ pub trait SimBackend: Send + Sync {
         core: &CoreParams,
         mem: &MemParams,
     ) -> (SimStats, Vec<DynInstr>);
+
+    /// Simulate with cycle accounting enabled and return the per-cycle
+    /// attribution counters alongside the statistics. The contract is
+    /// *metrics transparency*: the returned [`SimStats`] must be
+    /// identical to [`SimBackend::run`] on the same inputs (counter
+    /// collection may not perturb architectural or timing state), and
+    /// the counters must satisfy [`Counters::conserves`]. The oracle's
+    /// differential metrics lane checks both properties.
+    fn run_with_metrics(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters);
 }
 
 /// The default infinite-bank (SST-like) hierarchy — the paper's
@@ -77,6 +92,15 @@ impl SimBackend for Idealized {
     ) -> (SimStats, Vec<DynInstr>) {
         simulate_traced_with(program, core, Hierarchy::new(*mem))
     }
+
+    fn run_with_metrics(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters) {
+        simulate_with_metrics_with(program, core, Hierarchy::new(*mem))
+    }
 }
 
 /// The finite-banked "hardware proxy" hierarchy (the Table I hardware
@@ -100,6 +124,15 @@ impl SimBackend for BankedProxy {
         mem: &MemParams,
     ) -> (SimStats, Vec<DynInstr>) {
         simulate_traced_with(program, core, BankedHierarchy::new(*mem))
+    }
+
+    fn run_with_metrics(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters) {
+        simulate_with_metrics_with(program, core, BankedHierarchy::new(*mem))
     }
 }
 
@@ -137,6 +170,15 @@ impl SimBackend for Contended {
         mem: &MemParams,
     ) -> (SimStats, Vec<DynInstr>) {
         simulate_traced_with(program, core, self.hierarchy(mem))
+    }
+
+    fn run_with_metrics(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters) {
+        simulate_with_metrics_with(program, core, self.hierarchy(mem))
     }
 }
 
@@ -205,6 +247,31 @@ mod tests {
             names.push(b.name());
         }
         assert_eq!(names, ["idealized", "banked-proxy", "contended"]);
+    }
+
+    #[test]
+    fn metrics_runs_are_transparent_and_conserve_cycles() {
+        let (p, c, m) = fixture();
+        let backends: [&dyn SimBackend; 3] =
+            [&Idealized, &BankedProxy, &Contended { co_runners: 2 }];
+        for b in backends {
+            let plain = b.run(&p, &c, &m);
+            let (stats, counters) = b.run_with_metrics(&p, &c, &m);
+            assert_eq!(stats, plain, "{}: metrics perturbed the run", b.name());
+            assert_eq!(counters.cycles, stats.cycles);
+            assert!(
+                counters.conserves(),
+                "{}: {} cycles but {} attributed",
+                b.name(),
+                counters.cycles,
+                counters.attributed_cycles()
+            );
+            assert!(
+                counters.retire_cycles() > 0,
+                "{}: nothing retired",
+                b.name()
+            );
+        }
     }
 
     #[test]

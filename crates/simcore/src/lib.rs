@@ -26,12 +26,14 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod counters;
 pub mod params;
 pub mod pipeline;
 pub mod regfile;
 pub mod stats;
 
 pub use backend::{BankedProxy, Contended, Idealized, SimBackend, Traced};
+pub use counters::{Counters, CycleBucket, OccupancyHist, Structure};
 pub use params::CoreParams;
 pub use pipeline::Pipeline;
 pub use stats::{SimStats, StallStats};
@@ -120,6 +122,32 @@ pub fn simulate_traced_with<M: MemoryModel>(
     let expected = OpSummary::of(program);
     stats.validated = !stats.hit_cycle_limit && stats.observed == expected;
     (stats, trace)
+}
+
+/// Simulate on the default hierarchy with cycle accounting enabled (see
+/// [`Pipeline::run_with_counters`]): the statistics are identical to
+/// [`simulate`], plus the per-cycle attribution [`Counters`]. Shim for
+/// `Idealized.run_with_metrics(..)`.
+pub fn simulate_with_metrics(
+    program: &Program,
+    core: &CoreParams,
+    mem: &MemParams,
+) -> (SimStats, Counters) {
+    Idealized.run_with_metrics(program, core, mem)
+}
+
+/// [`simulate_with_metrics`] with an arbitrary memory backend.
+pub fn simulate_with_metrics_with<M: MemoryModel>(
+    program: &Program,
+    core: &CoreParams,
+    mem: M,
+) -> (SimStats, Counters) {
+    core.validate().expect("core parameters must validate");
+    let pipeline = Pipeline::new(program, *core, mem);
+    let (mut stats, counters) = pipeline.run_with_counters(cycle_limit(program));
+    let expected = OpSummary::of(program);
+    stats.validated = !stats.hit_cycle_limit && stats.observed == expected;
+    (stats, *counters)
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! width — the structures the paper varies. This matches the paper's
 //! focus: its design space contains no branch-predictor parameters.
 
+use crate::counters::{Counters, CycleBucket, Structure};
 use crate::params::{
     CoreParams, DISPATCH_RATE, FETCH_QUEUE_CAP, MIN_FORWARD_LATENCY, RENAME_BUFFER_CAP, RS_SIZE,
 };
@@ -184,6 +185,20 @@ pub struct Pipeline<'p, M: MemoryModel> {
     /// Commit-order trace, enabled only via [`Pipeline::run_traced`].
     log: Option<CommitLog>,
 
+    /// Cycle-accounting counters, enabled only via
+    /// [`Pipeline::run_with_counters`]. `None` is the zero-cost default:
+    /// the attribution pass is skipped entirely. Collection is read-only
+    /// with respect to architectural and timing state.
+    counters: Option<Box<Counters>>,
+    /// Attribution breadcrumb: a load was deferred this cycle because a
+    /// per-cycle memory request/bandwidth budget ran out (set by
+    /// `lsq_memory`, read at the commit edge of the same cycle).
+    mem_budget_exhausted: bool,
+    /// Attribution breadcrumb: rename was blocked on an empty free list
+    /// during the *previous* cycle's rename stage (rename runs after the
+    /// attribution point, so the flag is consumed one cycle later).
+    rename_blocked: bool,
+
     stats: SimStats,
 }
 
@@ -229,6 +244,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             mem_done: BinaryHeap::new(),
             completed_loads: VecDeque::new(),
             log: None,
+            counters: None,
+            mem_budget_exhausted: false,
+            rename_blocked: false,
             stats: SimStats::default(),
         }
     }
@@ -262,6 +280,22 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         (self.stats, log.committed)
     }
 
+    /// Like [`run`](Self::run), but with cycle accounting enabled: every
+    /// cycle is attributed to exactly one [`CycleBucket`] and structure
+    /// occupancies are sampled at the commit edge. Timing and statistics
+    /// are identical to an uncounted run (the collection path never
+    /// mutates architectural state); the returned [`Counters`] satisfy
+    /// `counters.conserves()`.
+    pub fn run_with_counters(mut self, max_cycles: u64) -> (SimStats, Box<Counters>) {
+        self.counters = Some(Box::new(Counters::new(&self.params)));
+        self.drive(max_cycles);
+        let mut c = self.counters.take().expect("counters enabled above");
+        c.cycles = self.stats.cycles;
+        c.loop_buffer_cycles = self.stats.stalls.loop_buffer_cycles;
+        debug_assert!(c.conserves(), "cycle attribution leaked a cycle");
+        (self.stats, c)
+    }
+
     fn drive(&mut self, max_cycles: u64) {
         while !self.finished() {
             if self.now >= max_cycles {
@@ -285,7 +319,10 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
     pub fn step(&mut self) {
         self.writeback();
         self.lsq_memory();
-        self.commit();
+        let (retired, first_op) = self.commit();
+        if self.counters.is_some() {
+            self.attribute_cycle(retired, first_op);
+        }
         self.issue();
         self.dispatch();
         self.rename_stage();
@@ -365,6 +402,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
     // --------------------------------------------------------- LSQ memory
 
     fn lsq_memory(&mut self) {
+        self.mem_budget_exhausted = false;
         let line = u64::from(self.mem.line_bytes());
         let mut reqs = self.params.mem_requests_per_cycle;
         let mut store_reqs = self.params.stores_per_cycle;
@@ -424,6 +462,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         let mut still_pending: VecDeque<Seq> = VecDeque::new();
         while let Some(seq) = self.pending_loads.pop_front() {
             if reqs == 0 || load_reqs == 0 {
+                self.mem_budget_exhausted = true;
                 still_pending.push_back(seq);
                 continue;
             }
@@ -453,6 +492,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                     break;
                 }
                 if reqs == 0 || load_reqs == 0 || load_bw < share {
+                    self.mem_budget_exhausted = true;
                     break;
                 }
                 reqs -= 1;
@@ -563,7 +603,12 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
 
     // -------------------------------------------------------------- commit
 
-    fn commit(&mut self) {
+    /// Retire up to `commit_width` finished uops from the window front.
+    /// Returns the retire count and the oldest retired uop's class (the
+    /// inputs of the cycle-attribution pass).
+    fn commit(&mut self) -> (u32, Option<OpClass>) {
+        let mut retired = 0u32;
+        let mut first_op = None;
         for _ in 0..self.params.commit_width {
             let Some(front) = self.window.front() else {
                 break;
@@ -596,6 +641,102 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 u.mem.map_or(0, |m| u64::from(m.bytes)),
                 u.mem.map(|m| m.kind),
             );
+            retired += 1;
+            first_op.get_or_insert(u.op);
+        }
+        (retired, first_op)
+    }
+
+    // --------------------------------------------------- cycle accounting
+
+    /// Charge the current cycle to exactly one [`CycleBucket`] and sample
+    /// structure occupancies. Runs at the commit edge (after writeback/
+    /// LSQ-memory/commit, before issue/dispatch/rename/fetch) and only
+    /// when counters are enabled. Read-only with respect to pipeline
+    /// state — metrics-on runs are timing-identical to metrics-off runs.
+    fn attribute_cycle(&mut self, retired: u32, first_op: Option<OpClass>) {
+        let Some(mut c) = self.counters.take() else {
+            return;
+        };
+        c.record(self.classify_cycle(retired, first_op));
+        c.observe(Structure::Rob, u64::from(self.rob_count));
+        c.observe(Structure::Rs, self.rs.len() as u64);
+        c.observe(Structure::LoadQueue, u64::from(self.lq_count));
+        c.observe(Structure::StoreQueue, self.sq.len() as u64);
+        c.observe(Structure::FetchQueue, self.fetch_q.len() as u64);
+        c.observe(Structure::RenameBuffer, self.rename_q.len() as u64);
+        self.rename_blocked = false; // consumed; re-armed by rename_stage
+        self.counters = Some(c);
+    }
+
+    /// The attribution decision tree (documented in docs/METRICS.md):
+    /// retire buckets by the oldest retired instruction's class, stall
+    /// buckets by what blocked the oldest in-flight instruction.
+    fn classify_cycle(&self, retired: u32, first_op: Option<OpClass>) -> CycleBucket {
+        if retired > 0 {
+            let op = first_op.expect("retired > 0 implies a first op");
+            return if op.is_load() {
+                CycleBucket::RetireLoad
+            } else if op.is_store() {
+                CycleBucket::RetireStore
+            } else {
+                match op.port() {
+                    PortClass::Vector => CycleBucket::RetireVector,
+                    PortClass::Predicate => CycleBucket::RetirePredicate,
+                    _ => CycleBucket::RetireScalar,
+                }
+            };
+        }
+        let Some(front) = self.window.front() else {
+            // Nothing in flight: the frontend failed to deliver.
+            return if self.rename_blocked {
+                CycleBucket::RenameFreeList
+            } else if !self.fetch_q.is_empty() {
+                CycleBucket::FrontendLatency
+            } else if self.pending_fetch.is_some() {
+                CycleBucket::FetchStarved
+            } else {
+                CycleBucket::Drain
+            };
+        };
+        match front.stage {
+            Stage::Renamed => {
+                // Waiting for dispatch: test the dispatch-blocking
+                // conditions in dispatch() order.
+                if self.rob_count >= self.params.rob_size {
+                    CycleBucket::RobFull
+                } else if self.rs.len() >= RS_SIZE {
+                    CycleBucket::RsFull
+                } else if front.op.is_load() && self.lq_count >= self.params.load_queue {
+                    CycleBucket::LqFull
+                } else if front.op.is_store() && self.sq.len() as u32 >= self.params.store_queue {
+                    CycleBucket::SqFull
+                } else if self.rename_blocked {
+                    CycleBucket::RenameFreeList
+                } else {
+                    CycleBucket::FrontendLatency
+                }
+            }
+            Stage::InRs => {
+                if front.srcs_remaining > 0 {
+                    CycleBucket::Dependency
+                } else {
+                    CycleBucket::IssueBandwidth
+                }
+            }
+            Stage::Issued => CycleBucket::ExecLatency,
+            Stage::PendingMem => {
+                if self.mem_budget_exhausted {
+                    CycleBucket::MemRequestCap
+                } else {
+                    CycleBucket::MemStoreHazard
+                }
+            }
+            Stage::MemWait => CycleBucket::MemData,
+            Stage::WbWait => CycleBucket::LsqCompletion,
+            // Unreachable: commit() retires a Done front whenever
+            // retired == 0 would otherwise hold (commit_width >= 1).
+            Stage::Done => CycleBucket::FrontendLatency,
         }
     }
 
@@ -699,6 +840,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 break;
             };
             if !self.rename.can_rename(di.dests.as_slice()) {
+                self.rename_blocked = true;
                 let counts = self.rename.stall_counts;
                 self.stats.stalls.rename_gp = counts[RegClass::Gp.index()];
                 self.stats.stalls.rename_fp = counts[RegClass::Fp.index()];

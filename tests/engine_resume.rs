@@ -73,6 +73,7 @@ fn interrupted_csv(
                 checkpoint: Some(&ckpt),
                 resume: false,
                 observer: Some(&mut observer),
+                ..RunControl::default()
             },
         )
         .unwrap();
@@ -93,7 +94,7 @@ fn interrupted_csv(
             RunControl {
                 checkpoint: Some(&ckpt),
                 resume: true,
-                observer: None,
+                ..RunControl::default()
             },
         )
         .unwrap();
