@@ -58,3 +58,20 @@ cargo test -q --offline --features check-invariants \
 # Deterministic: same seed, same programs, same verdict on every run.
 cargo test -q --offline --features check-invariants \
   --test differential_fuzz
+
+# Bench-smoke lane: one filtered bench per suite emits a BENCH_*.json
+# snapshot (ARMDSE_BENCH_JSON), bench-trend validates the schema, and —
+# report-only, never gating (wall-clock noise) — the components snapshot
+# is diffed against the checked-in baseline for trend visibility.
+mkdir -p "$SMOKE/bench"
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench components -- cursor
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench ablations -- loop_buffer
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench tables_figures -- fig2_accuracy
+for snap in "$SMOKE"/bench/BENCH_*.json; do
+  cargo run --release --offline -p armdse-bench --bin bench-trend -- --check "$snap"
+done
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  BENCH_components.baseline.json "$SMOKE/bench/BENCH_components.json"

@@ -1,0 +1,55 @@
+//! `bench-trend` — compare two `BENCH_<suite>.json` snapshots, or
+//! validate that one parses.
+//!
+//! ```text
+//! bench-trend --check SNAPSHOT.json       # parse-validate, exit 1 on error
+//! bench-trend BASE.json NEW.json          # per-id delta report (always exit 0)
+//! ```
+//!
+//! The two-file report mode is deliberately non-gating: ci.sh runs it
+//! against the checked-in baseline for visibility, and a regression
+//! shows up in the log without failing the lane (bench timings on
+//! shared CI hardware are too noisy to gate on).
+
+use armdse_bench::trend::{compare, Snapshot};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [check, path] if check == "--check" => match Snapshot::load(path) {
+            Ok(snap) => {
+                println!(
+                    "ok: {path}: suite {:?}, {} results",
+                    snap.suite,
+                    snap.results.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        },
+        [base_path, new_path] => {
+            let base = Snapshot::load(base_path).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            let new = Snapshot::load(new_path).unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            });
+            if base.suite != new.suite {
+                eprintln!(
+                    "note: comparing different suites ({:?} vs {:?})",
+                    base.suite, new.suite
+                );
+            }
+            print!("{}", compare(&base, &new).report());
+        }
+        _ => {
+            eprintln!("usage: bench-trend --check SNAPSHOT.json");
+            eprintln!("       bench-trend BASE.json NEW.json");
+            std::process::exit(2);
+        }
+    }
+}

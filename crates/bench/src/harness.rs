@@ -8,6 +8,16 @@
 //! are stable across the Criterion-era benches so historical results
 //! remain comparable, and `--filter`-style substring selection works
 //! the same way (`cargo bench -- sampler`).
+//!
+//! ## Machine-readable emission (`ARMDSE_BENCH_JSON`)
+//!
+//! When the `ARMDSE_BENCH_JSON` environment variable is set, every
+//! result is recorded and [`Harness::finish`] writes one
+//! `BENCH_<suite>.json` snapshot (schema documented on
+//! [`crate::trend`]). The variable names either a directory (the file
+//! is created inside it) or, when it ends in `.json`, the exact file
+//! path. The snapshot is the perf-trajectory artifact compared across
+//! commits by the [`crate::trend`] comparator.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
@@ -17,16 +27,56 @@ use std::time::{Duration, Instant};
 pub const SAMPLES: usize = 10;
 
 /// Target wall-clock time per sample; iteration counts are calibrated
-/// so one sample takes roughly this long.
+/// so one sample lands near this long.
 pub const TARGET_SAMPLE: Duration = Duration::from_millis(60);
+
+/// Wall-clock budget spent warming a benchmark up before calibration.
+/// Calibrating from the cold first call would fold one-time warm-up
+/// cost (allocator growth, cache/TLB fill, lazy statics) into the
+/// per-iteration estimate and systematically overshoot the iteration
+/// count; instead the harness keeps calling `f` until this budget is
+/// spent and calibrates from the *fastest* observed call.
+pub const WARMUP_BUDGET: Duration = Duration::from_millis(20);
+
+/// One benchmark's measured result, as recorded for the
+/// `BENCH_<suite>.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable benchmark ID (`"simulate/STREAM"`).
+    pub id: String,
+    /// Median time per iteration over the samples, in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample's time per iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Max − min sample time per iteration, in nanoseconds.
+    pub spread_ns: f64,
+    /// Samples taken.
+    pub samples: u64,
+    /// Calibrated iterations per sample.
+    pub iters: u64,
+    /// Elements processed per iteration (throughput benches only).
+    pub elements: Option<u64>,
+}
+
+impl BenchResult {
+    /// Elements per second at the median time (`None` for non-throughput
+    /// benches or degenerate timings).
+    pub fn elems_per_sec(&self) -> Option<f64> {
+        let e = self.elements?;
+        let rate = e as f64 * 1e9 / self.median_ns;
+        rate.is_finite().then_some(rate)
+    }
+}
 
 /// A registered benchmark runner. Construct once per bench binary via
 /// [`Harness::from_args`], call [`Harness::bench`] (or
 /// [`Harness::bench_throughput`]) per benchmark, then
 /// [`Harness::finish`].
 pub struct Harness {
+    suite: String,
     filter: Option<String>,
     list_only: bool,
+    results: Vec<BenchResult>,
     ran: usize,
 }
 
@@ -49,8 +99,10 @@ impl Harness {
         }
         eprintln!("# suite {suite}: {SAMPLES} samples/bench, std::time::Instant harness");
         Harness {
+            suite: suite.to_string(),
             filter,
             list_only,
+            results: Vec::new(),
             ran: 0,
         }
     }
@@ -79,11 +131,24 @@ impl Harness {
         }
         self.ran += 1;
 
-        // Warm-up + calibration: run once, then scale the iteration
-        // count so a sample lands near TARGET_SAMPLE.
+        // Warm-up, then calibration from a warmed timing: the first call
+        // always runs (and is never trusted alone — it carries warm-up
+        // cost); further calls run until WARMUP_BUDGET is spent, and the
+        // fastest call observed calibrates the iteration count so one
+        // sample lands near TARGET_SAMPLE. A benchmark slower than
+        // TARGET_SAMPLE per call calibrates to 1 iteration either way,
+        // so the budget is skipped for it.
+        let warm_start = Instant::now();
         let t0 = Instant::now();
         black_box(f());
-        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let mut once = t0.elapsed().max(Duration::from_nanos(1));
+        if once < TARGET_SAMPLE {
+            while warm_start.elapsed() < WARMUP_BUDGET {
+                let t = Instant::now();
+                black_box(f());
+                once = once.min(t.elapsed().max(Duration::from_nanos(1)));
+            }
+        }
         let iters = (TARGET_SAMPLE.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
 
         let mut samples: Vec<f64> = Vec::with_capacity(SAMPLES);
@@ -96,21 +161,38 @@ impl Harness {
         }
         samples.sort_by(f64::total_cmp);
         let median = samples[samples.len() / 2];
+        let min = samples[0];
         let spread = samples[samples.len() - 1] - samples[0];
 
-        let thr = elements.map_or(String::new(), |e| {
-            let per_sec = e as f64 * 1e9 / median;
+        let result = BenchResult {
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: min,
+            spread_ns: spread,
+            samples: SAMPLES as u64,
+            iters,
+            elements,
+        };
+        let thr = result.elems_per_sec().map_or(String::new(), |per_sec| {
             format!("  {} elem/s", human(per_sec))
         });
         println!(
-            "{id:<40} {:>14} ns/iter (+/- {}){thr}",
+            "{id:<40} {:>14} ns/iter (min {}, +/- {}){thr}",
             group_digits(median.round() as u64),
+            group_digits(min.round() as u64),
             group_digits(spread.round() as u64),
         );
+        self.results.push(result);
     }
 
-    /// Print the suite summary. Exits non-zero if a filter was given
-    /// and matched nothing, so typos fail loudly in CI.
+    /// Results measured so far (in registration order).
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Print the suite summary and, when `ARMDSE_BENCH_JSON` is set,
+    /// write the `BENCH_<suite>.json` snapshot. Exits non-zero if a
+    /// filter was given and matched nothing, so typos fail loudly in CI.
     pub fn finish(self) {
         if self.list_only {
             return;
@@ -121,8 +203,96 @@ impl Harness {
                 std::process::exit(1);
             }
         }
+        if let Ok(target) = std::env::var("ARMDSE_BENCH_JSON") {
+            if !target.is_empty() {
+                let path = snapshot_path(&target, &self.suite);
+                let body = snapshot_json(&self.suite, &self.results);
+                match std::fs::write(&path, body) {
+                    Ok(()) => eprintln!("# wrote {path}"),
+                    Err(e) => {
+                        eprintln!("error: cannot write {path}: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+        }
         eprintln!("# {} benchmarks run", self.ran);
     }
+}
+
+/// Resolve the `ARMDSE_BENCH_JSON` value to the snapshot file path: a
+/// value ending in `.json` is the file itself, anything else is the
+/// directory that receives `BENCH_<suite>.json`.
+fn snapshot_path(target: &str, suite: &str) -> String {
+    if target.ends_with(".json") {
+        target.to_string()
+    } else {
+        let sep = if target.ends_with('/') { "" } else { "/" };
+        format!("{target}{sep}BENCH_{suite}.json")
+    }
+}
+
+/// Serialize a suite snapshot with the hand-rolled JSON codec (RFC 8259
+/// output; parsed back by [`crate::trend::Snapshot::parse`]).
+pub fn snapshot_json(suite: &str, results: &[BenchResult]) -> String {
+    let mut out = String::with_capacity(256 + results.len() * 160);
+    out.push_str("{\n  \"schema\": \"armdse-bench-v1\",\n  \"suite\": ");
+    json_string(suite, &mut out);
+    out.push_str(",\n  \"results\": [");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    {\"id\": ");
+        json_string(&r.id, &mut out);
+        out.push_str(&format!(
+            ", \"median_ns\": {}, \"min_ns\": {}, \"spread_ns\": {}, \"samples\": {}, \"iters\": {}",
+            json_num(r.median_ns),
+            json_num(r.min_ns),
+            json_num(r.spread_ns),
+            r.samples,
+            r.iters
+        ));
+        if let Some(e) = r.elements {
+            out.push_str(&format!(", \"elements\": {e}"));
+            if let Some(rate) = r.elems_per_sec() {
+                out.push_str(&format!(", \"elems_per_sec\": {}", json_num(rate)));
+            }
+        }
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+/// Format a finite f64 as a JSON number (Rust's shortest round-trip
+/// `Display`, which never emits `inf`/`NaN` here — callers guarantee
+/// finiteness — and uses no exponent for the magnitudes we measure).
+fn json_num(v: f64) -> String {
+    debug_assert!(v.is_finite());
+    // Guarantee a decimal point so the value reads back as a float and
+    // integers vs floats stay visually distinct in the snapshot.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Escape and quote `s` per RFC 8259.
+fn json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 /// `12345678` → `12,345,678`.
@@ -172,5 +342,41 @@ mod tests {
         assert_eq!(human(2_500.0), "2.50K");
         assert_eq!(human(3_000_000.0), "3.00M");
         assert_eq!(human(4_200_000_000.0), "4.20G");
+    }
+
+    #[test]
+    fn snapshot_path_accepts_dir_or_file() {
+        assert_eq!(snapshot_path(".", "components"), "./BENCH_components.json");
+        assert_eq!(
+            snapshot_path("out/", "ablations"),
+            "out/BENCH_ablations.json"
+        );
+        assert_eq!(
+            snapshot_path("x/custom.json", "components"),
+            "x/custom.json"
+        );
+    }
+
+    #[test]
+    fn json_numbers_always_carry_a_decimal_point() {
+        assert_eq!(json_num(1.0), "1.0");
+        assert_eq!(json_num(1234.5), "1234.5");
+        assert_eq!(json_num(0.25), "0.25");
+    }
+
+    #[test]
+    fn elems_per_sec_requires_elements() {
+        let mut r = BenchResult {
+            id: "x".into(),
+            median_ns: 100.0,
+            min_ns: 90.0,
+            spread_ns: 20.0,
+            samples: 10,
+            iters: 5,
+            elements: None,
+        };
+        assert!(r.elems_per_sec().is_none());
+        r.elements = Some(1000);
+        assert!((r.elems_per_sec().unwrap() - 1e10).abs() < 1e-3);
     }
 }

@@ -18,6 +18,7 @@
 //! This library crate hosts the harness plus shared fixtures.
 
 pub mod harness;
+pub mod trend;
 
 use armdse_core::engine::{Engine, RunPlan};
 use armdse_core::orchestrator::GenOptions;

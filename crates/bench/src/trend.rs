@@ -1,0 +1,474 @@
+//! Perf-trajectory comparator for `BENCH_<suite>.json` snapshots.
+//!
+//! ## Snapshot schema (`armdse-bench-v1`)
+//!
+//! ```json
+//! {
+//!   "schema": "armdse-bench-v1",
+//!   "suite": "components",
+//!   "results": [
+//!     {"id": "simulate/STREAM", "median_ns": 1234.5, "min_ns": 1200.0,
+//!      "spread_ns": 80.0, "samples": 10, "iters": 48,
+//!      "elements": 4096, "elems_per_sec": 3318348.0}
+//!   ]
+//! }
+//! ```
+//!
+//! `elements`/`elems_per_sec` appear only on throughput benches. The
+//! snapshot is emitted by [`crate::harness`] when `ARMDSE_BENCH_JSON`
+//! is set, and this module loads two snapshots and reports per-id
+//! deltas (the `bench-trend` binary wraps [`compare`] for ci.sh).
+//!
+//! Everything here is hand-rolled on std only — the parser is a small
+//! recursive-descent RFC 8259 reader, mirroring the repo's no-new-deps
+//! stance for CSV/JSON codecs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::harness::BenchResult;
+
+/// A parsed `BENCH_<suite>.json` snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    pub suite: String,
+    pub results: Vec<BenchResult>,
+}
+
+impl Snapshot {
+    /// Load and parse a snapshot file.
+    pub fn load(path: &str) -> Result<Snapshot, String> {
+        let body = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        Snapshot::parse(&body).map_err(|e| format!("{path}: {e}"))
+    }
+
+    /// Parse snapshot JSON (schema `armdse-bench-v1`).
+    pub fn parse(body: &str) -> Result<Snapshot, String> {
+        let v = parse_json(body)?;
+        let obj = v.as_object().ok_or("top level is not an object")?;
+        let schema = obj
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing \"schema\"")?;
+        if schema != "armdse-bench-v1" {
+            return Err(format!("unsupported schema {schema:?}"));
+        }
+        let suite = obj
+            .get("suite")
+            .and_then(Json::as_str)
+            .ok_or("missing \"suite\"")?
+            .to_string();
+        let raw = obj
+            .get("results")
+            .and_then(Json::as_array)
+            .ok_or("missing \"results\" array")?;
+        let mut results = Vec::with_capacity(raw.len());
+        for (i, r) in raw.iter().enumerate() {
+            let r = r
+                .as_object()
+                .ok_or_else(|| format!("results[{i}] is not an object"))?;
+            let num = |key: &str| -> Result<f64, String> {
+                r.get(key)
+                    .and_then(Json::as_f64)
+                    .ok_or_else(|| format!("results[{i}] missing numeric \"{key}\""))
+            };
+            results.push(BenchResult {
+                id: r
+                    .get("id")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| format!("results[{i}] missing \"id\""))?
+                    .to_string(),
+                median_ns: num("median_ns")?,
+                min_ns: num("min_ns")?,
+                spread_ns: num("spread_ns")?,
+                samples: num("samples")? as u64,
+                iters: num("iters")? as u64,
+                elements: r.get("elements").and_then(Json::as_f64).map(|e| e as u64),
+            });
+        }
+        Ok(Snapshot { suite, results })
+    }
+}
+
+/// One benchmark's base→new movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delta {
+    pub id: String,
+    pub base_median_ns: f64,
+    pub new_median_ns: f64,
+    /// base / new: > 1.0 means the new snapshot is faster.
+    pub speedup: f64,
+}
+
+/// Comparison of two snapshots by benchmark id.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Comparison {
+    pub deltas: Vec<Delta>,
+    /// Ids present only in the base snapshot.
+    pub missing: Vec<String>,
+    /// Ids present only in the new snapshot.
+    pub new_ids: Vec<String>,
+}
+
+impl Comparison {
+    /// Geometric-mean speedup over the common ids (1.0 when empty).
+    pub fn geomean_speedup(&self) -> f64 {
+        if self.deltas.is_empty() {
+            return 1.0;
+        }
+        let log_sum: f64 = self.deltas.iter().map(|d| d.speedup.ln()).sum();
+        (log_sum / self.deltas.len() as f64).exp()
+    }
+
+    /// Human-readable report, one line per common id plus coverage notes.
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        for d in &self.deltas {
+            let dir = if d.speedup >= 1.0 { "faster" } else { "slower" };
+            let _ = writeln!(
+                out,
+                "{:<40} {:>14.0} -> {:>14.0} ns/iter  {:>6.2}x {dir}",
+                d.id, d.base_median_ns, d.new_median_ns, d.speedup
+            );
+        }
+        for id in &self.missing {
+            let _ = writeln!(out, "{id:<40} only in base snapshot");
+        }
+        for id in &self.new_ids {
+            let _ = writeln!(out, "{id:<40} only in new snapshot");
+        }
+        if !self.deltas.is_empty() {
+            let _ = writeln!(
+                out,
+                "geomean over {} common ids: {:.2}x",
+                self.deltas.len(),
+                self.geomean_speedup()
+            );
+        }
+        out
+    }
+}
+
+/// Compare two snapshots per benchmark id (order follows the base
+/// snapshot; ids that appear in only one side are reported, not an
+/// error, so suites can gain/lose benches without breaking the lane).
+pub fn compare(base: &Snapshot, new: &Snapshot) -> Comparison {
+    let new_by_id: BTreeMap<&str, &BenchResult> =
+        new.results.iter().map(|r| (r.id.as_str(), r)).collect();
+    let base_ids: BTreeMap<&str, ()> = base.results.iter().map(|r| (r.id.as_str(), ())).collect();
+    let mut cmp = Comparison::default();
+    for b in &base.results {
+        match new_by_id.get(b.id.as_str()) {
+            Some(n) => cmp.deltas.push(Delta {
+                id: b.id.clone(),
+                base_median_ns: b.median_ns,
+                new_median_ns: n.median_ns,
+                speedup: b.median_ns / n.median_ns.max(f64::MIN_POSITIVE),
+            }),
+            None => cmp.missing.push(b.id.clone()),
+        }
+    }
+    for n in &new.results {
+        if !base_ids.contains_key(n.id.as_str()) {
+            cmp.new_ids.push(n.id.clone());
+        }
+    }
+    cmp
+}
+
+// ---------------------------------------------------------------------
+// Minimal RFC 8259 parser (objects, arrays, strings, numbers, literals)
+// ---------------------------------------------------------------------
+
+/// Parsed JSON value. Object keys keep first-wins semantics on
+/// duplicates, which cannot occur in harness-emitted snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn as_object(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+    fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (rejects trailing garbage).
+pub fn parse_json(s: &str) -> Result<Json, String> {
+    let b = s.as_bytes();
+    let mut pos = 0;
+    let v = json_value(b, &mut pos)?;
+    skip_ws(b, &mut pos);
+    if pos != b.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {pos}", c as char))
+    }
+}
+
+fn json_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match json_value(b, pos)? {
+                    Json::Str(s) => s,
+                    _ => return Err(format!("object key at byte {pos} is not a string")),
+                };
+                expect(b, pos, b':')?;
+                let val = json_value(b, pos)?;
+                map.entry(key).or_insert(val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut arr = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(arr));
+            }
+            loop {
+                arr.push(json_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(arr));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => json_string_lit(b, pos).map(Json::Str),
+        Some(b't') => json_literal(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => json_literal(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => json_literal(b, pos, "null", Json::Null),
+        Some(_) => json_number(b, pos),
+    }
+}
+
+fn json_literal(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("invalid literal at byte {pos}"))
+    }
+}
+
+fn json_string_lit(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    debug_assert_eq!(b[*pos], b'"');
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                            16,
+                        )
+                        .map_err(|_| "bad \\u escape")?;
+                        // Surrogate pairs never appear in harness output
+                        // (IDs are ASCII); map lone surrogates to U+FFFD.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}")),
+                }
+                *pos += 1;
+            }
+            Some(&c) if c < 0x20 => return Err(format!("raw control byte at {pos}")),
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // guaranteed well-formed).
+                let s = &b[*pos..];
+                let ch = std::str::from_utf8(s)
+                    .map_err(|_| "invalid utf-8")?
+                    .chars()
+                    .next()
+                    .unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8();
+            }
+        }
+    }
+}
+
+fn json_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid number")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::snapshot_json;
+
+    fn result(id: &str, median: f64, elements: Option<u64>) -> BenchResult {
+        BenchResult {
+            id: id.to_string(),
+            median_ns: median,
+            min_ns: median * 0.9,
+            spread_ns: median * 0.2,
+            samples: 10,
+            iters: 42,
+            elements,
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_emitter_and_parser() {
+        let results = vec![
+            result("simulate/STREAM", 1_234_567.5, Some(4096)),
+            result("cursor/stream_small", 890.25, None),
+        ];
+        let body = snapshot_json("components", &results);
+        let snap = Snapshot::parse(&body).expect("round-trip parse");
+        assert_eq!(snap.suite, "components");
+        assert_eq!(snap.results, results);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_garbage() {
+        assert!(
+            Snapshot::parse("{\"schema\": \"v9\", \"suite\": \"x\", \"results\": []}")
+                .unwrap_err()
+                .contains("unsupported schema")
+        );
+        assert!(Snapshot::parse("{]").is_err());
+        assert!(Snapshot::parse("{\"schema\": \"armdse-bench-v1\"}").is_err());
+        assert!(parse_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5, true, null, "x\n\"yA"]}"#).unwrap();
+        let obj = v.as_object().unwrap();
+        let arr = obj["a"].as_array().unwrap();
+        assert_eq!(arr[0].as_f64(), Some(1.0));
+        assert_eq!(arr[1].as_f64(), Some(-2.5));
+        assert_eq!(arr[2], Json::Bool(true));
+        assert_eq!(arr[3], Json::Null);
+        assert_eq!(arr[4].as_str(), Some("x\n\"yA"));
+    }
+
+    #[test]
+    fn compare_reports_speedups_and_coverage() {
+        let base = Snapshot {
+            suite: "components".into(),
+            results: vec![
+                result("a", 3000.0, None),
+                result("b", 1000.0, None),
+                result("gone", 5.0, None),
+            ],
+        };
+        let new = Snapshot {
+            suite: "components".into(),
+            results: vec![
+                result("a", 1000.0, None),
+                result("b", 2000.0, None),
+                result("fresh", 7.0, None),
+            ],
+        };
+        let cmp = compare(&base, &new);
+        assert_eq!(cmp.deltas.len(), 2);
+        assert!((cmp.deltas[0].speedup - 3.0).abs() < 1e-9);
+        assert!((cmp.deltas[1].speedup - 0.5).abs() < 1e-9);
+        assert_eq!(cmp.missing, vec!["gone".to_string()]);
+        assert_eq!(cmp.new_ids, vec!["fresh".to_string()]);
+        // geomean of 3.0 and 0.5 = sqrt(1.5)
+        assert!((cmp.geomean_speedup() - 1.5f64.sqrt()).abs() < 1e-9);
+        let report = cmp.report();
+        assert!(report.contains("3.00x faster"));
+        assert!(report.contains("0.50x slower"));
+        assert!(report.contains("only in base"));
+        assert!(report.contains("geomean over 2 common ids"));
+    }
+}

@@ -438,6 +438,19 @@ impl Engine {
         Engine::new(Box::new(Idealized))
     }
 
+    /// Toggle the pipeline's idle-cycle fast-forward for every pipeline
+    /// built after this call, process-wide (campaigns run many
+    /// simulations across threads; the default is sampled per pipeline
+    /// at construction). Fast-forward is timing-exact — `SimStats`,
+    /// metrics counters, and emitted CSV bytes are identical either way
+    /// (pinned by `tests/fast_forward_equivalence.rs`) — so this switch
+    /// exists for A/B verification and benchmarking, not correctness.
+    /// The `ARMDSE_NO_FAST_FORWARD` environment variable force-disables
+    /// it regardless of this setting.
+    pub fn set_fast_forward(enabled: bool) {
+        armdse_simcore::set_fast_forward_default(enabled);
+    }
+
     /// The engine's default backend.
     pub fn backend(&self) -> &dyn SimBackend {
         self.backend.as_ref()

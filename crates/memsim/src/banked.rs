@@ -16,10 +16,12 @@
 //! paper reports.
 
 use crate::cache::{Cache, LookupResult};
+use crate::fasthash::FastMap;
 use crate::params::MemParams;
 use crate::stats::MemStats;
 use crate::{Cycle, MemoryModel};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Number of DRAM banks in the hardware-proxy model.
 pub const DEFAULT_BANKS: usize = 8;
@@ -31,7 +33,11 @@ pub struct BankedHierarchy {
     l1: Cache,
     l2: Cache,
     stats: MemStats,
-    in_flight: HashMap<u64, Cycle>,
+    in_flight: FastMap<u64, Cycle>,
+    /// Completion times of every fill issued; popped eagerly at sample
+    /// time so MSHR occupancy statistics are exact (see
+    /// [`crate::Hierarchy`]'s field of the same name).
+    fills: BinaryHeap<Reverse<Cycle>>,
     /// Per-bank busy-until cycle.
     bank_free: Vec<Cycle>,
     /// Cycles a bank is occupied per line transfer.
@@ -79,7 +85,8 @@ impl BankedHierarchy {
             bank_occupancy: occupancy,
             params,
             stats: MemStats::default(),
-            in_flight: HashMap::new(),
+            in_flight: FastMap::default(),
+            fills: BinaryHeap::new(),
         }
     }
 
@@ -146,6 +153,7 @@ impl BankedHierarchy {
                     }
                 };
                 self.in_flight.insert(line_addr, complete);
+                self.fills.push(Reverse(complete));
                 complete
             }
         }
@@ -155,8 +163,12 @@ impl BankedHierarchy {
 impl MemoryModel for BankedHierarchy {
     fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
         let complete = self.access_inner(line_addr, is_store, now);
-        // Outstanding-fill (MSHR) occupancy, sampled once per access.
-        let outstanding = self.in_flight.len() as u64;
+        // Outstanding-fill (MSHR) occupancy, sampled once per access;
+        // completed fills are dropped first so the sample is exact.
+        while self.fills.peek().is_some_and(|&Reverse(t)| t <= now) {
+            self.fills.pop();
+        }
+        let outstanding = self.fills.len() as u64;
         self.stats.mshr_peak = self.stats.mshr_peak.max(outstanding);
         self.stats.mshr_occupancy_sum += outstanding;
         #[cfg(feature = "check-invariants")]
@@ -169,6 +181,11 @@ impl MemoryModel for BankedHierarchy {
             assert!(
                 complete >= now,
                 "completion time {complete} before request {now}"
+            );
+            assert_eq!(
+                outstanding,
+                self.in_flight.values().filter(|&&c| c > now).count() as u64,
+                "exact fill count diverged from live in-flight entries"
             );
             assert!(
                 self.stats.demand_requests_conserved(),

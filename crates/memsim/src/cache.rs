@@ -1,18 +1,5 @@
 //! Set-associative cache tag array with true LRU replacement.
 
-/// One cache way: tag plus state bits.
-#[derive(Debug, Clone, Copy, Default)]
-struct Way {
-    /// Line tag (full line address for simplicity; memory is ample).
-    tag: u64,
-    /// Valid bit.
-    valid: bool,
-    /// Dirty bit (set by stores; write-back policy).
-    dirty: bool,
-    /// LRU timestamp (larger = more recently used).
-    lru: u64,
-}
-
 /// Result of a cache lookup.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LookupResult {
@@ -30,9 +17,17 @@ pub enum LookupResult {
 ///
 /// Timing lives in the hierarchy; this structure answers only *presence*
 /// questions and maintains replacement state.
+///
+/// Storage is two parallel `Vec<u64>`s rather than a `Vec` of way
+/// structs: both zero-initialise through `alloc_zeroed` (no multi-MiB
+/// memset when a large L2 is built per simulation), and the hit path
+/// touches only the tag array at twice the density of the struct layout.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    ways: Vec<Way>,
+    /// Per way: `(line_addr << 1) | 1` when valid, `0` when invalid.
+    tags: Vec<u64>,
+    /// Per way: `(lru_tick << 1) | dirty`; meaningless while invalid.
+    meta: Vec<u64>,
     sets: u32,
     assoc: u32,
     line_bytes: u32,
@@ -47,8 +42,10 @@ impl Cache {
         let lines = size_kib as u64 * 1024 / u64::from(line_bytes);
         let sets = (lines / u64::from(assoc)) as u32;
         assert!(sets.is_power_of_two() && sets > 0, "invalid cache geometry");
+        let n = (sets * assoc) as usize;
         Cache {
-            ways: vec![Way::default(); (sets * assoc) as usize],
+            tags: vec![0; n],
+            meta: vec![0; n],
             sets,
             assoc,
             line_bytes,
@@ -63,48 +60,39 @@ impl Cache {
 
     /// Probe for `line_addr` without changing any state.
     pub fn probe(&self, line_addr: u64) -> bool {
-        let s = self.set_of(line_addr);
-        self.set_ways(s)
-            .iter()
-            .any(|w| w.valid && w.tag == line_addr)
-    }
-
-    #[inline]
-    fn set_ways(&self, set: usize) -> &[Way] {
+        let tag = (line_addr << 1) | 1;
         let a = self.assoc as usize;
-        &self.ways[set * a..(set + 1) * a]
-    }
-
-    #[inline]
-    fn set_ways_mut(&mut self, set: usize) -> &mut [Way] {
-        let a = self.assoc as usize;
-        &mut self.ways[set * a..(set + 1) * a]
+        let base = self.set_of(line_addr) * a;
+        self.tags[base..base + a].contains(&tag)
     }
 
     /// Access `line_addr`, allocating on miss, updating LRU, and setting
     /// the dirty bit for stores.
     pub fn access(&mut self, line_addr: u64, is_store: bool) -> LookupResult {
+        debug_assert!(line_addr < 1 << 63, "address overflows tag encoding");
         self.tick += 1;
         let tick = self.tick;
-        let set = self.set_of(line_addr);
-        let ways = self.set_ways_mut(set);
+        let tag = (line_addr << 1) | 1;
+        let a = self.assoc as usize;
+        let base = self.set_of(line_addr) * a;
 
-        if let Some(w) = ways.iter_mut().find(|w| w.valid && w.tag == line_addr) {
-            w.lru = tick;
-            w.dirty |= is_store;
+        if let Some(i) = self.tags[base..base + a].iter().position(|&t| t == tag) {
+            let m = &mut self.meta[base + i];
+            *m = (tick << 1) | (*m & 1) | u64::from(is_store);
             return LookupResult::Hit;
         }
 
-        // Miss: prefer an invalid way, otherwise evict the LRU way.
-        let (victim_idx, result) = match ways.iter().position(|w| !w.valid) {
+        // Miss: prefer an invalid way, otherwise evict the LRU way (ticks
+        // are unique, so min-by-meta is min-by-tick among valid ways).
+        let (victim_idx, result) = match self.tags[base..base + a].iter().position(|&t| t == 0) {
             Some(i) => (i, LookupResult::MissFilled),
             None => {
-                let (i, v) = ways
+                let (i, m) = self.meta[base..base + a]
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, w)| w.lru)
+                    .min_by_key(|&(_, m)| *m)
                     .expect("assoc >= 1");
-                let r = if v.dirty {
+                let r = if m & 1 != 0 {
                     LookupResult::MissEvictDirty
                 } else {
                     LookupResult::MissEvictClean
@@ -112,12 +100,8 @@ impl Cache {
                 (i, r)
             }
         };
-        ways[victim_idx] = Way {
-            tag: line_addr,
-            valid: true,
-            dirty: is_store,
-            lru: tick,
-        };
+        self.tags[base + victim_idx] = tag;
+        self.meta[base + victim_idx] = (tick << 1) | u64::from(is_store);
         result
     }
 
@@ -130,9 +114,8 @@ impl Cache {
     /// Invalidate every line (used between benchmark phases when modelling
     /// a cold-cache run).
     pub fn flush(&mut self) {
-        for w in &mut self.ways {
-            *w = Way::default();
-        }
+        self.tags.fill(0);
+        self.meta.fill(0);
     }
 
     /// Total line capacity.
@@ -142,7 +125,7 @@ impl Cache {
 
     /// Number of currently valid lines.
     pub fn valid_lines(&self) -> u32 {
-        self.ways.iter().filter(|w| w.valid).count() as u32
+        self.tags.iter().filter(|&&t| t != 0).count() as u32
     }
 
     /// Cache line width in bytes.

@@ -1,0 +1,98 @@
+//! Minimal multiplicative hasher for integer-keyed hot-path maps.
+//!
+//! The hierarchy's miss-status (`in_flight`) maps are keyed by line
+//! addresses and probed on every memory request; the standard library's
+//! default SipHash is DoS-resistant but costs tens of nanoseconds per
+//! probe, which is pure overhead for simulator-internal keys that no
+//! adversary controls. This hasher is a single multiply + rotate in the
+//! spirit of FxHash/fxhash, implemented in-tree to avoid a dependency.
+//!
+//! Map iteration order changes relative to (randomly seeded) SipHash,
+//! but becomes *deterministic* across runs; callers must still avoid
+//! order-dependent iteration, as they already did under `RandomState`.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` state plugging [`FastHasher`] in for `RandomState`.
+pub type FastBuildHasher = BuildHasherDefault<FastHasher>;
+
+/// A `HashMap` using [`FastHasher`]; drop-in for integer-keyed maps.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, FastBuildHasher>;
+
+/// Word-at-a-time multiplicative hasher (not collision-resistant;
+/// only for simulator-internal integer keys).
+#[derive(Debug, Default, Clone)]
+pub struct FastHasher(u64);
+
+/// Odd multiplier close to 2^64 / φ, spreading low-entropy keys
+/// (line addresses share alignment bits) across the hash range.
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Byte-slice fallback (unused on the hot path): fold in 8-byte
+        // chunks so prefix keys still diffuse.
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.0 = (self.0 ^ n).wrapping_mul(K).rotate_left(26);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FastMap<u64, u64> = FastMap::default();
+        for i in 0..1000u64 {
+            m.insert(i * 64, i);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&(i * 64)), Some(&i));
+        }
+        m.retain(|_, v| *v % 2 == 0);
+        assert_eq!(m.len(), 500);
+    }
+
+    #[test]
+    fn aligned_keys_spread() {
+        // Line addresses are 64-byte aligned; the hash must not collapse
+        // onto a few buckets. Check low-bit diversity of the hashes.
+        use std::hash::BuildHasher;
+        let bh = FastBuildHasher::default();
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..256u64 {
+            low_bits.insert(bh.hash_one(i * 64) & 0xFF);
+        }
+        assert!(
+            low_bits.len() > 128,
+            "only {} distinct buckets",
+            low_bits.len()
+        );
+    }
+}

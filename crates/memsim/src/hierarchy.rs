@@ -1,10 +1,12 @@
 //! Default (infinite-bank) two-level hierarchy timing model.
 
 use crate::cache::{Cache, LookupResult};
+use crate::fasthash::FastMap;
 use crate::params::MemParams;
 use crate::stats::MemStats;
 use crate::{Cycle, MemoryModel};
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Two-level write-back hierarchy with next-line prefetch and outstanding
 /// request merging; unlimited internal banking, per the paper's note on
@@ -15,8 +17,17 @@ pub struct Hierarchy {
     l1: Cache,
     l2: Cache,
     stats: MemStats,
-    /// Outstanding line fills: line address → completion cycle.
-    in_flight: HashMap<u64, Cycle>,
+    /// Outstanding line fills: line address → completion cycle. Entries
+    /// are trimmed lazily (stale entries are harmless: the merge check
+    /// compares against `now`, and their presence suppresses redundant
+    /// prefetch issue exactly as a real MSHR's allocate-on-miss would).
+    in_flight: FastMap<u64, Cycle>,
+    /// Completion times of every fill issued, popped eagerly at sample
+    /// time so the MSHR occupancy statistics are exact (a fill is
+    /// outstanding iff its completion lies strictly after `now`). Kept
+    /// separate from `in_flight` so the exact sampling cannot perturb
+    /// merge/prefetch timing.
+    fills: BinaryHeap<Reverse<Cycle>>,
     l1_lat: u64,
     l2_lat: u64,
     ram_lat: u64,
@@ -34,7 +45,8 @@ impl Hierarchy {
             ram_lat: params.ram_core_cycles(),
             params,
             stats: MemStats::default(),
-            in_flight: HashMap::new(),
+            in_flight: FastMap::default(),
+            fills: BinaryHeap::new(),
         }
     }
 
@@ -52,7 +64,13 @@ impl Hierarchy {
 
     /// Resolve the latency path for a line that is absent from L1,
     /// filling tags, counting stats, and returning the completion cycle.
-    fn miss_path(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+    ///
+    /// `fill_l1` is true for prefetches, whose only L1 touch happens
+    /// here. Demand misses pass false: their caller already allocated
+    /// the line in L1 (and counted any dirty eviction), so a second
+    /// access would merely re-bump the LRU tick of the line that is
+    /// already most-recent — replacement order is unchanged either way.
+    fn miss_path(&mut self, line_addr: u64, is_store: bool, now: Cycle, fill_l1: bool) -> Cycle {
         let l2r = self.l2.access(line_addr, false);
         let complete = match l2r {
             LookupResult::Hit => {
@@ -68,11 +86,12 @@ impl Hierarchy {
                 now + self.l1_lat + self.l2_lat + self.ram_lat
             }
         };
-        if self.l1.access(line_addr, is_store) == LookupResult::MissEvictDirty {
+        if fill_l1 && self.l1.access(line_addr, is_store) == LookupResult::MissEvictDirty {
             self.stats.writebacks += 1;
             self.stats.l1_writebacks += 1;
         }
         self.in_flight.insert(line_addr, complete);
+        self.fills.push(Reverse(complete));
         complete
     }
 
@@ -84,7 +103,7 @@ impl Hierarchy {
                 continue;
             }
             self.stats.prefetches += 1;
-            self.miss_path(pf, false, now);
+            self.miss_path(pf, false, now, true);
         }
     }
 
@@ -116,9 +135,9 @@ impl Hierarchy {
                     self.stats.writebacks += 1;
                     self.stats.l1_writebacks += 1;
                 }
-                // The L1 tag was allocated by `access`; resolve timing via
-                // L2/DRAM. (miss_path re-touches L1 — harmless LRU bump.)
-                let complete = self.miss_path(line_addr, is_store, now);
+                // The L1 tag was allocated by `access` just above;
+                // resolve timing via L2/DRAM without touching L1 again.
+                let complete = self.miss_path(line_addr, is_store, now, false);
                 self.prefetch_after(line_addr, now);
                 complete
             }
@@ -130,7 +149,12 @@ impl MemoryModel for Hierarchy {
     fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
         let complete = self.access_inner(line_addr, is_store, now);
         // Outstanding-fill (MSHR) occupancy, sampled once per access.
-        let outstanding = self.in_flight.len() as u64;
+        // Fills whose completion has passed are dropped first, so the
+        // sample counts exactly the fills still in flight at `now`.
+        while self.fills.peek().is_some_and(|&Reverse(t)| t <= now) {
+            self.fills.pop();
+        }
+        let outstanding = self.fills.len() as u64;
         self.stats.mshr_peak = self.stats.mshr_peak.max(outstanding);
         self.stats.mshr_occupancy_sum += outstanding;
         #[cfg(feature = "check-invariants")]
@@ -143,6 +167,11 @@ impl MemoryModel for Hierarchy {
             assert!(
                 complete >= now,
                 "completion time {complete} before request {now}"
+            );
+            assert_eq!(
+                outstanding,
+                self.in_flight.values().filter(|&&c| c > now).count() as u64,
+                "exact fill count diverged from live in-flight entries"
             );
             assert!(
                 self.stats.demand_requests_conserved(),
@@ -254,6 +283,37 @@ mod tests {
             now = m.access(i * stride, false, now);
         }
         assert!(m.stats().writebacks >= 1);
+    }
+
+    #[test]
+    fn mshr_occupancy_is_exact_after_fill_completes() {
+        // Crafted overcount pattern: fill line A, let it complete, then
+        // touch line B. A stale map entry for A must not inflate the
+        // sample — exactly one fill (B's) is outstanding.
+        let mut m = h(0);
+        let done_a = m.access(0x1000, false, 0);
+        assert_eq!(m.stats().mshr_peak, 1);
+        assert_eq!(m.stats().mshr_occupancy_sum, 1);
+        let done_b = m.access(0x2000, false, done_a);
+        assert!(done_b > done_a);
+        assert_eq!(m.stats().mshr_peak, 1, "stale fill A inflated the peak");
+        assert_eq!(m.stats().mshr_occupancy_sum, 2);
+        // After B completes too, a third access samples zero completed
+        // fills plus its own (an L1 hit adds none).
+        m.access(0x2000, false, done_b);
+        assert_eq!(m.stats().mshr_occupancy_sum, 2);
+        assert_eq!(m.stats().mshr_peak, 1);
+    }
+
+    #[test]
+    fn mshr_counts_concurrent_fills() {
+        let mut m = h(0);
+        // Four distinct lines requested in the same cycle: all in flight.
+        for i in 0..4u64 {
+            m.access(0x1000 * (i + 1), false, 0);
+        }
+        assert_eq!(m.stats().mshr_peak, 4);
+        assert_eq!(m.stats().mshr_occupancy_sum, 1 + 2 + 3 + 4);
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 pub mod banked;
 pub mod cache;
+pub mod fasthash;
 pub mod hierarchy;
 pub mod params;
 pub mod stats;

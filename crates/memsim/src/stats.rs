@@ -25,13 +25,13 @@ pub struct MemStats {
     /// Total demand line requests (hits + misses + merged).
     pub requests: u64,
     /// Peak number of outstanding line fills (the MSHR analogue),
-    /// sampled after each access. Upper bound: completed fills are
-    /// trimmed lazily, so stale entries may inflate the sample (see
-    /// docs/METRICS.md).
+    /// sampled after each access. Exact: completed fills are dropped at
+    /// sample time, so a fill is counted iff its completion lies
+    /// strictly after the sampling cycle (see docs/METRICS.md).
     pub mshr_peak: u64,
     /// Sum of outstanding-fill counts sampled after each access
     /// (mean MSHR occupancy per access = `mshr_occupancy_sum /
-    /// requests`). Same lazy-trim caveat as [`MemStats::mshr_peak`].
+    /// requests`). Exact, like [`MemStats::mshr_peak`].
     pub mshr_occupancy_sum: u64,
     /// DRAM accesses that found their bank busy and had to queue
     /// (always 0 on the infinite-bank [`crate::Hierarchy`]).

@@ -249,15 +249,26 @@ impl OccupancyHist {
 
     /// Record one occupancy sample.
     pub fn observe(&mut self, occ: u64) {
-        self.sum += occ;
+        self.observe_n(occ, 1);
+    }
+
+    /// Record `n` consecutive samples of the same occupancy, exactly as
+    /// `n` calls to [`OccupancyHist::observe`] would (used by the
+    /// pipeline's idle-cycle fast-forward, where occupancy is provably
+    /// constant across the skipped cycles).
+    pub fn observe_n(&mut self, occ: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.sum += occ * n;
         self.peak = self.peak.max(occ);
         if self.capacity > 0 && occ >= self.capacity {
-            self.full_cycles += 1;
+            self.full_cycles += n;
         }
         let bin = (occ * OCC_BINS as u64)
             .checked_div(self.capacity)
             .map_or(0, |b| b.min(OCC_BINS as u64 - 1));
-        self.bins[bin as usize] += 1;
+        self.bins[bin as usize] += n;
     }
 
     /// Total samples recorded.
@@ -336,10 +347,23 @@ impl Counters {
         self.buckets[bucket.index()] += 1;
     }
 
+    /// Charge `n` cycles to `bucket` at once (fast-forward bulk path).
+    #[inline]
+    pub fn record_n(&mut self, bucket: CycleBucket, n: u64) {
+        self.buckets[bucket.index()] += n;
+    }
+
     /// Record one occupancy sample for `structure`.
     #[inline]
     pub fn observe(&mut self, structure: Structure, occ: u64) {
         self.occupancy[structure.index()].observe(occ);
+    }
+
+    /// Record `n` identical occupancy samples for `structure` at once
+    /// (fast-forward bulk path).
+    #[inline]
+    pub fn observe_n(&mut self, structure: Structure, occ: u64, n: u64) {
+        self.occupancy[structure.index()].observe_n(occ, n);
     }
 
     /// The count in one bucket.
@@ -473,6 +497,27 @@ mod tests {
         c.record(CycleBucket::RetireVector);
         c.cycles = 1;
         assert_eq!(c.dominant_stall(), None);
+    }
+
+    #[test]
+    fn observe_n_matches_repeated_observe() {
+        let mut bulk = OccupancyHist::new(8);
+        let mut step = OccupancyHist::new(8);
+        for (occ, n) in [(0u64, 3u64), (5, 7), (8, 2)] {
+            bulk.observe_n(occ, n);
+            for _ in 0..n {
+                step.observe(occ);
+            }
+        }
+        assert_eq!(bulk, step);
+
+        let mut c_bulk = Counters::default();
+        let mut c_step = Counters::default();
+        c_bulk.record_n(CycleBucket::MemData, 5);
+        for _ in 0..5 {
+            c_step.record(CycleBucket::MemData);
+        }
+        assert_eq!(c_bulk.buckets, c_step.buckets);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 pub mod backend;
 pub mod counters;
+pub mod events;
 pub mod params;
 pub mod pipeline;
 pub mod regfile;
@@ -35,7 +36,7 @@ pub mod stats;
 pub use backend::{BankedProxy, Contended, Idealized, SimBackend, Traced};
 pub use counters::{Counters, CycleBucket, OccupancyHist, Structure};
 pub use params::CoreParams;
-pub use pipeline::Pipeline;
+pub use pipeline::{fast_forward_default, set_fast_forward_default, Pipeline};
 pub use stats::{SimStats, StallStats};
 
 use armdse_isa::instr::DynInstr;

@@ -16,6 +16,7 @@
 //! focus: its design space contains no branch-predictor parameters.
 
 use crate::counters::{Counters, CycleBucket, Structure};
+use crate::events::EventQueue;
 use crate::params::{
     CoreParams, DISPATCH_RATE, FETCH_QUEUE_CAP, MIN_FORWARD_LATENCY, RENAME_BUFFER_CAP, RS_SIZE,
 };
@@ -26,8 +27,37 @@ use armdse_isa::op::{OpClass, PortClass};
 use armdse_isa::reg::RegClass;
 use armdse_isa::{Program, TraceCursor, INSTR_BYTES};
 use armdse_memsim::{split_lines, MemoryModel};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+/// Process-wide default for the idle-cycle fast-forward (see
+/// [`set_fast_forward_default`]). On unless explicitly disabled.
+static FAST_FORWARD: AtomicBool = AtomicBool::new(true);
+
+/// Whether `ARMDSE_NO_FAST_FORWARD` was set when first consulted
+/// (cached: the engine may build thousands of pipelines per second).
+fn fast_forward_env_disabled() -> bool {
+    static DISABLED: OnceLock<bool> = OnceLock::new();
+    *DISABLED.get_or_init(|| std::env::var_os("ARMDSE_NO_FAST_FORWARD").is_some())
+}
+
+/// Set the process-wide default for the pipeline's idle-cycle
+/// fast-forward. New pipelines sample the default at construction;
+/// in-flight pipelines are unaffected. The optimization is
+/// timing-exact — identical `SimStats`, metrics, and CSV bytes either
+/// way (pinned by `tests/fast_forward_equivalence.rs`) — so the switch
+/// exists for A/B verification and benchmarking, not correctness.
+pub fn set_fast_forward_default(enabled: bool) {
+    FAST_FORWARD.store(enabled, Ordering::Relaxed);
+}
+
+/// The current process-wide fast-forward default: on unless switched
+/// off via [`set_fast_forward_default`] or the `ARMDSE_NO_FAST_FORWARD`
+/// environment variable.
+pub fn fast_forward_default() -> bool {
+    FAST_FORWARD.load(Ordering::Relaxed) && !fast_forward_env_disabled()
+}
 
 /// Lifecycle stage of an in-flight micro-op.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -170,16 +200,45 @@ pub struct Pipeline<'p, M: MemoryModel> {
     rename_q: VecDeque<Seq>,
 
     // Backend.
-    rs: Vec<Seq>,
+    /// Reservation-station occupancy (uops in [`Stage::InRs`]). The RS
+    /// itself is represented by the per-class ready queues plus the
+    /// not-yet-ready uops' window entries — no central entry list is
+    /// scanned on the issue path.
+    rs_count: u32,
+    /// Per port class: RS entries whose sources are all resolved, in age
+    /// (sequence) order. Issue pops from the front while ports are free;
+    /// a ready uop that misses a port simply stays queued, so a cycle's
+    /// issue work is O(issued), never O(RS). Port classes contend only
+    /// within themselves, so per-class age order issues the same uops to
+    /// the same ports as the old oldest-first scan of the whole RS.
+    ready_q: [VecDeque<Seq>; 4],
+    /// Total ready RS entries (sum of `ready_q` lengths), kept for the
+    /// O(1) issue early-out and the fast-forward legality check.
+    rs_ready: u32,
     rob_count: u32,
     port_busy: [Vec<u64>; 4],
-    exec_done: BinaryHeap<Reverse<(u64, Seq)>>,
+    /// Single completion-timer queue for both event kinds: execution
+    /// completions (uop stage [`Stage::Issued`]) and memory completions
+    /// (stage [`Stage::MemWait`]). The kind is recovered from the uop's
+    /// stage at drain time; sharing one queue halves the per-cycle
+    /// drain/peek overhead. Merging is timing-exact: the two kinds feed
+    /// different queues (`pending_loads` vs `completed_loads`), each of
+    /// which still receives its events in ascending `(t, seq)` order,
+    /// and wakeup order within a cycle is commutative (ready-queue
+    /// inserts are age-sorted).
+    done: EventQueue,
 
     // LSQ.
     lq_count: u32,
     sq: VecDeque<SqEntry>,
+    /// Conservative bounding box over the byte spans of every store
+    /// currently in the SQ: grows on dispatch, resets only when the SQ
+    /// drains empty (pops leave it stale-but-conservative). Loads whose
+    /// span misses the box provably overlap no store and skip the
+    /// store-hazard scan — the common case when a kernel's loads and
+    /// stores touch different arrays.
+    sq_span: (u64, u64),
     pending_loads: VecDeque<Seq>,
-    mem_done: BinaryHeap<Reverse<(u64, Seq)>>,
     completed_loads: VecDeque<Seq>,
 
     /// Commit-order trace, enabled only via [`Pipeline::run_traced`].
@@ -198,6 +257,17 @@ pub struct Pipeline<'p, M: MemoryModel> {
     /// during the *previous* cycle's rename stage (rename runs after the
     /// attribution point, so the flag is consumed one cycle later).
     rename_blocked: bool,
+
+    /// Skip provably idle cycles in bulk (see `try_fast_forward`).
+    /// Sampled from [`fast_forward_default`] at construction.
+    fast_forward: bool,
+
+    // Per-cycle scratch buffers, hoisted out of the hot loop so the
+    // writeback and LSQ stages allocate nothing in steady state. Both
+    // are empty between cycles.
+    scratch_woken: Vec<Seq>,
+    scratch_pending: VecDeque<Seq>,
+    scratch_due: Vec<(u64, Seq)>,
 
     stats: SimStats,
 }
@@ -231,24 +301,38 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             fetch_q: VecDeque::with_capacity(FETCH_QUEUE_CAP),
             loop_mode: None,
             loop_candidate: None,
-            window: VecDeque::new(),
+            window: VecDeque::with_capacity(params.rob_size as usize + RENAME_BUFFER_CAP),
             window_base: 0,
             next_seq: 0,
             rename_q: VecDeque::with_capacity(RENAME_BUFFER_CAP),
-            rs: Vec::with_capacity(RS_SIZE),
+            rs_count: 0,
+            ready_q: std::array::from_fn(|_| VecDeque::with_capacity(RS_SIZE)),
+            rs_ready: 0,
             rob_count: 0,
-            exec_done: BinaryHeap::new(),
+            done: EventQueue::new(),
             lq_count: 0,
-            sq: VecDeque::new(),
+            sq: VecDeque::with_capacity(params.store_queue as usize),
+            sq_span: (u64::MAX, 0),
             pending_loads: VecDeque::new(),
-            mem_done: BinaryHeap::new(),
             completed_loads: VecDeque::new(),
             log: None,
             counters: None,
             mem_budget_exhausted: false,
             rename_blocked: false,
+            fast_forward: fast_forward_default(),
+            scratch_woken: Vec::new(),
+            scratch_pending: VecDeque::new(),
+            scratch_due: Vec::new(),
             stats: SimStats::default(),
         }
+    }
+
+    /// Override the idle-cycle fast-forward for this pipeline (the
+    /// constructor samples the process-wide default; see
+    /// [`set_fast_forward_default`]).
+    pub fn with_fast_forward(mut self, enabled: bool) -> Self {
+        self.fast_forward = enabled;
+        self
     }
 
     #[inline]
@@ -302,6 +386,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 self.stats.hit_cycle_limit = true;
                 break;
             }
+            if self.fast_forward && self.try_fast_forward(max_cycles) {
+                continue;
+            }
             self.step();
         }
         self.stats.cycles = self.now;
@@ -332,42 +419,211 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         self.check_invariants();
     }
 
+    // --------------------------------------------------- fast-forward
+
+    /// Skip provably idle cycles in bulk. Returns `true` if at least
+    /// one cycle was skipped (the caller then re-enters the drive loop
+    /// at the next timer event instead of stepping).
+    ///
+    /// A cycle is *provably idle* when every stage of [`step`](Self::step)
+    /// can be shown, from the pre-cycle state alone, to make no state
+    /// change other than per-cycle stall accounting:
+    ///
+    /// * **writeback** — no completion (`done`) event is due and the
+    ///   LSQ completion queue is empty;
+    /// * **LSQ memory** — the SQ front is not drainable (not committed
+    ///   with data ready) and no load is pending request issue;
+    /// * **commit** — the window is non-empty and its front is not Done;
+    /// * **issue** — `rs_ready == 0` (no RS entry has all sources);
+    /// * **dispatch** — the rename buffer is empty or its front is
+    ///   blocked by a full ROB/RS/LQ/SQ;
+    /// * **rename** — the rename buffer is full, the fetch queue is
+    ///   empty, or a free list cannot cover the next instruction;
+    /// * **fetch** — nothing to fetch, or the fetch queue is full.
+    ///
+    /// Since none of these stages acts, every input to the conditions is
+    /// unchanged on the next cycle: the predicates are *stable* until
+    /// the next completion timer fires. The skip therefore
+    /// jumps to `min(next timer, max_cycles)` and advances every
+    /// per-cycle statistic — dispatch stall counters, fetch starvation,
+    /// rename stalls, loop-buffer cycles, attribution buckets, and
+    /// occupancy samples — in bulk by exactly the amount the skipped
+    /// cycles would have accumulated one at a time. The resulting
+    /// `SimStats` and `Counters` are bit-identical to a non-skipping
+    /// run (pinned by `tests/fast_forward_equivalence.rs`).
+    ///
+    /// With no timer pending at all (a modelling deadlock), the skip
+    /// runs straight to `max_cycles`, fast-pathing wedged runs to their
+    /// `hit_cycle_limit` verdict.
+    fn try_fast_forward(&mut self, max_cycles: u64) -> bool {
+        // Commit / issue / LSQ-completion idleness.
+        let Some(front) = self.window.front() else {
+            return false;
+        };
+        if front.stage == Stage::Done
+            || self.rs_ready != 0
+            || !self.pending_loads.is_empty()
+            || !self.completed_loads.is_empty()
+        {
+            return false;
+        }
+        // Writeback idleness: no due timer events.
+        let next_done = self.done.next_time();
+        if next_done.is_some_and(|t| t <= self.now) {
+            return false;
+        }
+        // Store-drain idleness.
+        if self.sq.front().is_some_and(|f| f.committed && f.data_ready) {
+            return false;
+        }
+        // Dispatch idleness: nothing to dispatch, or the front uop is
+        // structurally blocked. Record *which* stat the per-cycle break
+        // would have charged (exactly one per blocked cycle).
+        let dispatch_stall = match self.rename_q.front() {
+            None => None,
+            Some(&seq) => {
+                let op = self.uop(seq).op;
+                if self.rob_count >= self.params.rob_size {
+                    Some(IdleDispatch::Rob)
+                } else if self.rs_count as usize >= RS_SIZE {
+                    Some(IdleDispatch::Rs)
+                } else if op.is_load() && self.lq_count >= self.params.load_queue {
+                    Some(IdleDispatch::Lq)
+                } else if op.is_store() && self.sq.len() as u32 >= self.params.store_queue {
+                    Some(IdleDispatch::Sq)
+                } else {
+                    return false; // would dispatch
+                }
+            }
+        };
+        // Rename idleness: buffer full, starved, or free-list blocked.
+        let rename_idle = if self.rename_q.len() >= RENAME_BUFFER_CAP {
+            IdleRename::BufferFull
+        } else if let Some(di) = self.fetch_q.front() {
+            match self.rename.blocked_class(di.dests.as_slice()) {
+                Some(class) => IdleRename::FreeList(class),
+                None => return false, // would rename
+            }
+        } else {
+            IdleRename::Starved
+        };
+        // Fetch idleness.
+        if self.pending_fetch.is_some() && self.fetch_q.len() < FETCH_QUEUE_CAP {
+            return false;
+        }
+
+        let target = next_done.unwrap_or(u64::MAX).min(max_cycles);
+        if target <= self.now {
+            return false;
+        }
+        let n = target - self.now;
+
+        // ---- Bulk-advance exactly what n idle step() calls would. ----
+
+        match dispatch_stall {
+            Some(IdleDispatch::Rob) => self.stats.stalls.rob_full += n,
+            Some(IdleDispatch::Rs) => self.stats.stalls.rs_full += n,
+            Some(IdleDispatch::Lq) => self.stats.stalls.lq_full += n,
+            Some(IdleDispatch::Sq) => self.stats.stalls.sq_full += n,
+            None => {}
+        }
+        // `stable_rename_blocked` is the value rename_stage leaves in
+        // `rename_blocked` on each skipped cycle (consumed by the next
+        // cycle's attribution).
+        let stable_rename_blocked = match rename_idle {
+            IdleRename::BufferFull => false,
+            IdleRename::Starved => {
+                // The window is non-empty, so the starvation condition
+                // (`pending_fetch.is_some() || !window.is_empty()`) holds.
+                self.stats.stalls.fetch_starved += n;
+                false
+            }
+            IdleRename::FreeList(class) => {
+                self.rename.stall_counts[class.index()] += n;
+                let counts = self.rename.stall_counts;
+                self.stats.stalls.rename_gp = counts[RegClass::Gp.index()];
+                self.stats.stalls.rename_fp = counts[RegClass::Fp.index()];
+                self.stats.stalls.rename_pred = counts[RegClass::Pred.index()];
+                self.stats.stalls.rename_cond = counts[RegClass::Cond.index()];
+                true
+            }
+        };
+        if self.pending_fetch.is_some() && self.loop_mode.is_some() {
+            self.stats.stalls.loop_buffer_cycles += n;
+        }
+        // Each skipped cycle's lsq_memory stage clears the budget flag
+        // before the attribution point reads it.
+        self.mem_budget_exhausted = false;
+
+        if let Some(mut c) = self.counters.take() {
+            // The first skipped cycle classifies under the
+            // `rename_blocked` flag left by the last real cycle; the
+            // attribution point then resets it and rename_stage re-arms
+            // it to the stable value for cycles 2..n.
+            c.record(self.classify_cycle(0, None));
+            self.rename_blocked = stable_rename_blocked;
+            if n > 1 {
+                c.record_n(self.classify_cycle(0, None), n - 1);
+            }
+            c.observe_n(Structure::Rob, u64::from(self.rob_count), n);
+            c.observe_n(Structure::Rs, u64::from(self.rs_count), n);
+            c.observe_n(Structure::LoadQueue, u64::from(self.lq_count), n);
+            c.observe_n(Structure::StoreQueue, self.sq.len() as u64, n);
+            c.observe_n(Structure::FetchQueue, self.fetch_q.len() as u64, n);
+            c.observe_n(Structure::RenameBuffer, self.rename_q.len() as u64, n);
+            self.counters = Some(c);
+        } else if stable_rename_blocked {
+            // Without counters nothing resets the flag, so it is sticky
+            // — set-only, exactly like the per-cycle path.
+            self.rename_blocked = true;
+        }
+
+        self.now = target;
+        #[cfg(feature = "check-invariants")]
+        self.check_invariants();
+        true
+    }
+
     // ---------------------------------------------------------- writeback
 
     fn writeback(&mut self) {
-        // Execution-port completions.
-        let mut woken: Vec<Seq> = Vec::new();
-        while let Some(&Reverse((t, seq))) = self.exec_done.peek() {
-            if t > self.now {
-                break;
+        // Completion events, both kinds in one drain (the uop's stage
+        // says which): execution-port completions are `Issued`, memory
+        // completions are `MemWait`. The woken/due lists are hoisted
+        // scratch buffers (empty between cycles) so steady-state cycles
+        // allocate nothing.
+        let mut woken = std::mem::take(&mut self.scratch_woken);
+        debug_assert!(woken.is_empty());
+        let mut due = std::mem::take(&mut self.scratch_due);
+        self.done.take_due(self.now, &mut due);
+        for &(_, seq) in &due {
+            let u = self.uop(seq);
+            if u.stage == Stage::MemWait {
+                // Memory completion: feeds the LSQ completion stage.
+                self.uop_mut(seq).stage = Stage::WbWait;
+                self.completed_loads.push_back(seq);
+                continue;
             }
-            self.exec_done.pop();
-            let op = self.uop(seq).op;
+            debug_assert_eq!(u.stage, Stage::Issued);
+            let op = u.op;
             if op.is_load() {
                 self.uop_mut(seq).stage = Stage::PendingMem;
                 self.pending_loads.push_back(seq);
             } else if op.is_store() {
                 // Store executed: data+address ready; completes in ROB now,
-                // memory write happens post-commit.
+                // memory write happens post-commit. The SQ is in program
+                // order, so the entry is found by binary search on seq.
                 self.uop_mut(seq).stage = Stage::Done;
-                if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
-                    e.data_ready = true;
+                if let Ok(i) = self.sq.binary_search_by(|e| e.seq.cmp(&seq)) {
+                    self.sq[i].data_ready = true;
                 }
             } else {
                 self.complete_dests(seq, &mut woken);
                 self.uop_mut(seq).stage = Stage::Done;
             }
         }
-
-        // Memory completions feed the LSQ completion stage.
-        while let Some(&Reverse((t, seq))) = self.mem_done.peek() {
-            if t > self.now {
-                break;
-            }
-            self.mem_done.pop();
-            self.uop_mut(seq).stage = Stage::WbWait;
-            self.completed_loads.push_back(seq);
-        }
+        due.clear();
+        self.scratch_due = due;
 
         // LSQ completion width: loads writing back per cycle.
         for _ in 0..self.params.lsq_completion_width {
@@ -379,6 +635,8 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         }
 
         self.wake(&woken);
+        woken.clear();
+        self.scratch_woken = woken;
     }
 
     fn complete_dests(&mut self, seq: Seq, woken: &mut Vec<Seq>) {
@@ -396,6 +654,14 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             let u = self.uop_mut(seq);
             debug_assert!(u.srcs_remaining > 0);
             u.srcs_remaining -= 1;
+            // A uop with outstanding sources is either still in the
+            // rename buffer (counted ready at dispatch instead) or in
+            // the RS, where resolving the last source makes it an issue
+            // candidate.
+            if u.srcs_remaining == 0 && u.stage == Stage::InRs {
+                let class = u.op.port();
+                self.push_ready(class, seq);
+            }
         }
     }
 
@@ -403,6 +669,13 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
 
     fn lsq_memory(&mut self) {
         self.mem_budget_exhausted = false;
+        // Fast-out for memory-idle cycles: no load waiting to issue and
+        // no committed store ready to drain. Nothing below can act.
+        if self.pending_loads.is_empty()
+            && !self.sq.front().is_some_and(|f| f.committed && f.data_ready)
+        {
+            return;
+        }
         let line = u64::from(self.mem.line_bytes());
         let mut reqs = self.params.mem_requests_per_cycle;
         let mut store_reqs = self.params.stores_per_cycle;
@@ -451,6 +724,9 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             }
             if self.sq.front().expect("front exists").reqs_left == 0 {
                 self.sq.pop_front();
+                if self.sq.is_empty() {
+                    self.sq_span = (u64::MAX, 0);
+                }
             } else {
                 break; // budget exhausted
             }
@@ -459,7 +735,10 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         // Load issue (program order across pending loads, but younger
         // loads may proceed past a blocked older one — our model permits
         // this because forwarding correctness is enforced per-load).
-        let mut still_pending: VecDeque<Seq> = VecDeque::new();
+        // `still_pending` is a hoisted scratch deque (empty between
+        // cycles) that becomes the new pending list below.
+        let mut still_pending = std::mem::take(&mut self.scratch_pending);
+        debug_assert!(still_pending.is_empty());
         while let Some(seq) = self.pending_loads.pop_front() {
             if reqs == 0 || load_reqs == 0 {
                 self.mem_budget_exhausted = true;
@@ -478,7 +757,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                     u.mem_complete = complete;
                     u.stage = Stage::MemWait;
                     u.reqs_left = 0;
-                    self.mem_done.push(Reverse((complete, seq)));
+                    self.done.push(complete, seq);
                     continue;
                 }
                 StoreHazard::Clear => {}
@@ -516,16 +795,19 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             if u.reqs_left == 0 && issued_any {
                 u.stage = Stage::MemWait;
                 let t = u.mem_complete;
-                self.mem_done.push(Reverse((t, seq)));
+                self.done.push(t, seq);
             } else if u.reqs_left == 0 {
                 // Degenerate: zero-request access (cannot happen; bytes >= 1).
                 u.stage = Stage::MemWait;
-                self.mem_done.push(Reverse((self.now + 1, seq)));
+                self.done.push(self.now + 1, seq);
             } else {
                 still_pending.push_back(seq);
             }
         }
-        self.pending_loads = still_pending;
+        // `pending_loads` was fully drained above; it becomes next
+        // cycle's scratch buffer.
+        std::mem::swap(&mut self.pending_loads, &mut still_pending);
+        self.scratch_pending = still_pending;
 
         #[cfg(feature = "check-invariants")]
         {
@@ -574,6 +856,11 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         // store's data), so an overlapping gather load is simply blocked
         // until the store drains.
         let (lo, hi) = span_of(mref);
+        // Fast path: the load's span misses the (conservative) bounding
+        // box of every SQ-resident store, so no entry can overlap.
+        if !(lo < self.sq_span.1 && self.sq_span.0 < hi) {
+            return StoreHazard::Clear;
+        }
         let load_is_gather = !matches!(mref.pattern, MemPattern::Contiguous);
         let mut decision = StoreHazard::Clear;
         for e in self.sq.iter() {
@@ -607,19 +894,22 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
     /// Returns the retire count and the oldest retired uop's class (the
     /// inputs of the cycle-attribution pass).
     fn commit(&mut self) -> (u32, Option<OpClass>) {
-        let mut retired = 0u32;
+        // Batch commit: size the ready prefix of the ROB first, then
+        // drain it in one pass (one VecDeque ring adjustment instead of
+        // commit_width front/pop pairs).
+        let retiring = self
+            .window
+            .iter()
+            .take(self.params.commit_width as usize)
+            .take_while(|u| u.stage == Stage::Done)
+            .count();
+        if retiring == 0 {
+            return (0, None);
+        }
+        let base = self.window_base;
         let mut first_op = None;
-        for _ in 0..self.params.commit_width {
-            let Some(front) = self.window.front() else {
-                break;
-            };
-            if front.stage != Stage::Done {
-                break;
-            }
-            let seq = self.window_base;
-            let u = self.window.pop_front().expect("front exists");
-            self.window_base += 1;
-            self.rob_count -= 1;
+        for (i, u) in self.window.drain(..retiring).enumerate() {
+            let seq = base + i as Seq;
             for d in &u.dests[..u.ndests as usize] {
                 self.rename.free_prev(*d);
             }
@@ -627,24 +917,26 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 self.lq_count -= 1;
             }
             if u.op.is_store() {
-                if let Some(e) = self.sq.iter_mut().find(|e| e.seq == seq) {
-                    e.committed = true;
+                // The SQ is in program order: binary search on seq.
+                if let Ok(e) = self.sq.binary_search_by(|e| e.seq.cmp(&seq)) {
+                    self.sq[e].committed = true;
                 }
             }
             if let Some(log) = &mut self.log {
                 let di = log.pending.pop_front().expect("renamed before commit");
                 log.committed.push(di);
             }
-            self.stats.retired += 1;
             self.stats.observed.record(
                 u.op,
                 u.mem.map_or(0, |m| u64::from(m.bytes)),
                 u.mem.map(|m| m.kind),
             );
-            retired += 1;
             first_op.get_or_insert(u.op);
         }
-        (retired, first_op)
+        self.window_base += retiring as Seq;
+        self.rob_count -= retiring as u32;
+        self.stats.retired += retiring as u64;
+        (retiring as u32, first_op)
     }
 
     // --------------------------------------------------- cycle accounting
@@ -660,7 +952,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         };
         c.record(self.classify_cycle(retired, first_op));
         c.observe(Structure::Rob, u64::from(self.rob_count));
-        c.observe(Structure::Rs, self.rs.len() as u64);
+        c.observe(Structure::Rs, u64::from(self.rs_count));
         c.observe(Structure::LoadQueue, u64::from(self.lq_count));
         c.observe(Structure::StoreQueue, self.sq.len() as u64);
         c.observe(Structure::FetchQueue, self.fetch_q.len() as u64);
@@ -705,7 +997,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 // conditions in dispatch() order.
                 if self.rob_count >= self.params.rob_size {
                     CycleBucket::RobFull
-                } else if self.rs.len() >= RS_SIZE {
+                } else if self.rs_count as usize >= RS_SIZE {
                     CycleBucket::RsFull
                 } else if front.op.is_load() && self.lq_count >= self.params.load_queue {
                     CycleBucket::LqFull
@@ -742,32 +1034,49 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
 
     // --------------------------------------------------------------- issue
 
+    /// Insert a newly ready RS entry into its class queue, keeping the
+    /// queue in age (sequence) order. Dispatch appends monotonically;
+    /// wakeups may arrive out of order and take the binary-search path.
+    fn push_ready(&mut self, class: PortClass, seq: Seq) {
+        let q = &mut self.ready_q[class.index()];
+        if q.back().is_none_or(|&b| b < seq) {
+            q.push_back(seq);
+        } else {
+            let i = q.partition_point(|&s| s < seq);
+            q.insert(i, seq);
+        }
+        self.rs_ready += 1;
+    }
+
     fn issue(&mut self) {
-        if self.rs.is_empty() {
+        // O(1) early-out: no RS entry has all sources resolved, so no
+        // port scan can issue anything this cycle.
+        if self.rs_ready == 0 {
             return;
         }
         let now = self.now;
-        let mut issued: Vec<Seq> = Vec::new();
-        for idx in 0..self.rs.len() {
-            let seq = self.rs[idx];
-            let u = self.uop(seq);
-            if u.srcs_remaining != 0 {
-                continue;
+        // Per class: pop ready uops in age order while ports are free.
+        // Classes contend only within themselves (a uop needs a port of
+        // its own class and nothing else), so this issues the same uops
+        // to the same ports as an oldest-first scan of the whole RS —
+        // without ever touching the ready uops that miss out on a port.
+        for ci in 0..self.ready_q.len() {
+            while let Some(&seq) = self.ready_q[ci].front() {
+                let Some(pi) = self.port_busy[ci].iter().position(|b| *b <= now) else {
+                    break;
+                };
+                self.ready_q[ci].pop_front();
+                let (lat, occupancy) = {
+                    let u = self.uop(seq);
+                    let lat = u64::from(u.op.exec_latency());
+                    (lat, if u.op.pipelined() { 1 } else { lat })
+                };
+                self.port_busy[ci][pi] = now + occupancy;
+                self.done.push(now + lat, seq);
+                self.uop_mut(seq).stage = Stage::Issued;
+                self.rs_ready -= 1;
+                self.rs_count -= 1;
             }
-            let class = u.op.port();
-            let lat = u64::from(u.op.exec_latency());
-            let occupancy = if u.op.pipelined() { 1 } else { lat };
-            // Find a free port of this class.
-            let Some(pi) = self.port_busy[class.index()].iter().position(|b| *b <= now) else {
-                continue;
-            };
-            self.port_busy[class.index()][pi] = now + occupancy;
-            self.exec_done.push(Reverse((now + lat, seq)));
-            self.uop_mut(seq).stage = Stage::Issued;
-            issued.push(seq);
-        }
-        if !issued.is_empty() {
-            self.rs.retain(|s| !issued.contains(s));
         }
     }
 
@@ -782,7 +1091,7 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 self.stats.stalls.rob_full += 1;
                 break;
             }
-            if self.rs.len() >= RS_SIZE {
+            if self.rs_count as usize >= RS_SIZE {
                 self.stats.stalls.rs_full += 1;
                 break;
             }
@@ -800,8 +1109,12 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             }
             self.rename_q.pop_front();
             self.rob_count += 1;
-            self.rs.push(seq);
-            self.uop_mut(seq).stage = Stage::InRs;
+            self.rs_count += 1;
+            let u = self.uop_mut(seq);
+            u.stage = Stage::InRs;
+            if u.srcs_remaining == 0 {
+                self.push_ready(op.port(), seq);
+            }
             if op.is_load() {
                 self.lq_count += 1;
             }
@@ -810,6 +1123,8 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 let (next_addr, reqs_left, req_step, bytes_share) =
                     request_plan(&m, self.mem.line_bytes());
                 let (span_lo, span_hi) = span_of(&m);
+                self.sq_span.0 = self.sq_span.0.min(span_lo);
+                self.sq_span.1 = self.sq_span.1.max(span_hi);
                 self.sq.push_back(SqEntry {
                     seq,
                     span_lo,
@@ -984,10 +1299,10 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             p.rob_size
         );
         assert!(
-            self.rs.len() <= RS_SIZE,
+            self.rs_count as usize <= RS_SIZE,
             "cycle {}: RS holds {} uops, capacity {}",
             self.now,
-            self.rs.len(),
+            self.rs_count,
             RS_SIZE
         );
         assert!(
@@ -1014,6 +1329,54 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             "cycle {}: fetch queue overflow",
             self.now
         );
+
+        // The RS occupancy and ready counters that gate dispatch, issue,
+        // and fast-forward legality must agree with a full window scan,
+        // and each per-class ready queue must hold exactly the ready
+        // RS-resident uops of that class, in age order.
+        let rs_in_window = self
+            .window
+            .iter()
+            .filter(|u| u.stage == Stage::InRs)
+            .count() as u32;
+        assert_eq!(
+            rs_in_window, self.rs_count,
+            "cycle {}: rs_count out of sync with window InRs population",
+            self.now
+        );
+        let ready_in_window = self
+            .window
+            .iter()
+            .filter(|u| u.stage == Stage::InRs && u.srcs_remaining == 0)
+            .count() as u32;
+        assert_eq!(
+            ready_in_window, self.rs_ready,
+            "cycle {}: rs_ready counter out of sync with window contents",
+            self.now
+        );
+        let queued: u32 = self.ready_q.iter().map(|q| q.len() as u32).sum();
+        assert_eq!(
+            queued, self.rs_ready,
+            "cycle {}: ready queues out of sync with rs_ready",
+            self.now
+        );
+        for (ci, q) in self.ready_q.iter().enumerate() {
+            let mut prev = None;
+            for &s in q {
+                assert!(
+                    prev.is_none_or(|p| p < s),
+                    "cycle {}: ready queue {ci} out of age order",
+                    self.now
+                );
+                prev = Some(s);
+                let u = self.uop(s);
+                assert!(
+                    u.stage == Stage::InRs && u.srcs_remaining == 0 && u.op.port().index() == ci,
+                    "cycle {}: ready queue {ci} holds unready/misfiled uop {s}",
+                    self.now
+                );
+            }
+        }
 
         // In-order commit: the ROB pops only from the front, so the number
         // of retired instructions must equal the oldest in-flight sequence
@@ -1081,6 +1444,17 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
                 );
             }
         }
+        // The store-span bounding box must cover every resident entry
+        // (it may over-cover: pops leave it stale until the SQ empties).
+        for e in &self.sq {
+            assert!(
+                self.sq_span.0 <= e.span_lo && e.span_hi <= self.sq_span.1,
+                "cycle {}: store {} span outside the SQ bounding box",
+                self.now,
+                e.seq
+            );
+        }
+
         let sq_uncommitted = self.sq.iter().filter(|e| !e.committed).count();
         let stores_in_window = self
             .window
@@ -1116,6 +1490,28 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
             );
         }
     }
+}
+
+/// Which full structure blocks dispatch during an idle skip (exactly
+/// one stall counter is charged per blocked cycle, in dispatch-check
+/// order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdleDispatch {
+    Rob,
+    Rs,
+    Lq,
+    Sq,
+}
+
+/// Why rename makes no progress during an idle skip.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IdleRename {
+    /// Rename buffer at capacity: rename breaks before any accounting.
+    BufferFull,
+    /// Fetch queue empty: each cycle counts one fetch-starved stall.
+    Starved,
+    /// The given class's free list cannot cover the next instruction.
+    FreeList(RegClass),
 }
 
 /// Store-hazard classification for a load about to access memory.

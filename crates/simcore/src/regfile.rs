@@ -72,6 +72,21 @@ impl RenameUnit {
     /// Whether dests (given as registers) can all be renamed right now.
     /// Counts a stall against the first exhausted class if not.
     pub fn can_rename(&mut self, dests: &[Reg]) -> bool {
+        match self.blocked_class(dests) {
+            Some(c) => {
+                self.stall_counts[c.index()] += 1;
+                false
+            }
+            None => true,
+        }
+    }
+
+    /// Read-only probe behind [`RenameUnit::can_rename`]: the first
+    /// register class (in index order) whose free list cannot cover
+    /// `dests`, without counting a stall. The pipeline's idle-cycle
+    /// fast-forward uses this to test rename-blockedness and then bulk
+    /// advances `stall_counts` itself.
+    pub fn blocked_class(&self, dests: &[Reg]) -> Option<RegClass> {
         // Count needed per class (an instruction may have two dests of
         // different classes, e.g. `adds` writing GP + NZCV).
         let mut need = [0u32; 4];
@@ -80,11 +95,10 @@ impl RenameUnit {
         }
         for (i, &n) in need.iter().enumerate() {
             if (self.files[i].free.len() as u32) < n {
-                self.stall_counts[i] += 1;
-                return false;
+                return Some(RegClass::ALL[i]);
             }
         }
-        true
+        None
     }
 
     /// Rename one destination: allocate a physical register, remember the
@@ -200,6 +214,21 @@ mod tests {
         // Committing the oldest rename frees its previous mapping.
         u.free_prev(renames.remove(0));
         assert!(u.can_rename(&[Reg::gp(0)]));
+    }
+
+    #[test]
+    fn blocked_class_probe_is_read_only() {
+        let mut u = unit();
+        assert_eq!(u.blocked_class(&[Reg::gp(0)]), None);
+        for _ in 0..8 {
+            u.rename_dest(Reg::gp(0));
+        }
+        // The probe reports the exhausted class without counting a stall.
+        assert_eq!(u.blocked_class(&[Reg::gp(0)]), Some(RegClass::Gp));
+        assert_eq!(u.stall_counts, [0; 4]);
+        // can_rename agrees and does count.
+        assert!(!u.can_rename(&[Reg::gp(0)]));
+        assert_eq!(u.stall_counts[RegClass::Gp.index()], 1);
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! The idle-cycle fast-forward is timing-exact: turning it off must not
+//! change a single statistic, counter, or emitted CSV byte.
+//!
+//! The fast-forward (`Pipeline::try_fast_forward`) skips cycles where
+//! every pipeline stage is provably stalled, bulk-advancing per-cycle
+//! stall accounting instead of stepping. Its legality argument (see
+//! DESIGN.md) claims the skipped cycles would have changed nothing but
+//! those counters — this suite pins that claim across the same six
+//! crippled design points `metrics_accounting.rs` uses (each starving a
+//! different structure, so each exercises a different idle shape) and a
+//! full metrics-on campaign.
+//!
+//! The toggle is process-wide, so every comparison lives in this one
+//! `#[test]` (integration tests within a binary may run concurrently;
+//! a second test flipping the toggle would race).
+
+use armdse::core::engine::{CsvSink, Engine, RunControl, RunPlan};
+use armdse::core::metrics::MetricsRow;
+use armdse::core::orchestrator::GenOptions;
+use armdse::core::space::ParamSpace;
+use armdse::core::DesignConfig;
+use armdse::kernels::{App, WorkloadScale};
+use armdse::memsim::MemParams;
+use armdse::simcore::CoreParams;
+
+/// The six crippled design points from tests/metrics_accounting.rs:
+/// each starves a different structure so idle cycles arise from a
+/// different combination of blocked stages.
+fn crippled_points() -> Vec<(&'static str, CoreParams, MemParams)> {
+    let mem = MemParams::thunderx2();
+    let mut tiny_rob = CoreParams::thunderx2();
+    tiny_rob.rob_size = 8;
+    let mut tiny_queues = CoreParams::thunderx2();
+    tiny_queues.load_queue = 4;
+    tiny_queues.store_queue = 4;
+    let mut narrow = CoreParams::thunderx2();
+    narrow.commit_width = 1;
+    narrow.frontend_width = 1;
+    let mut few_regs = CoreParams::thunderx2();
+    few_regs.gp_regs = 40;
+    few_regs.fp_regs = 40;
+    let mut choked_mem = CoreParams::thunderx2();
+    choked_mem.mem_requests_per_cycle = 1;
+    choked_mem.loads_per_cycle = 1;
+    choked_mem.stores_per_cycle = 1;
+    let mut slow_mem = MemParams::thunderx2();
+    slow_mem.ram_access_ns = 500.0;
+    vec![
+        ("tiny-rob", tiny_rob, mem),
+        ("tiny-lsq", tiny_queues, mem),
+        ("narrow", narrow, mem),
+        ("few-regs", few_regs, mem),
+        ("choked-mem", choked_mem, mem),
+        ("slow-ram", CoreParams::thunderx2(), slow_mem),
+    ]
+}
+
+fn campaign_csv_and_metrics(engine: &Engine, tag: &str) -> (Vec<u8>, Vec<MetricsRow>) {
+    let opts = GenOptions {
+        configs: 6,
+        scale: WorkloadScale::Tiny,
+        seed: 0xFFE4_2026,
+        threads: 2,
+        apps: App::ALL.to_vec(),
+    };
+    let plan = RunPlan::new(&ParamSpace::paper(), &opts)
+        .unwrap()
+        .with_chunk_jobs(7);
+    let path = std::env::temp_dir().join(format!("armdse_ff_{tag}.csv"));
+    let mut sink = CsvSink::create(&path).unwrap();
+    let mut metrics: Vec<MetricsRow> = Vec::new();
+    engine
+        .run_controlled(
+            &plan,
+            &mut sink,
+            RunControl {
+                metrics: Some(&mut metrics),
+                ..RunControl::default()
+            },
+        )
+        .unwrap();
+    drop(sink);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    (bytes, metrics)
+}
+
+#[test]
+fn fast_forward_changes_nothing() {
+    let engine = Engine::idealized();
+
+    // Per-design-point equivalence: SimStats and Counters must match
+    // bit-for-bit with fast-forward on vs. off, for every app.
+    for (tag, core, mem) in crippled_points() {
+        let cfg = DesignConfig { core, mem };
+        for app in App::ALL {
+            Engine::set_fast_forward(true);
+            let (stats_on, counters_on) =
+                engine.simulate_config_metrics(app, WorkloadScale::Tiny, &cfg);
+            let plain_on = engine.simulate_config(app, WorkloadScale::Tiny, &cfg);
+            Engine::set_fast_forward(false);
+            let (stats_off, counters_off) =
+                engine.simulate_config_metrics(app, WorkloadScale::Tiny, &cfg);
+            let plain_off = engine.simulate_config(app, WorkloadScale::Tiny, &cfg);
+            Engine::set_fast_forward(true);
+
+            assert_eq!(stats_on, stats_off, "{tag}/{app:?}: SimStats diverged");
+            assert_eq!(
+                counters_on, counters_off,
+                "{tag}/{app:?}: Counters diverged"
+            );
+            assert_eq!(
+                plain_on, plain_off,
+                "{tag}/{app:?}: metrics-off SimStats diverged"
+            );
+            assert!(counters_on.conserves(), "{tag}/{app:?}: attribution leak");
+        }
+    }
+
+    // Campaign-level equivalence: dataset CSV bytes and every metrics
+    // row identical with fast-forward on vs. off.
+    Engine::set_fast_forward(true);
+    let (csv_on, metrics_on) = campaign_csv_and_metrics(&engine, "on");
+    Engine::set_fast_forward(false);
+    let (csv_off, metrics_off) = campaign_csv_and_metrics(&engine, "off");
+    Engine::set_fast_forward(true);
+    assert_eq!(csv_on, csv_off, "fast-forward changed dataset CSV bytes");
+    assert_eq!(metrics_on, metrics_off, "metrics rows diverged");
+}
