@@ -45,6 +45,31 @@ cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/observed/dataset.csv"
 test -f "$SMOKE/observed/metrics/metrics.csv"
 test -f "$SMOKE/observed/metrics/bottleneck.txt"
 
+# Explore-smoke lane: a tiny-budget surrogate-guided campaign through
+# the repro binary. Pause it mid-campaign (--max-chunks), resume at a
+# different thread count, and require every exploration artifact
+# byte-identical to the uninterrupted run — the Explorer's checkpoint-v2
+# determinism contract end to end. The curve artifact must carry the
+# documented schema header, and Pareto mode must emit its frontier.
+cargo run --release --offline -p armdse-analysis --bin repro -- explore \
+  --configs 60 --explore 12 --scale tiny --seed 7 --threads 4 --out "$SMOKE/exfresh"
+head -n 1 "$SMOKE/exfresh/explore_curve.csv" | \
+  grep -q '^round,samples,epsilon,r2,mae,model_hash$'
+cargo run --release --offline -p armdse-analysis --bin repro -- explore \
+  --configs 60 --explore 12 --scale tiny --seed 7 --threads 4 \
+  --out "$SMOKE/expaused" --max-chunks 3
+test -f "$SMOKE/expaused/explore.ckpt"
+cargo run --release --offline -p armdse-analysis --bin repro -- explore \
+  --configs 60 --explore 12 --scale tiny --seed 7 --threads 1 \
+  --out "$SMOKE/expaused" --resume
+cmp "$SMOKE/exfresh/explore_dataset.csv" "$SMOKE/expaused/explore_dataset.csv"
+cmp "$SMOKE/exfresh/explore_curve.csv" "$SMOKE/expaused/explore_curve.csv"
+cmp "$SMOKE/exfresh/explore_curve.json" "$SMOKE/expaused/explore_curve.json"
+cargo run --release --offline -p armdse-analysis --bin repro -- explore \
+  --configs 60 --explore 12 --scale tiny --seed 7 --threads 4 \
+  --out "$SMOKE/expareto" --explore-pareto
+test -f "$SMOKE/expareto/explore_pareto.csv"
+
 # Invariant lane: rebuild the simulator with cycle-level structural
 # checks compiled in and rerun the crates they gate. Any violation
 # panics. (Scoped to these crates: the full integration suite re-runs
@@ -70,8 +95,13 @@ ARMDSE_BENCH_JSON="$SMOKE/bench" \
   cargo bench --offline -p armdse-bench --bench ablations -- loop_buffer
 ARMDSE_BENCH_JSON="$SMOKE/bench" \
   cargo bench --offline -p armdse-bench --bench tables_figures -- fig2_accuracy
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench explore -- acquisition
 for snap in "$SMOKE"/bench/BENCH_*.json; do
   cargo run --release --offline -p armdse-bench --bin bench-trend -- --check "$snap"
 done
 cargo run --release --offline -p armdse-bench --bin bench-trend -- \
   BENCH_components.baseline.json "$SMOKE/bench/BENCH_components.json"
+# The committed explore snapshot must stay schema-valid too.
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check BENCH_explore.json

@@ -4,7 +4,7 @@
 //! repro <experiment> [--configs N] [--scale tiny|small|standard]
 //!                    [--seed N] [--sweep-configs N] [--threads N]
 //!                    [--out DIR] [--resume] [--max-chunks N]
-//!                    [--metrics DIR]
+//!                    [--metrics DIR] [--explore N] [--explore-pareto]
 //!
 //! experiments:
 //!   fig1      SVE fraction of retired instructions per vector length
@@ -22,6 +22,7 @@
 //!   multicore extension: slowdown under shared-DRAM contention
 //!   crossval  extension: surrogate partial dependence vs fresh simulation
 //!   summary   distribution/coverage summary of the cached dataset
+//!   explore   surrogate-guided adaptive exploration (budget via --explore)
 //!   all       everything above, sharing one dataset
 //! ```
 //!
@@ -32,6 +33,15 @@
 //! `--max-chunks N` pauses generation after N chunks (leaving the
 //! checkpoint in place), giving scripts a deterministic interruption
 //! point; ci.sh uses it to smoke-test the resume path.
+//!
+//! The `explore` experiment replaces the fixed sweep with the adaptive
+//! [`Explorer`] loop: `--explore N` sets the simulation budget (default
+//! a tenth of `--configs`), `--explore-pareto` switches acquisition to
+//! two-objective mode (predicted cycles vs structure cost). Artifacts
+//! (`explore_dataset.csv`, `explore_curve.{csv,json}`, `explore.ckpt`,
+//! and `explore_pareto.csv` in Pareto mode) land under `--out`; the
+//! same `--resume` / `--max-chunks` semantics apply, and the finished
+//! artifacts are byte-identical at any `--threads` count.
 //!
 //! `--metrics DIR` additionally runs every dataset job with cycle
 //! accounting enabled, streaming one counter row per job to
@@ -50,10 +60,11 @@ use armdse_analysis::{
     ExpOptions,
 };
 use armdse_core::engine::{CsvSink, Engine, Progress, RunControl, RunPlan};
+use armdse_core::explorer::{ExploreControl, ExploreOptions, ExploreProgress, Explorer};
 use armdse_core::metrics::{MetricsCsvSink, MetricsSink};
 use armdse_core::space::ParamSpace;
 use armdse_core::{ArmdseError, DseDataset, SurrogateSuite};
-use armdse_kernels::WorkloadScale;
+use armdse_kernels::{App, WorkloadScale};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -64,6 +75,8 @@ struct Cli {
     resume: bool,
     max_chunks: Option<usize>,
     metrics: Option<PathBuf>,
+    explore_budget: Option<usize>,
+    explore_pareto: bool,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -74,6 +87,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut resume = false;
     let mut max_chunks = None;
     let mut metrics = None;
+    let mut explore_budget = None;
+    let mut explore_pareto = false;
     while let Some(flag) = args.next() {
         let mut val = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -93,6 +108,8 @@ fn parse_args() -> Result<Cli, String> {
             "--resume" => resume = true,
             "--max-chunks" => max_chunks = Some(val()?.parse().map_err(|e| format!("{e}"))?),
             "--metrics" => metrics = Some(PathBuf::from(val()?)),
+            "--explore" => explore_budget = Some(val()?.parse().map_err(|e| format!("{e}"))?),
+            "--explore-pareto" => explore_pareto = true,
             f => return Err(format!("unknown flag {f}")),
         }
     }
@@ -103,6 +120,8 @@ fn parse_args() -> Result<Cli, String> {
         resume,
         max_chunks,
         metrics,
+        explore_budget,
+        explore_pareto,
     })
 }
 
@@ -110,7 +129,7 @@ fn main() {
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR]");
+            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR] [--explore N] [--explore-pareto]");
             std::process::exit(2);
         }
     };
@@ -179,6 +198,7 @@ fn run(cli: &Cli) {
             let data = dataset(cli, &space, &engine, false);
             emit_text(cli, "dataset_summary", &data.summary().to_table());
         }
+        "explore" => explore(cli, &space, &engine),
         "crossval" => {
             let data = dataset(cli, &space, &engine, false);
             let f7 = sweeps::fig7(&engine, &space, &sweep);
@@ -267,6 +287,94 @@ fn run(cli: &Cli) {
     }
 }
 
+/// Run the surrogate-guided adaptive exploration loop (the `explore`
+/// experiment). The candidate pool is `--configs` seeded STREAM design
+/// points; the simulation budget defaults to a tenth of the pool. The
+/// explorer streams its artifacts under `--out` itself; this wrapper
+/// adds the per-chunk progress log, `--max-chunks` pause semantics, and
+/// a final accuracy-vs-samples summary table.
+fn explore(cli: &Cli, space: &ParamSpace, engine: &Engine) {
+    let pool = cli.opts.configs.max(20);
+    let budget = cli
+        .explore_budget
+        .unwrap_or_else(|| (pool / 10).max(8))
+        .min(pool);
+    let eopts = ExploreOptions {
+        scale: cli.opts.scale,
+        seed: cli.opts.seed,
+        pool,
+        budget,
+        batch: budget.div_ceil(6).max(2),
+        holdout: (pool / 6).clamp(10, 200),
+        threads: cli.opts.threads,
+        pareto: cli.explore_pareto,
+        ..ExploreOptions::for_app(App::Stream)
+    };
+    eprintln!(
+        "[repro] {} exploration: pool {}, budget {} in {} round(s){} ...",
+        if cli.resume { "resuming" } else { "running" },
+        eopts.pool,
+        eopts.budget,
+        eopts.rounds(),
+        if eopts.pareto { ", Pareto mode" } else { "" }
+    );
+    let mut chunks = 0usize;
+    let max_chunks = cli.max_chunks;
+    let mut observer = |p: &ExploreProgress| {
+        eprintln!(
+            "[repro]   round {}/{}: {}/{} jobs, {}/{} samples",
+            p.round + 1,
+            p.rounds,
+            p.jobs_done,
+            p.round_jobs,
+            p.samples,
+            p.budget
+        );
+        chunks += 1;
+        max_chunks.is_none_or(|max| chunks < max)
+    };
+    let report = Explorer::new(engine, space, eopts, &cli.out)
+        .unwrap_or_else(|e| fail(e))
+        .run(ExploreControl {
+            resume: cli.resume,
+            observer: Some(&mut observer),
+        })
+        .unwrap_or_else(|e| fail(e));
+    if !report.completed {
+        eprintln!(
+            "[repro] explore paused after {} round(s) with {} sample(s) (--max-chunks); \
+             continue with --resume",
+            report.rounds_done, report.samples
+        );
+        std::process::exit(0);
+    }
+    let rows: Vec<Vec<String>> = report
+        .curve
+        .iter()
+        .map(|p| {
+            vec![
+                p.round.to_string(),
+                p.samples.to_string(),
+                format!("{:.3}", p.epsilon),
+                format!("{:.4}", p.r2),
+                format!("{:.0}", p.mae),
+            ]
+        })
+        .collect();
+    let table = Table::new(
+        "Adaptive exploration: surrogate accuracy vs samples",
+        &["round", "samples", "epsilon", "holdout R2", "holdout MAE"],
+        rows,
+    )
+    .note(format!(
+        "{} simulations selected from a {}-candidate pool; final holdout R2 {:.4}",
+        report.samples,
+        pool,
+        report.final_r2()
+    ));
+    emit_table(cli, "explore_summary", &table);
+}
+
 /// Load the dataset CSV if present and complete, else generate it by
 /// streaming rows to `<out>/dataset.csv` with a checkpoint after each
 /// chunk. With `--resume` an interrupted campaign continues from its
@@ -343,6 +451,7 @@ fn dataset(cli: &Cli, space: &ParamSpace, engine: &Engine, force_regen: bool) ->
                 resume: resuming,
                 observer: Some(&mut observer),
                 metrics: metrics_sink.as_mut().map(|m| m as &mut dyn MetricsSink),
+                checkpoint_extra: None,
             },
         )
         .unwrap_or_else(|e| fail(e));

@@ -28,9 +28,10 @@
 //! ```text
 //! armdse-checkpoint v1
 //! fingerprint=<16 hex digits>   # FNV-1a over the plan (space, configs,
-//!                               # seed, scale, apps, pins) — threads and
-//!                               # chunk size excluded: they must not
-//!                               # change results
+//!                               # seed, scale, apps, pins, explicit
+//!                               # config indices) — threads and chunk
+//!                               # size excluded: they must not change
+//!                               # results
 //! jobs_done=<n>                 # always a chunk boundary
 //! rows=<n>                      # validated rows streamed so far
 //! discarded=<n>                 # validation-failed runs so far
@@ -38,6 +39,16 @@
 //!
 //! Resuming validates the fingerprint against the live plan and
 //! continues from `jobs_done`; resuming a completed run is a no-op.
+//!
+//! A **v2** checkpoint extends v1 with a free-form section of
+//! `key=value` lines after the four fixed fields (keys must not collide
+//! with the fixed field names). The engine itself never interprets the
+//! section — it persists whatever [`RunControl::checkpoint_extra`]
+//! carries and [`Checkpoint::load`] hands it back. The adaptive
+//! [`crate::explorer::Explorer`] stores its exploration state there
+//! (acquisition RNG, selection history, per-round model hashes; see
+//! DESIGN.md §12). A file with an empty section is written in the v1
+//! format, so plain campaigns keep byte-identical checkpoints.
 
 use crate::config::DesignConfig;
 use crate::dataset::{write_csv_header, write_csv_row, DiscardedRun, DseDataset, Row};
@@ -73,6 +84,12 @@ pub struct RunPlan {
     apps: Vec<App>,
     pins: Vec<(String, f64)>,
     chunk_jobs: usize,
+    /// Explicit config indices: when set, config slot `i` samples with
+    /// `seed + indices[i]` instead of `seed + i`, so a plan can target
+    /// an arbitrary subset of a candidate pool (the adaptive explorer's
+    /// per-round batches) while every design point stays identical to
+    /// the one a full sweep would have produced at that index.
+    indices: Option<Vec<u64>>,
 }
 
 impl RunPlan {
@@ -118,7 +135,21 @@ impl RunPlan {
             apps,
             pins: pins.iter().map(|(n, v)| (n.to_string(), *v)).collect(),
             chunk_jobs: DEFAULT_CHUNK_JOBS,
+            indices: None,
         })
+    }
+
+    /// Restrict the plan to explicit config indices into the seeded
+    /// candidate stream: config slot `i` samples with `seed +
+    /// indices[i]`, and `configs` becomes `indices.len()`. An empty
+    /// index list is rejected for the same reason `configs == 0` is.
+    pub fn with_config_indices(mut self, indices: Vec<u64>) -> Result<RunPlan, ArmdseError> {
+        if indices.is_empty() {
+            return Err(ArmdseError::InvalidPlan("empty config index list".into()));
+        }
+        self.configs = indices.len();
+        self.indices = Some(indices);
+        Ok(self)
     }
 
     /// Override the chunk size (jobs per checkpointable unit). Values
@@ -175,14 +206,24 @@ impl RunPlan {
     /// either may legitimately differ between a run and its resume.
     pub fn fingerprint(&self) -> u64 {
         let encoded = format!(
-            "{:?}|{}|{}|{:?}|{:?}|{:?}",
-            self.space, self.configs, self.seed, self.scale, self.apps, self.pins
+            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}",
+            self.space, self.configs, self.seed, self.scale, self.apps, self.pins, self.indices
         );
         fnv1a64(encoded.as_bytes())
     }
+
+    /// The seed offset config slot `cfg_idx` samples with: the explicit
+    /// index when [`RunPlan::with_config_indices`] set one, the slot
+    /// number otherwise.
+    fn config_offset(&self, cfg_idx: usize) -> u64 {
+        match &self.indices {
+            Some(indices) => indices[cfg_idx],
+            None => cfg_idx as u64,
+        }
+    }
 }
 
-fn fnv1a64(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= u64::from(b);
@@ -282,7 +323,7 @@ impl RowSink for CsvSink {
 }
 
 /// Persistent campaign position (see the module docs for the format).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Checkpoint {
     /// Plan fingerprint the position belongs to.
     pub fingerprint: u64,
@@ -292,29 +333,56 @@ pub struct Checkpoint {
     pub rows: usize,
     /// Discarded runs so far.
     pub discarded: usize,
+    /// Caller-owned `key=value` section (empty for plain campaigns; the
+    /// adaptive explorer persists its exploration state here). Keys must
+    /// not contain `=` or newlines and must not collide with the fixed
+    /// field names; values must not contain newlines.
+    pub extra: Vec<(String, String)>,
 }
 
-const CHECKPOINT_MAGIC: &str = "armdse-checkpoint v1";
+const CHECKPOINT_MAGIC_V1: &str = "armdse-checkpoint v1";
+const CHECKPOINT_MAGIC_V2: &str = "armdse-checkpoint v2";
+const FIXED_FIELDS: [&str; 4] = ["fingerprint", "jobs_done", "rows", "discarded"];
 
 impl Checkpoint {
-    /// Atomically persist to `path` (temp file + rename).
+    /// Atomically persist to `path` (temp file + rename). An empty
+    /// `extra` section writes the v1 format byte-for-byte; a non-empty
+    /// one writes v2 with the section appended after the fixed fields.
     pub fn save(&self, path: &Path) -> Result<(), ArmdseError> {
         let tmp = path.with_extension("ckpt.tmp");
-        let body = format!(
-            "{CHECKPOINT_MAGIC}\nfingerprint={:016x}\njobs_done={}\nrows={}\ndiscarded={}\n",
+        let magic = if self.extra.is_empty() {
+            CHECKPOINT_MAGIC_V1
+        } else {
+            CHECKPOINT_MAGIC_V2
+        };
+        let mut body = format!(
+            "{magic}\nfingerprint={:016x}\njobs_done={}\nrows={}\ndiscarded={}\n",
             self.fingerprint, self.jobs_done, self.rows, self.discarded
         );
+        for (k, v) in &self.extra {
+            debug_assert!(
+                !k.contains(['=', '\n'])
+                    && !v.contains('\n')
+                    && !FIXED_FIELDS.contains(&k.as_str()),
+                "invalid checkpoint extra key/value: {k}={v}"
+            );
+            body.push_str(k);
+            body.push('=');
+            body.push_str(v);
+            body.push('\n');
+        }
         std::fs::write(&tmp, body)?;
         std::fs::rename(&tmp, path).map_err(ArmdseError::from)
     }
 
-    /// Load and parse a checkpoint file.
+    /// Load and parse a checkpoint file (v1 or v2).
     pub fn load(path: &Path) -> Result<Checkpoint, ArmdseError> {
         let body = std::fs::read_to_string(path)?;
         let mut lines = body.lines();
-        if lines.next() != Some(CHECKPOINT_MAGIC) {
+        let magic = lines.next();
+        if magic != Some(CHECKPOINT_MAGIC_V1) && magic != Some(CHECKPOINT_MAGIC_V2) {
             return Err(ArmdseError::Checkpoint(format!(
-                "{}: not an armdse v1 checkpoint",
+                "{}: not an armdse v1/v2 checkpoint",
                 path.display()
             )));
         }
@@ -341,12 +409,31 @@ impl Checkpoint {
         let discarded = field("discarded")?
             .parse()
             .map_err(|_| parse_err("discarded"))?;
+        let mut extra = Vec::new();
+        for line in lines {
+            let (k, v) = line.split_once('=').ok_or_else(|| {
+                ArmdseError::Checkpoint(format!(
+                    "{}: malformed extra line '{line}'",
+                    path.display()
+                ))
+            })?;
+            extra.push((k.to_string(), v.to_string()));
+        }
         Ok(Checkpoint {
             fingerprint,
             jobs_done,
             rows,
             discarded,
+            extra,
         })
+    }
+
+    /// Look up a key in the extra section.
+    pub fn extra_get(&self, key: &str) -> Option<&str> {
+        self.extra
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -388,6 +475,10 @@ pub struct RunControl<'a> {
     /// [`SimStats`]. When `None` (the default), no counter is allocated
     /// and the run path is byte-for-byte the plain one.
     pub metrics: Option<&'a mut dyn MetricsSink>,
+    /// Caller state persisted verbatim into every checkpoint's v2
+    /// section (see [`Checkpoint::extra`]). `None` or an empty slice
+    /// keeps the v1 on-disk format.
+    pub checkpoint_extra: Option<&'a [(String, String)]>,
 }
 
 /// Outcome of [`Engine::run_controlled`].
@@ -577,6 +668,7 @@ impl Engine {
                     jobs_done: done,
                     rows: prior_rows + rows,
                     discarded: prior_discarded + discarded,
+                    extra: ctl.checkpoint_extra.unwrap_or(&[]).to_vec(),
                 }
                 .save(path)?;
             }
@@ -642,7 +734,7 @@ impl Engine {
                         let app = plan.apps[job % plan.apps.len()];
                         let cfg = plan
                             .space
-                            .sample_seeded_pinned(plan.seed + cfg_idx as u64, &pins);
+                            .sample_seeded_pinned(plan.seed + plan.config_offset(cfg_idx), &pins);
                         let (result, metrics_row) = if with_metrics {
                             let (r, m) = self.run_job_metrics(app, job, cfg_idx, plan.scale, &cfg);
                             (r, Some(m))
@@ -843,10 +935,38 @@ mod tests {
             jobs_done: 42,
             rows: 40,
             discarded: 2,
+            extra: Vec::new(),
         };
         let path = std::env::temp_dir().join("armdse_engine_ckpt_roundtrip.ckpt");
         c.save(&path).unwrap();
         assert_eq!(Checkpoint::load(&path).unwrap(), c);
+        // Empty extra writes the v1 format byte-for-byte.
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("armdse-checkpoint v1\n"));
+        assert_eq!(body.lines().count(), 5);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_v2_extra_section_roundtrips() {
+        let c = Checkpoint {
+            fingerprint: 0xF00D,
+            jobs_done: 8,
+            rows: 8,
+            discarded: 0,
+            extra: vec![
+                ("explore.round".into(), "3".into()),
+                ("explore.selected".into(), "4,17,102".into()),
+            ],
+        };
+        let path = std::env::temp_dir().join("armdse_engine_ckpt_v2_roundtrip.ckpt");
+        c.save(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("armdse-checkpoint v2\n"));
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded, c);
+        assert_eq!(loaded.extra_get("explore.round"), Some("3"));
+        assert_eq!(loaded.extra_get("no.such.key"), None);
         std::fs::remove_file(&path).ok();
     }
 
@@ -858,6 +978,7 @@ mod tests {
             jobs_done: 2,
             rows: 2,
             discarded: 0,
+            extra: Vec::new(),
         }
         .save(&path)
         .unwrap();
@@ -1042,6 +1163,35 @@ mod tests {
         )
         .unwrap();
         assert_eq!(plain, observed, "metrics must be transparent");
+    }
+
+    #[test]
+    fn explicit_indices_reproduce_the_full_sweep_rows() {
+        // A plan restricted to indices {1, 3} must emit exactly the rows
+        // the full sweep produced for configs 1 and 3, in that order.
+        let e = Engine::idealized();
+        let mut full = DseDataset::default();
+        e.run(&plan(4, 2), &mut full).unwrap();
+        let sub = plan(4, 2).with_config_indices(vec![1, 3]).unwrap();
+        assert_eq!(sub.configs(), 2);
+        let mut picked = DseDataset::default();
+        e.run(&sub, &mut picked).unwrap();
+        let apps = 2; // Stream + TeaLeaf
+        let expect: Vec<_> = [1usize, 3]
+            .iter()
+            .flat_map(|&c| full.rows[c * apps..(c + 1) * apps].to_vec())
+            .collect();
+        assert_eq!(picked.rows, expect);
+        // And the subset plan has its own checkpoint identity.
+        assert_ne!(sub.fingerprint(), plan(2, 2).fingerprint());
+    }
+
+    #[test]
+    fn empty_index_list_is_an_invalid_plan() {
+        assert!(matches!(
+            plan(4, 1).with_config_indices(Vec::new()),
+            Err(ArmdseError::InvalidPlan(_))
+        ));
     }
 
     #[test]

@@ -18,6 +18,9 @@ pub enum ArmdseError {
     /// A checkpoint file was missing a field, malformed, or belongs to
     /// a different plan.
     Checkpoint(String),
+    /// Adaptive exploration failed (inconsistent resume state, replayed
+    /// model hash mismatch, corrupt curve artifact, ...).
+    Explore(String),
     /// An I/O failure while streaming rows or persisting a checkpoint.
     Io(io::Error),
 }
@@ -27,6 +30,7 @@ impl fmt::Display for ArmdseError {
         match self {
             ArmdseError::InvalidPlan(m) => write!(f, "invalid plan: {m}"),
             ArmdseError::Checkpoint(m) => write!(f, "checkpoint error: {m}"),
+            ArmdseError::Explore(m) => write!(f, "exploration error: {m}"),
             ArmdseError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }

@@ -1,0 +1,1073 @@
+//! Surrogate-guided adaptive exploration atop the [`Engine`].
+//!
+//! The paper's workflow simulates a *fixed* random sweep (T2) and only
+//! then trains its surrogate (T3). The [`Explorer`] closes that loop:
+//! it alternates small simulation batches with incremental surrogate
+//! refits, and lets the surrogate's own uncertainty decide which design
+//! points are worth the next batch of simulator time. The payoff is
+//! sample efficiency — `tests/explorer_efficiency.rs` pins that a
+//! budget of N/10 adaptive simulations reaches ≥0.95× the held-out R²
+//! of the full N-point sweep.
+//!
+//! ## The acquire → simulate → retrain loop
+//!
+//! A candidate pool of `pool` design points is fixed up front: candidate
+//! `i` is exactly the config a full sweep would sample at index `i`
+//! (`space.sample_seeded(seed + i)`), so adaptive and fixed campaigns
+//! draw from the same population. Each round:
+//!
+//! 1. **Acquire** — score every not-yet-simulated candidate and select
+//!    the next batch (see *Acquisition* below).
+//! 2. **Simulate** — run the batch through the engine as a plan with
+//!    explicit config indices ([`RunPlan::with_config_indices`]),
+//!    streaming rows into `explore_dataset.csv`.
+//! 3. **Retrain** — [`RandomForest::partial_refit`] on all rows so far,
+//!    then evaluate the refreshed surrogate on a held-out set
+//!    (candidates `pool..pool + holdout`, simulated once up front) and
+//!    append one point to the accuracy-vs-samples curve
+//!    (`explore_curve.csv`, plus `explore_curve.json` on completion).
+//!
+//! ## Acquisition
+//!
+//! With predictions `p_i` and ensemble standard deviations `s_i` from
+//! [`RandomForest::predict_variance`]:
+//!
+//! ```text
+//! exploit_i = (max_j p_j − p_i) / (max_j p_j − min_j p_j)   // fast is good
+//! explore_i = s_i / max_j s_j                               // uncertain is good
+//! score_i   = (1 − ε) · exploit_i + ε · explore_i
+//! ```
+//!
+//! with ε following the schedule `ε(r) = max(ε_min, ε₀ · d^r)`. Both
+//! terms are defined as 0 when their denominator is 0 (all predictions
+//! equal / all trees agree), so scores are always finite. The batch is
+//! the top-k by `(score desc, candidate id asc)` — a total order, so
+//! selection is invariant under any permutation of the candidate pool —
+//! plus `⌊ε · batch / 2⌋` uniform-random picks from the remainder (the
+//! schedule's exploration floor never goes fully greedy). In Pareto
+//! mode the exploit term is replaced by non-dominated rank over
+//! (predicted cycles, [`structure_cost`]), steering the batch toward
+//! the predicted throughput/area frontier instead of raw speed.
+//!
+//! ## Determinism and resume
+//!
+//! Everything downstream of the seed is deterministic: engine rows are
+//! byte-identical at any thread count, [`RandomForest::partial_refit`]
+//! draws per-(round, tree) RNG streams, the acquisition RNG is a
+//! counted xoshiro stream whose 256-bit state is persisted, and
+//! selection breaks ties by candidate id. Exploration state rides in
+//! the checkpoint's v2 `extra` section (`explore.*` keys: options
+//! fingerprint, round, RNG state, selection cursor + history, per-round
+//! model hashes, curve length), so a run paused mid-round via the
+//! observer hook resumes to byte-identical artifacts — the resumed
+//! forest is rebuilt by replaying the refit history against the
+//! recorded model hashes, and a mismatch is an [`ArmdseError::Explore`]
+//! rather than a silently different model. `tests/explorer_resume.rs`
+//! pins the whole guarantee at 1 and 8 threads.
+
+use crate::dataset::{DseDataset, Row};
+use crate::engine::{
+    fnv1a64, Checkpoint, CsvSink, Engine, Progress, RowSink, RunControl, RunPlan,
+    DEFAULT_CHUNK_JOBS,
+};
+use crate::error::ArmdseError;
+use crate::orchestrator::GenOptions;
+use crate::space::ParamSpace;
+use armdse_kernels::{App, WorkloadScale};
+use armdse_mltree::{mae, r2, ForestParams, Matrix, RandomForest, Regressor};
+use armdse_rng::{Rng, SeedableRng, Xoshiro256pp};
+use std::path::{Path, PathBuf};
+
+/// Feature indices summed by [`structure_cost`]: the sized hardware
+/// structures of the paper's design space (loop buffer, issue-queue and
+/// register-file group, commit/frontend/LSQ widths, ROB, LQ, SQ) —
+/// everything whose growth costs area and power, excluding latencies
+/// and cache geometry.
+const COST_FEATURES: std::ops::RangeInclusive<usize> = 2..=12;
+
+/// A proxy for the hardware cost of a design point: the sum of its
+/// sized-structure features (`COST_FEATURES`). Monotone in every
+/// structure size, which is all Pareto ranking needs.
+pub fn structure_cost(features: &[f64; 30]) -> f64 {
+    features[COST_FEATURES].iter().sum()
+}
+
+/// Mix exploitation and exploration into one acquisition score per
+/// candidate. `preds` are predicted cycle counts (lower is better),
+/// `stds` the matching ensemble standard deviations, `eps ∈ [0, 1]` the
+/// exploration weight. Degenerate denominators (all predictions equal,
+/// all trees in agreement) contribute 0, so every score is finite.
+pub fn acquisition_scores(preds: &[f64], stds: &[f64], eps: f64) -> Vec<f64> {
+    assert_eq!(preds.len(), stds.len());
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &p in preds {
+        lo = lo.min(p);
+        hi = hi.max(p);
+    }
+    let span = hi - lo;
+    let max_std = stds.iter().cloned().fold(0.0f64, f64::max);
+    preds
+        .iter()
+        .zip(stds)
+        .map(|(&p, &s)| {
+            let exploit = if span > 0.0 { (hi - p) / span } else { 0.0 };
+            let explore = if max_std > 0.0 { s / max_std } else { 0.0 };
+            (1.0 - eps) * exploit + eps * explore
+        })
+        .collect()
+}
+
+/// Top-`k` candidate ids by `(score desc, id asc)`. The tiebreak makes
+/// the order total, so the result is invariant under any permutation of
+/// the `(id, score)` pairs (pinned by `tests/explorer_acquisition.rs`).
+pub fn select_top_k(ids: &[u64], scores: &[f64], k: usize) -> Vec<u64> {
+    assert_eq!(ids.len(), scores.len());
+    let mut order: Vec<usize> = (0..ids.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("acquisition scores are finite")
+            .then(ids[a].cmp(&ids[b]))
+    });
+    order.into_iter().take(k).map(|i| ids[i]).collect()
+}
+
+/// Non-dominated sorting rank (both objectives minimised): rank 0 is
+/// the Pareto frontier, rank 1 the frontier after removing rank 0, and
+/// so on. Quadratic per rank — pools are thousands of points, not
+/// millions.
+pub fn pareto_ranks(objectives: &[(f64, f64)]) -> Vec<usize> {
+    let n = objectives.len();
+    let mut rank = vec![usize::MAX; n];
+    let mut assigned = 0usize;
+    let mut current = 0usize;
+    while assigned < n {
+        let mut frontier = Vec::new();
+        'outer: for i in 0..n {
+            if rank[i] != usize::MAX {
+                continue;
+            }
+            let (ai, bi) = objectives[i];
+            for j in 0..n {
+                if i == j || rank[j] != usize::MAX {
+                    continue;
+                }
+                let (aj, bj) = objectives[j];
+                // j dominates i: no worse in both, strictly better in one.
+                if aj <= ai && bj <= bi && (aj < ai || bj < bi) {
+                    continue 'outer;
+                }
+            }
+            frontier.push(i);
+        }
+        assert!(!frontier.is_empty(), "non-dominated front cannot be empty");
+        for i in frontier {
+            rank[i] = current;
+            assigned += 1;
+        }
+        current += 1;
+    }
+    rank
+}
+
+/// Exploration-weight schedule: `max(eps_min, eps0 · decay^round)`.
+fn epsilon(opts: &ExploreOptions, round: usize) -> f64 {
+    (opts.eps0 * opts.eps_decay.powi(round as i32)).max(opts.eps_min)
+}
+
+/// Adaptive-exploration configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreOptions {
+    /// Application whose surrogate guides the search.
+    pub app: App,
+    /// Workload input scale.
+    pub scale: WorkloadScale,
+    /// Base seed: candidate `i` is `space.sample_seeded(seed + i)`.
+    pub seed: u64,
+    /// Candidate pool size (the "full sweep" population).
+    pub pool: usize,
+    /// Total simulation budget (candidates actually simulated).
+    pub budget: usize,
+    /// Simulations per acquire→simulate→retrain round.
+    pub batch: usize,
+    /// Held-out evaluation points (candidates `pool..pool + holdout`).
+    pub holdout: usize,
+    /// Engine worker threads (never changes the output).
+    pub threads: usize,
+    /// Two-objective mode: steer acquisition toward the predicted
+    /// (cycles, structure-cost) Pareto frontier.
+    pub pareto: bool,
+    /// Features pinned to fixed values by name (the paper's Figs. 4/5
+    /// pin Vector-Length): candidates vary only in the unpinned
+    /// dimensions, which is also how a study makes a small budget
+    /// saturate the surrogate.
+    pub pins: Vec<(String, f64)>,
+    /// Surrogate hyper-parameters.
+    pub forest: ForestParams,
+    /// Initial exploration weight ε₀.
+    pub eps0: f64,
+    /// Exploration floor ε_min.
+    pub eps_min: f64,
+    /// Per-round decay of ε.
+    pub eps_decay: f64,
+    /// Engine jobs per checkpointable chunk.
+    pub chunk_jobs: usize,
+}
+
+impl ExploreOptions {
+    /// Defaults sized for a quick adaptive run on one app.
+    pub fn for_app(app: App) -> ExploreOptions {
+        ExploreOptions {
+            app,
+            scale: WorkloadScale::Tiny,
+            seed: 42,
+            pool: 240,
+            budget: 48,
+            batch: 12,
+            holdout: 40,
+            threads: 1,
+            pareto: false,
+            pins: Vec::new(),
+            forest: ForestParams::default(),
+            eps0: 0.5,
+            eps_min: 0.05,
+            eps_decay: 0.7,
+            chunk_jobs: DEFAULT_CHUNK_JOBS,
+        }
+    }
+
+    fn validate(&self) -> Result<(), ArmdseError> {
+        let bad = |m: &str| Err(ArmdseError::InvalidPlan(m.into()));
+        if self.pool == 0 || self.budget == 0 || self.batch == 0 || self.holdout == 0 {
+            return bad("pool, budget, batch, and holdout must all be > 0");
+        }
+        if self.budget > self.pool {
+            return bad("budget exceeds the candidate pool");
+        }
+        if self.batch > self.budget {
+            return bad("batch exceeds the budget");
+        }
+        if !(0.0..=1.0).contains(&self.eps0) || !(0.0..=1.0).contains(&self.eps_min) {
+            return bad("eps0 and eps_min must be in [0, 1]");
+        }
+        if !(self.eps_decay > 0.0 && self.eps_decay <= 1.0) {
+            return bad("eps_decay must be in (0, 1]");
+        }
+        Ok(())
+    }
+
+    /// Rounds in the schedule (the last may be smaller than `batch`).
+    pub fn rounds(&self) -> usize {
+        self.budget.div_ceil(self.batch)
+    }
+
+    /// Batch size of round `r`.
+    fn round_size(&self, r: usize) -> usize {
+        self.batch.min(self.budget - r * self.batch)
+    }
+}
+
+/// Progress snapshot handed to the explorer's observer after every
+/// engine chunk. Returning `false` from the observer pauses the run at
+/// that chunk boundary; `--resume` picks up from the checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreProgress {
+    /// Current round (0-based).
+    pub round: usize,
+    /// Total rounds in the schedule.
+    pub rounds: usize,
+    /// Validated rows accumulated across all rounds so far.
+    pub samples: usize,
+    /// Total simulation budget.
+    pub budget: usize,
+    /// Jobs done within the current round's engine run.
+    pub jobs_done: usize,
+    /// Jobs in the current round.
+    pub round_jobs: usize,
+}
+
+/// Per-run control for [`Explorer::run`].
+#[derive(Default)]
+pub struct ExploreControl<'a> {
+    /// Continue from `explore.ckpt` in the output directory.
+    pub resume: bool,
+    /// Called after each engine chunk; `false` pauses the exploration.
+    pub observer: Option<&'a mut dyn FnMut(&ExploreProgress) -> bool>,
+}
+
+/// One accuracy-vs-samples curve point (a row of `explore_curve.csv`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CurvePoint {
+    /// Round index.
+    pub round: usize,
+    /// Rows accumulated when the round's refit ran.
+    pub samples: usize,
+    /// Exploration weight used by the round's selection.
+    pub epsilon: f64,
+    /// Held-out R² of the refreshed surrogate.
+    pub r2: f64,
+    /// Held-out mean absolute error (cycles).
+    pub mae: f64,
+    /// FNV-1a over the surrogate's held-out prediction bits — the
+    /// replay-verification fingerprint of the model after this round.
+    pub model_hash: u64,
+}
+
+/// Outcome of an exploration (possibly paused).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExploreReport {
+    /// Whether every round ran to completion.
+    pub completed: bool,
+    /// Rounds fully finished (simulated + refit + curve point).
+    pub rounds_done: usize,
+    /// Validated rows accumulated.
+    pub samples: usize,
+    /// All selected candidate indices, in selection order.
+    pub selected: Vec<u64>,
+    /// The accuracy-vs-samples curve so far.
+    pub curve: Vec<CurvePoint>,
+}
+
+impl ExploreReport {
+    /// Held-out R² after the last completed round.
+    pub fn final_r2(&self) -> f64 {
+        self.curve.last().map_or(f64::NAN, |p| p.r2)
+    }
+
+    /// Held-out MAE after the last completed round.
+    pub fn final_mae(&self) -> f64 {
+        self.curve.last().map_or(f64::NAN, |p| p.mae)
+    }
+}
+
+/// Checkpoint `extra` keys owned by the explorer.
+mod keys {
+    pub const PLAN: &str = "explore.plan";
+    pub const ROUND: &str = "explore.round";
+    pub const RNG: &str = "explore.rng";
+    pub const CURSOR: &str = "explore.cursor";
+    pub const SELECTED: &str = "explore.selected";
+    pub const HASHES: &str = "explore.hashes";
+    pub const CURVE_ROWS: &str = "explore.curve_rows";
+    pub const DONE: &str = "explore.done";
+}
+
+const CURVE_HEADER: &str = "round,samples,epsilon,r2,mae,model_hash";
+
+/// The adaptive explorer: owns the loop, the artifacts, and the
+/// checkpointed exploration state; borrows an [`Engine`] for the
+/// simulations.
+pub struct Explorer<'e> {
+    engine: &'e Engine,
+    space: ParamSpace,
+    opts: ExploreOptions,
+    out_dir: PathBuf,
+}
+
+/// Mutable loop state, shared between the fresh and resumed paths.
+struct LoopState {
+    rows: Vec<Row>,
+    discarded: usize,
+    selected: Vec<u64>,
+    hashes: Vec<u64>,
+    curve: Vec<CurvePoint>,
+    rng: Xoshiro256pp,
+    forest: RandomForest,
+    round: usize,
+    /// Whether the current round's batch is already selected and its
+    /// engine checkpoint written (resume landed mid-round).
+    mid_round: bool,
+}
+
+impl<'e> Explorer<'e> {
+    /// Validate `opts` into an explorer writing artifacts under
+    /// `out_dir` (which must already exist).
+    pub fn new(
+        engine: &'e Engine,
+        space: &ParamSpace,
+        opts: ExploreOptions,
+        out_dir: &Path,
+    ) -> Result<Explorer<'e>, ArmdseError> {
+        opts.validate()?;
+        Ok(Explorer {
+            engine,
+            space: space.clone(),
+            opts,
+            out_dir: out_dir.to_path_buf(),
+        })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.out_dir.join(name)
+    }
+
+    /// Identity of this exploration: the space plus every option that
+    /// affects results. Threads and chunk size are excluded for the
+    /// same reason [`RunPlan::fingerprint`] excludes them — they must
+    /// never change the artifacts, so either may differ between a run
+    /// and its resume.
+    fn options_fingerprint(&self) -> u64 {
+        let o = &self.opts;
+        let encoded = format!(
+            "{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}",
+            self.space,
+            o.app,
+            o.scale,
+            o.seed,
+            o.pool,
+            o.budget,
+            o.batch,
+            o.holdout,
+            o.pareto,
+            o.pins,
+            o.forest,
+            o.eps0,
+            o.eps_min,
+            o.eps_decay
+        );
+        fnv1a64(encoded.as_bytes())
+    }
+
+    /// Feature vectors of the candidate pool, by candidate id. Must
+    /// sample exactly as the engine does so surrogate features match
+    /// the simulated rows bit-for-bit.
+    fn candidate_features(&self) -> Vec<[f64; 30]> {
+        let pins = self.pins_ref();
+        (0..self.opts.pool)
+            .map(|i| {
+                self.space
+                    .sample_seeded_pinned(self.opts.seed + i as u64, &pins)
+                    .to_features()
+            })
+            .collect()
+    }
+
+    fn pins_ref(&self) -> Vec<(&str, f64)> {
+        self.opts
+            .pins
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect()
+    }
+
+    /// Simulate the held-out evaluation set (candidates `pool..pool +
+    /// holdout`). Deterministic, so resume recomputes it instead of
+    /// persisting it.
+    fn simulate_holdout(&self) -> Result<(Matrix, Vec<f64>), ArmdseError> {
+        let indices: Vec<u64> =
+            (self.opts.pool as u64..(self.opts.pool + self.opts.holdout) as u64).collect();
+        let plan = self.plan_for(&indices)?;
+        let mut data = DseDataset::default();
+        self.engine.run(&plan, &mut data)?;
+        if data.rows.is_empty() {
+            return Err(ArmdseError::Explore(
+                "every held-out candidate failed validation".into(),
+            ));
+        }
+        let mut x = Matrix::new(30);
+        let mut y = Vec::with_capacity(data.rows.len());
+        for r in &data.rows {
+            x.push_row(&r.features);
+            y.push(r.cycles as f64);
+        }
+        Ok((x, y))
+    }
+
+    fn plan_for(&self, indices: &[u64]) -> Result<RunPlan, ArmdseError> {
+        let gen = GenOptions {
+            configs: indices.len(),
+            scale: self.opts.scale,
+            seed: self.opts.seed,
+            threads: self.opts.threads,
+            apps: vec![self.opts.app],
+        };
+        RunPlan::pinned(&self.space, &gen, &self.pins_ref())?
+            .with_config_indices(indices.to_vec())
+            .map(|p| p.with_chunk_jobs(self.opts.chunk_jobs))
+    }
+
+    /// Select round `round`'s batch from the not-yet-simulated pool.
+    /// Round 0 has no model, so it samples uniformly; later rounds take
+    /// the acquisition top-k plus an ε-scheduled random remainder.
+    fn select_round(
+        &self,
+        round: usize,
+        state: &mut LoopState,
+        features: &[[f64; 30]],
+    ) -> Vec<u64> {
+        let size = self.opts.round_size(round);
+        let mut remaining: Vec<u64> = (0..self.opts.pool as u64)
+            .filter(|i| !state.selected.contains(i))
+            .collect();
+        let mut picks = Vec::with_capacity(size);
+        if round > 0 {
+            let eps = epsilon(&self.opts, round);
+            let preds: Vec<f64> = remaining
+                .iter()
+                .map(|&i| state.forest.predict_one(&features[i as usize]))
+                .collect();
+            let stds: Vec<f64> = remaining
+                .iter()
+                .map(|&i| state.forest.predict_variance(&features[i as usize]).sqrt())
+                .collect();
+            let scores = if self.opts.pareto {
+                // Rank-based exploit: prefer points predicted to sit on
+                // the (cycles, structure-cost) frontier.
+                let objs: Vec<(f64, f64)> = remaining
+                    .iter()
+                    .zip(&preds)
+                    .map(|(&i, &p)| (p, structure_cost(&features[i as usize])))
+                    .collect();
+                let ranks = pareto_ranks(&objs);
+                let max_rank = ranks.iter().copied().max().unwrap_or(0).max(1) as f64;
+                let max_std = stds.iter().cloned().fold(0.0f64, f64::max);
+                ranks
+                    .iter()
+                    .zip(&stds)
+                    .map(|(&rk, &s)| {
+                        let exploit = 1.0 - rk as f64 / max_rank;
+                        let explore = if max_std > 0.0 { s / max_std } else { 0.0 };
+                        (1.0 - eps) * exploit + eps * explore
+                    })
+                    .collect()
+            } else {
+                acquisition_scores(&preds, &stds, eps)
+            };
+            let n_rand = (((eps * size as f64) / 2.0).floor() as usize).min(size.saturating_sub(1));
+            let greedy = select_top_k(&remaining, &scores, size - n_rand);
+            remaining.retain(|i| !greedy.contains(i));
+            picks.extend(greedy);
+        }
+        while picks.len() < size {
+            let j = state.rng.gen_range(0..remaining.len());
+            picks.push(remaining.swap_remove(j));
+        }
+        picks
+    }
+
+    fn checkpoint_extra(&self, state: &LoopState, done: bool) -> Vec<(String, String)> {
+        let join_u64 = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
+        let rng_state = state.rng.state();
+        let mut extra = vec![
+            (
+                keys::PLAN.into(),
+                format!("{:016x}", self.options_fingerprint()),
+            ),
+            (keys::ROUND.into(), state.round.to_string()),
+            (
+                keys::RNG.into(),
+                format!(
+                    "{:016x},{:016x},{:016x},{:016x}",
+                    rng_state[0], rng_state[1], rng_state[2], rng_state[3]
+                ),
+            ),
+            (keys::CURSOR.into(), state.selected.len().to_string()),
+            (keys::SELECTED.into(), join_u64(&state.selected)),
+            (
+                keys::HASHES.into(),
+                state
+                    .hashes
+                    .iter()
+                    .map(|h| format!("{h:016x}"))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+            (keys::CURVE_ROWS.into(), state.curve.len().to_string()),
+        ];
+        if done {
+            extra.push((keys::DONE.into(), "1".into()));
+        }
+        extra
+    }
+
+    /// Refit on everything simulated so far and append a curve point.
+    fn refit_and_score(
+        &self,
+        state: &mut LoopState,
+        holdout: &(Matrix, Vec<f64>),
+    ) -> Result<(), ArmdseError> {
+        if state.rows.is_empty() {
+            return Err(ArmdseError::Explore(
+                "round produced no validated rows to train on".into(),
+            ));
+        }
+        let mut x = Matrix::new(30);
+        let mut y = Vec::with_capacity(state.rows.len());
+        for r in &state.rows {
+            x.push_row(&r.features);
+            y.push(r.cycles as f64);
+        }
+        state.forest.partial_refit(&x, &y, state.round as u64);
+        if state.round + 1 == self.opts.rounds() {
+            // Finalize: a second consecutive half-refresh on the same
+            // data covers the remaining rotating window, so the final
+            // surrogate is entirely trained on the complete adaptive
+            // dataset (no stale trees in the reported model).
+            state.forest.partial_refit(&x, &y, state.round as u64 + 1);
+        }
+        let preds = state.forest.predict(&holdout.0);
+        let hash = model_hash(&preds);
+        let point = CurvePoint {
+            round: state.round,
+            samples: state.rows.len(),
+            epsilon: if state.round == 0 {
+                1.0
+            } else {
+                epsilon(&self.opts, state.round)
+            },
+            r2: r2(&preds, &holdout.1),
+            mae: mae(&preds, &holdout.1),
+            model_hash: hash,
+        };
+        append_curve_row(&self.path("explore_curve.csv"), &point)?;
+        state.hashes.push(hash);
+        state.curve.push(point);
+        Ok(())
+    }
+
+    /// Run (or resume) the exploration to completion or observer pause.
+    pub fn run(&self, mut ctl: ExploreControl<'_>) -> Result<ExploreReport, ArmdseError> {
+        let ckpt_path = self.path("explore.ckpt");
+        let dataset_path = self.path("explore_dataset.csv");
+        let curve_path = self.path("explore_curve.csv");
+
+        let holdout = self.simulate_holdout()?;
+        let features = self.candidate_features();
+
+        let mut state = if ctl.resume && ckpt_path.exists() {
+            let st = self.restore(&ckpt_path, &dataset_path, &curve_path, &holdout)?;
+            if let Some(st) = st {
+                st
+            } else {
+                // Checkpoint says the exploration already completed.
+                return self.completed_report(&ckpt_path);
+            }
+        } else {
+            // Fresh start: truncate every artifact.
+            CsvSink::create(&dataset_path)?;
+            std::fs::write(&curve_path, format!("{CURVE_HEADER}\n"))?;
+            std::fs::remove_file(&ckpt_path).ok();
+            LoopState {
+                rows: Vec::new(),
+                discarded: 0,
+                selected: Vec::new(),
+                hashes: Vec::new(),
+                curve: Vec::new(),
+                rng: Xoshiro256pp::seed_from_u64(self.opts.seed ^ ACQ_SEED_SALT),
+                forest: RandomForest::warm_start(self.opts.forest, self.opts.seed),
+                round: 0,
+                mid_round: false,
+            }
+        };
+
+        let rounds = self.opts.rounds();
+        while state.round < rounds {
+            let size = self.opts.round_size(state.round);
+            let round_sel: Vec<u64> = if state.mid_round {
+                state.mid_round = false;
+                state.selected[state.selected.len() - size..].to_vec()
+            } else {
+                let picks = self.select_round(state.round, &mut state, &features);
+                state.selected.extend(&picks);
+                // Persist position *before* the round's engine run so an
+                // interruption anywhere inside it resumes this round with
+                // this exact selection and post-selection RNG state.
+                Checkpoint {
+                    fingerprint: self.plan_for(&picks)?.fingerprint(),
+                    jobs_done: 0,
+                    rows: state.rows.len(),
+                    discarded: state.discarded,
+                    extra: self.checkpoint_extra(&state, false),
+                }
+                .save(&ckpt_path)?;
+                picks
+            };
+
+            let plan = self.plan_for(&round_sel)?;
+            let extra = self.checkpoint_extra(&state, false);
+            let mut sink = TeeSink {
+                csv: CsvSink::append(&dataset_path)?,
+                rows: &mut state.rows,
+            };
+            let (round, budget) = (state.round, self.opts.budget);
+            let mut paused = false;
+            let summary = {
+                let mut engine_obs = |p: &Progress| -> bool {
+                    let ep = ExploreProgress {
+                        round,
+                        rounds,
+                        samples: p.rows,
+                        budget,
+                        jobs_done: p.jobs_done,
+                        round_jobs: p.total_jobs,
+                    };
+                    let go = match ctl.observer.as_deref_mut() {
+                        Some(f) => f(&ep),
+                        None => true,
+                    };
+                    paused = !go;
+                    go
+                };
+                self.engine.run_controlled(
+                    &plan,
+                    &mut sink,
+                    RunControl {
+                        checkpoint: Some(&ckpt_path),
+                        resume: true,
+                        observer: Some(&mut engine_obs),
+                        metrics: None,
+                        checkpoint_extra: Some(&extra),
+                    },
+                )?
+            };
+            state.discarded += summary.discarded;
+            if !summary.completed || paused {
+                return Ok(ExploreReport {
+                    completed: false,
+                    rounds_done: state.curve.len(),
+                    samples: state.rows.len(),
+                    selected: state.selected.clone(),
+                    curve: state.curve.clone(),
+                });
+            }
+
+            self.refit_and_score(&mut state, &holdout)?;
+            state.round += 1;
+        }
+
+        // Final checkpoint marks completion (resume becomes a no-op),
+        // then the completion-only artifacts.
+        Checkpoint {
+            fingerprint: self.options_fingerprint(),
+            jobs_done: 0,
+            rows: state.rows.len(),
+            discarded: state.discarded,
+            extra: self.checkpoint_extra(&state, true),
+        }
+        .save(&ckpt_path)?;
+        self.write_curve_json(&state)?;
+        if self.opts.pareto {
+            self.write_pareto_csv(&state, &features)?;
+        }
+        Ok(ExploreReport {
+            completed: true,
+            rounds_done: state.curve.len(),
+            samples: state.rows.len(),
+            selected: state.selected,
+            curve: state.curve,
+        })
+    }
+
+    /// Rebuild loop state from the checkpoint: reload rows, truncate
+    /// the curve to the checkpointed length, replay the refit history
+    /// against the recorded model hashes, and restore the RNG. Returns
+    /// `None` when the checkpoint marks a completed exploration.
+    fn restore(
+        &self,
+        ckpt_path: &Path,
+        dataset_path: &Path,
+        curve_path: &Path,
+        holdout: &(Matrix, Vec<f64>),
+    ) -> Result<Option<LoopState>, ArmdseError> {
+        let ckpt = Checkpoint::load(ckpt_path)?;
+        let get = |key: &str| {
+            ckpt.extra_get(key).ok_or_else(|| {
+                ArmdseError::Explore(format!("checkpoint is missing exploration key {key}"))
+            })
+        };
+        let plan_fp = u64::from_str_radix(get(keys::PLAN)?, 16)
+            .map_err(|_| ArmdseError::Explore("unparsable explore.plan".into()))?;
+        if plan_fp != self.options_fingerprint() {
+            return Err(ArmdseError::Explore(format!(
+                "checkpoint belongs to a different exploration \
+                 ({plan_fp:016x} != {:016x}) — refusing to resume",
+                self.options_fingerprint()
+            )));
+        }
+        let round: usize = get(keys::ROUND)?
+            .parse()
+            .map_err(|_| ArmdseError::Explore("unparsable explore.round".into()))?;
+        let cursor: usize = get(keys::CURSOR)?
+            .parse()
+            .map_err(|_| ArmdseError::Explore("unparsable explore.cursor".into()))?;
+        let selected = parse_u64_list(get(keys::SELECTED)?, 10)?;
+        if selected.len() != cursor {
+            return Err(ArmdseError::Explore(format!(
+                "selection cursor {cursor} disagrees with {} recorded picks",
+                selected.len()
+            )));
+        }
+        let hashes = parse_u64_list(get(keys::HASHES)?, 16)?;
+        let curve_rows: usize = get(keys::CURVE_ROWS)?
+            .parse()
+            .map_err(|_| ArmdseError::Explore("unparsable explore.curve_rows".into()))?;
+        let mut rng_words = [0u64; 4];
+        let rng_text = get(keys::RNG)?;
+        let parts: Vec<&str> = rng_text.split(',').collect();
+        if parts.len() != 4 {
+            return Err(ArmdseError::Explore("unparsable explore.rng".into()));
+        }
+        for (w, p) in rng_words.iter_mut().zip(&parts) {
+            *w = u64::from_str_radix(p, 16)
+                .map_err(|_| ArmdseError::Explore("unparsable explore.rng".into()))?;
+        }
+
+        // Reload the accumulated rows; tolerate a dataset flushed one
+        // chunk past the checkpoint (sink durability runs ahead of the
+        // checkpoint write, never behind).
+        let mut data = DseDataset::load_csv(dataset_path).map_err(ArmdseError::Io)?;
+        if data.rows.len() < ckpt.rows {
+            return Err(ArmdseError::Explore(format!(
+                "dataset has {} rows but the checkpoint recorded {}",
+                data.rows.len(),
+                ckpt.rows
+            )));
+        }
+        if data.rows.len() > ckpt.rows {
+            data.rows.truncate(ckpt.rows);
+            data.save_csv(dataset_path)?;
+        }
+
+        // The curve is authoritative up to `curve_rows`; drop anything
+        // written after the checkpoint.
+        let curve = truncate_and_parse_curve(curve_path, curve_rows)?;
+        if curve.len() != hashes.len() {
+            return Err(ArmdseError::Explore(format!(
+                "{} curve points but {} model hashes",
+                curve.len(),
+                hashes.len()
+            )));
+        }
+
+        // Replay the refit history and verify each round's model hash.
+        let mut forest = RandomForest::warm_start(self.opts.forest, self.opts.seed);
+        for (q, point) in curve.iter().enumerate() {
+            if point.samples > data.rows.len() {
+                return Err(ArmdseError::Explore(format!(
+                    "curve round {q} trained on {} rows but only {} are on disk",
+                    point.samples,
+                    data.rows.len()
+                )));
+            }
+            let mut x = Matrix::new(30);
+            let mut y = Vec::with_capacity(point.samples);
+            for r in &data.rows[..point.samples] {
+                x.push_row(&r.features);
+                y.push(r.cycles as f64);
+            }
+            forest.partial_refit(&x, &y, q as u64);
+            if q + 1 == self.opts.rounds() {
+                // Mirror the finalizing refresh of the last round.
+                forest.partial_refit(&x, &y, q as u64 + 1);
+            }
+            let replayed = model_hash(&forest.predict(&holdout.0));
+            if replayed != point.model_hash {
+                return Err(ArmdseError::Explore(format!(
+                    "replayed model hash {replayed:016x} != recorded {:016x} at round {q} — \
+                     artifacts do not match this exploration",
+                    point.model_hash
+                )));
+            }
+        }
+
+        if ckpt.extra_get(keys::DONE).is_some() {
+            return Ok(None);
+        }
+        Ok(Some(LoopState {
+            rows: data.rows,
+            discarded: ckpt.discarded,
+            selected,
+            hashes,
+            curve,
+            rng: Xoshiro256pp::from_state(rng_words),
+            forest,
+            round,
+            mid_round: true,
+        }))
+    }
+
+    /// Report for a checkpoint that already marks completion: parse the
+    /// artifacts instead of re-running anything.
+    fn completed_report(&self, ckpt_path: &Path) -> Result<ExploreReport, ArmdseError> {
+        let ckpt = Checkpoint::load(ckpt_path)?;
+        let selected = parse_u64_list(ckpt.extra_get(keys::SELECTED).unwrap_or(""), 10)?;
+        let curve_rows: usize = ckpt
+            .extra_get(keys::CURVE_ROWS)
+            .unwrap_or("0")
+            .parse()
+            .map_err(|_| ArmdseError::Explore("unparsable explore.curve_rows".into()))?;
+        let curve = truncate_and_parse_curve(&self.path("explore_curve.csv"), curve_rows)?;
+        Ok(ExploreReport {
+            completed: true,
+            rounds_done: curve.len(),
+            samples: ckpt.rows,
+            selected,
+            curve,
+        })
+    }
+
+    fn write_curve_json(&self, state: &LoopState) -> Result<(), ArmdseError> {
+        let mut s = String::new();
+        s.push_str("{\n");
+        s.push_str(&format!("  \"app\": \"{}\",\n", self.opts.app.name()));
+        s.push_str(&format!("  \"scale\": \"{:?}\",\n", self.opts.scale));
+        s.push_str(&format!("  \"seed\": {},\n", self.opts.seed));
+        s.push_str(&format!("  \"pool\": {},\n", self.opts.pool));
+        s.push_str(&format!("  \"budget\": {},\n", self.opts.budget));
+        s.push_str(&format!("  \"batch\": {},\n", self.opts.batch));
+        s.push_str(&format!("  \"holdout\": {},\n", self.opts.holdout));
+        s.push_str(&format!("  \"pareto\": {},\n", self.opts.pareto));
+        s.push_str("  \"points\": [\n");
+        for (i, p) in state.curve.iter().enumerate() {
+            s.push_str(&format!(
+                "    {{\"round\": {}, \"samples\": {}, \"epsilon\": {}, \
+                 \"r2\": {}, \"mae\": {}, \"model_hash\": \"{:016x}\"}}{}\n",
+                p.round,
+                p.samples,
+                p.epsilon,
+                p.r2,
+                p.mae,
+                p.model_hash,
+                if i + 1 < state.curve.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        std::fs::write(self.path("explore_curve.json"), s).map_err(ArmdseError::from)
+    }
+
+    /// Pareto-mode completion artifact: the whole pool scored by the
+    /// final surrogate, with non-dominated rank over (predicted cycles,
+    /// structure cost) and a flag for the candidates actually simulated.
+    fn write_pareto_csv(
+        &self,
+        state: &LoopState,
+        features: &[[f64; 30]],
+    ) -> Result<(), ArmdseError> {
+        let objs: Vec<(f64, f64)> = features
+            .iter()
+            .map(|f| (state.forest.predict_one(f), structure_cost(f)))
+            .collect();
+        let ranks = pareto_ranks(&objs);
+        let mut s = String::from("candidate,pred_cycles,structure_cost,rank,selected\n");
+        for (i, ((pred, cost), rank)) in objs.iter().zip(&ranks).enumerate() {
+            s.push_str(&format!(
+                "{i},{pred:.3},{cost},{rank},{}\n",
+                u8::from(state.selected.contains(&(i as u64)))
+            ));
+        }
+        std::fs::write(self.path("explore_pareto.csv"), s).map_err(ArmdseError::from)
+    }
+}
+
+/// FNV-1a over the bit patterns of the surrogate's held-out
+/// predictions: cheap, deterministic, and sensitive to any change in
+/// the fitted ensemble.
+fn model_hash(preds: &[f64]) -> u64 {
+    let mut bytes = Vec::with_capacity(preds.len() * 8);
+    for p in preds {
+        bytes.extend_from_slice(&p.to_bits().to_be_bytes());
+    }
+    fnv1a64(&bytes)
+}
+
+/// Dataset sink that both streams to the CSV artifact and mirrors rows
+/// in memory for the surrogate refits.
+struct TeeSink<'a> {
+    csv: CsvSink,
+    rows: &'a mut Vec<Row>,
+}
+
+impl RowSink for TeeSink<'_> {
+    fn row(&mut self, row: &Row) -> Result<(), ArmdseError> {
+        self.rows.push(row.clone());
+        self.csv.row(row)
+    }
+
+    fn discarded(&mut self, d: &crate::dataset::DiscardedRun) -> Result<(), ArmdseError> {
+        self.csv.discarded(d)
+    }
+
+    fn chunk_end(&mut self) -> Result<(), ArmdseError> {
+        self.csv.chunk_end()
+    }
+}
+
+fn append_curve_row(path: &Path, p: &CurvePoint) -> Result<(), ArmdseError> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new().append(true).open(path)?;
+    // Full-precision Display: f64 round-trips exactly, so a resumed
+    // run's parsed curve is bit-identical to the fresh run's floats.
+    writeln!(
+        f,
+        "{},{},{},{},{},{:016x}",
+        p.round, p.samples, p.epsilon, p.r2, p.mae, p.model_hash
+    )?;
+    f.sync_data().map_err(ArmdseError::from)
+}
+
+/// Truncate the curve CSV to `keep` data rows (the checkpoint is
+/// authoritative; a crash can leave one extra row) and parse what
+/// remains.
+fn truncate_and_parse_curve(path: &Path, keep: usize) -> Result<Vec<CurvePoint>, ArmdseError> {
+    let body = std::fs::read_to_string(path)?;
+    let mut lines = body.lines();
+    if lines.next() != Some(CURVE_HEADER) {
+        return Err(ArmdseError::Explore(format!(
+            "{}: malformed curve header",
+            path.display()
+        )));
+    }
+    let data: Vec<&str> = lines.collect();
+    if data.len() < keep {
+        return Err(ArmdseError::Explore(format!(
+            "{}: has {} rows but the checkpoint recorded {keep}",
+            path.display(),
+            data.len()
+        )));
+    }
+    if data.len() > keep {
+        let mut s = String::from(CURVE_HEADER);
+        s.push('\n');
+        for line in &data[..keep] {
+            s.push_str(line);
+            s.push('\n');
+        }
+        std::fs::write(path, s)?;
+    }
+    let mut curve = Vec::with_capacity(keep);
+    for line in &data[..keep] {
+        let f: Vec<&str> = line.split(',').collect();
+        if f.len() != 6 {
+            return Err(ArmdseError::Explore(format!(
+                "{}: malformed curve row '{line}'",
+                path.display()
+            )));
+        }
+        let bad = |what: &str| ArmdseError::Explore(format!("unparsable curve {what}: '{line}'"));
+        curve.push(CurvePoint {
+            round: f[0].parse().map_err(|_| bad("round"))?,
+            samples: f[1].parse().map_err(|_| bad("samples"))?,
+            epsilon: f[2].parse().map_err(|_| bad("epsilon"))?,
+            r2: f[3].parse().map_err(|_| bad("r2"))?,
+            mae: f[4].parse().map_err(|_| bad("mae"))?,
+            model_hash: u64::from_str_radix(f[5], 16).map_err(|_| bad("model_hash"))?,
+        });
+    }
+    Ok(curve)
+}
+
+fn parse_u64_list(s: &str, radix: u32) -> Result<Vec<u64>, ArmdseError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|p| {
+            u64::from_str_radix(p, radix)
+                .map_err(|_| ArmdseError::Explore(format!("unparsable list entry '{p}'")))
+        })
+        .collect()
+}
+
+/// Salt decorrelating the acquisition RNG stream from the sampling
+/// seed (candidate `i` already consumes `seed + i`).
+const ACQ_SEED_SALT: u64 = 0xE0E0_5EED_ACC1_0A17;

@@ -54,6 +54,7 @@ pub mod config;
 pub mod dataset;
 pub mod engine;
 pub mod error;
+pub mod explorer;
 pub mod metrics;
 pub mod orchestrator;
 pub mod runner;
@@ -65,6 +66,7 @@ pub use config::DesignConfig;
 pub use dataset::{DseDataset, Row};
 pub use engine::{CsvSink, Engine, Progress, RowSink, RunControl, RunPlan, RunSummary};
 pub use error::ArmdseError;
+pub use explorer::{ExploreControl, ExploreOptions, ExploreProgress, ExploreReport, Explorer};
 pub use metrics::{MetricsCsvSink, MetricsRow, MetricsSink};
 pub use space::{ParamSpace, FEATURE_COUNT};
 pub use surrogate::{AppModel, ModelMetrics, SurrogateSuite};

@@ -40,7 +40,7 @@ pub mod split;
 pub mod tree;
 
 pub use explain::PathStep;
-pub use forest::RandomForest;
+pub use forest::{ForestParams, RandomForest};
 pub use importance::{permutation_importance, ImportanceReport};
 pub use linear::LinearRegression;
 pub use matrix::{Dataset, Matrix};

@@ -86,6 +86,7 @@ fn paused_and_resumed_metrics_csv_is_byte_identical() {
                 resume: false,
                 observer: Some(&mut observer),
                 metrics: Some(&mut msink),
+                ..RunControl::default()
             },
         )
         .unwrap();
