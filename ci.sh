@@ -70,6 +70,40 @@ cargo run --release --offline -p armdse-analysis --bin repro -- explore \
   --out "$SMOKE/expareto" --explore-pareto
 test -f "$SMOKE/expareto/explore_pareto.csv"
 
+# Reuse-smoke lane: the interval-memoizing fidelity tier end to end
+# through the repro binary (DESIGN.md §13). A memoized dataset run must
+# be byte-identical to the Full-fidelity run above and must report
+# interval-cache activity in its summary; a paused memoized run records
+# its tier in the checkpoint, refuses to resume at a different
+# fidelity, and completes byte-identically when resumed at its own.
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 4 --out "$SMOKE/reused" \
+  --reuse 2> "$SMOKE/reused.log"
+cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/reused/dataset.csv"
+grep -q 'fidelity tier: Memoized' "$SMOKE/reused.log"
+grep -q 'interval reuse: .* insertion' "$SMOKE/reused.log"
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 4 --out "$SMOKE/reupaused" \
+  --fidelity memoized --max-chunks 1
+test -f "$SMOKE/reupaused/dataset.ckpt"
+if cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 1 --out "$SMOKE/reupaused" \
+  --resume; then
+  echo 'FAIL: resume must refuse to mix fidelity tiers' >&2
+  exit 1
+fi
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 1 --out "$SMOKE/reupaused" \
+  --fidelity memoized --resume
+test ! -f "$SMOKE/reupaused/dataset.ckpt"
+cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/reupaused/dataset.csv"
+# The sampled screening tier must run the same campaign to completion
+# (its CSV legitimately differs: cycles are estimates).
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 40 --scale tiny --seed 7 --threads 4 --out "$SMOKE/sampled" \
+  --fidelity sampled 2> "$SMOKE/sampled.log"
+grep -q 'fidelity tier: Sampled' "$SMOKE/sampled.log"
+
 # Invariant lane: rebuild the simulator with cycle-level structural
 # checks compiled in and rerun the crates they gate. Any violation
 # panics. (Scoped to these crates: the full integration suite re-runs
@@ -105,3 +139,12 @@ cargo run --release --offline -p armdse-bench --bin bench-trend -- \
 # The committed explore snapshot must stay schema-valid too.
 cargo run --release --offline -p armdse-bench --bin bench-trend -- \
   --check BENCH_explore.json
+# Reuse bench: smoke the warm/cold pair and validate the committed
+# snapshot (the warm-vs-cold jobs/sec ratio is the reuse win tracked
+# across commits; see EXPERIMENTS.md's reuse lane).
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench reuse -- jobs
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check "$SMOKE/bench/BENCH_reuse.json"
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check BENCH_reuse.json

@@ -77,6 +77,17 @@ struct Cli {
     metrics: Option<PathBuf>,
     explore_budget: Option<usize>,
     explore_pareto: bool,
+    explore_screen: usize,
+    fidelity: FidelityArg,
+}
+
+/// `--fidelity` argument: which simulation tier the shared engine runs
+/// at. `--reuse` is shorthand for `--fidelity memoized`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FidelityArg {
+    Full,
+    Memoized,
+    Sampled,
 }
 
 fn parse_args() -> Result<Cli, String> {
@@ -89,6 +100,8 @@ fn parse_args() -> Result<Cli, String> {
     let mut metrics = None;
     let mut explore_budget = None;
     let mut explore_pareto = false;
+    let mut explore_screen = 0;
+    let mut fidelity = FidelityArg::Full;
     while let Some(flag) = args.next() {
         let mut val = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -110,6 +123,16 @@ fn parse_args() -> Result<Cli, String> {
             "--metrics" => metrics = Some(PathBuf::from(val()?)),
             "--explore" => explore_budget = Some(val()?.parse().map_err(|e| format!("{e}"))?),
             "--explore-pareto" => explore_pareto = true,
+            "--explore-screen" => explore_screen = val()?.parse().map_err(|e| format!("{e}"))?,
+            "--reuse" => fidelity = FidelityArg::Memoized,
+            "--fidelity" => {
+                fidelity = match val()?.as_str() {
+                    "full" => FidelityArg::Full,
+                    "memoized" => FidelityArg::Memoized,
+                    "sampled" => FidelityArg::Sampled,
+                    s => return Err(format!("unknown fidelity {s}")),
+                }
+            }
             f => return Err(format!("unknown flag {f}")),
         }
     }
@@ -122,6 +145,8 @@ fn parse_args() -> Result<Cli, String> {
         metrics,
         explore_budget,
         explore_pareto,
+        explore_screen,
+        fidelity,
     })
 }
 
@@ -129,7 +154,7 @@ fn main() {
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR] [--explore N] [--explore-pareto]");
+            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR] [--explore N] [--explore-pareto] [--explore-screen N] [--reuse] [--fidelity full|memoized|sampled]");
             std::process::exit(2);
         }
     };
@@ -149,7 +174,17 @@ fn fail(e: ArmdseError) -> ! {
 fn run(cli: &Cli) {
     let space = ParamSpace::paper();
     let opts = &cli.opts;
-    let engine = Engine::idealized();
+    let engine = match cli.fidelity {
+        FidelityArg::Full => Engine::idealized(),
+        FidelityArg::Memoized => Engine::memoized(armdse_simcore::DEFAULT_INTERVAL_LEN),
+        FidelityArg::Sampled => Engine::sampled(
+            armdse_simcore::DEFAULT_INTERVAL_LEN,
+            armdse_simcore::DEFAULT_WARMUP,
+        ),
+    };
+    if cli.fidelity != FidelityArg::Full {
+        eprintln!("[repro] fidelity tier: {:?}", engine.backend().fidelity());
+    }
     let sweep = SweepOptions {
         base_configs: opts.sweep_configs,
         scale: opts.scale,
@@ -285,6 +320,17 @@ fn run(cli: &Cli) {
             std::process::exit(2);
         }
     }
+    if let Some(rs) = engine.backend().reuse_stats() {
+        let lookups = rs.hits + rs.misses;
+        eprintln!(
+            "[repro] interval reuse: {}/{} lookups hit ({:.1}%), {} insertion(s), {} eviction(s)",
+            rs.hits,
+            lookups,
+            100.0 * rs.hits as f64 / lookups.max(1) as f64,
+            rs.insertions,
+            rs.evictions
+        );
+    }
 }
 
 /// Run the surrogate-guided adaptive exploration loop (the `explore`
@@ -308,6 +354,7 @@ fn explore(cli: &Cli, space: &ParamSpace, engine: &Engine) {
         holdout: (pool / 6).clamp(10, 200),
         threads: cli.opts.threads,
         pareto: cli.explore_pareto,
+        screen_factor: cli.explore_screen,
         ..ExploreOptions::for_app(App::Stream)
     };
     eprintln!(
@@ -452,6 +499,7 @@ fn dataset(cli: &Cli, space: &ParamSpace, engine: &Engine, force_regen: bool) ->
                 observer: Some(&mut observer),
                 metrics: metrics_sink.as_mut().map(|m| m as &mut dyn MetricsSink),
                 checkpoint_extra: None,
+                ..RunControl::default()
             },
         )
         .unwrap_or_else(|e| fail(e));

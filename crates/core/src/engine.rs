@@ -57,7 +57,9 @@ use crate::metrics::{MetricsRow, MetricsSink};
 use crate::orchestrator::GenOptions;
 use crate::space::{ParamSpace, FEATURE_NAMES};
 use armdse_kernels::{App, Workload, WorkloadCache, WorkloadScale};
-use armdse_simcore::{Counters, Idealized, SimBackend, SimStats};
+use armdse_simcore::{
+    Counters, Fidelity, Idealized, Memoized, ReuseStats, Sampled, SimBackend, SimStats,
+};
 use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -448,6 +450,10 @@ pub struct Progress {
     pub rows: usize,
     /// Discarded runs so far.
     pub discarded: usize,
+    /// Interval-cache counters of the engine's backend at this chunk
+    /// boundary (`None` for backends without reuse state). Cumulative
+    /// over the backend's lifetime, not per-chunk.
+    pub reuse: Option<ReuseStats>,
 }
 
 impl Progress {
@@ -479,6 +485,42 @@ pub struct RunControl<'a> {
     /// section (see [`Checkpoint::extra`]). `None` or an empty slice
     /// keeps the v1 on-disk format.
     pub checkpoint_extra: Option<&'a [(String, String)]>,
+    /// What to do with the backend's interval-reuse cache at run start.
+    pub reuse: ReuseMode,
+}
+
+/// Interval-cache policy for one [`Engine::run_controlled`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ReuseMode {
+    /// Keep whatever the backend has cached (the default): warm runs
+    /// reuse intervals from earlier campaigns on the same engine.
+    #[default]
+    Inherit,
+    /// Clear the reuse cache before the first chunk so the run measures
+    /// (and behaves like) a cold start. No-op on backends without reuse
+    /// state.
+    ColdStart,
+}
+
+/// The checkpoint v2 extra keys recording a non-default fidelity tier.
+/// [`Fidelity::Full`] maps to no keys at all so default campaigns keep
+/// the v1 on-disk checkpoint format byte-for-byte.
+fn fidelity_extra(f: Fidelity) -> Vec<(String, String)> {
+    let tag = ("reuse.fidelity".into(), f.tag().into());
+    match f {
+        Fidelity::Full => Vec::new(),
+        Fidelity::Memoized { interval_len } => {
+            vec![tag, ("reuse.interval_len".into(), interval_len.to_string())]
+        }
+        Fidelity::Sampled {
+            interval_len,
+            warmup,
+        } => vec![
+            tag,
+            ("reuse.interval_len".into(), interval_len.to_string()),
+            ("reuse.warmup".into(), warmup.to_string()),
+        ],
+    }
 }
 
 /// Outcome of [`Engine::run_controlled`].
@@ -527,6 +569,27 @@ impl Engine {
     /// simulation path).
     pub fn idealized() -> Engine {
         Engine::new(Box::new(Idealized))
+    }
+
+    /// An engine over the interval-memoizing tier wrapping the default
+    /// hierarchy: exact results, with per-interval timing reused across
+    /// jobs and runs (see `armdse_simcore::reuse`).
+    pub fn memoized(interval_len: u64) -> Engine {
+        Engine::new(Box::new(Memoized::with_interval_len(
+            Idealized,
+            interval_len,
+        )))
+    }
+
+    /// An engine over the sampled (warmup + representative interval +
+    /// extrapolation) tier wrapping the default hierarchy: approximate
+    /// timing, exact architectural results.
+    pub fn sampled(interval_len: u64, warmup: u64) -> Engine {
+        Engine::new(Box::new(Sampled::with_params(
+            Idealized,
+            interval_len,
+            warmup,
+        )))
     }
 
     /// Toggle the pipeline's idle-cycle fast-forward for every pipeline
@@ -606,6 +669,11 @@ impl Engine {
     ) -> Result<RunSummary, ArmdseError> {
         let total_jobs = plan.jobs();
         let fingerprint = plan.fingerprint();
+        // Fidelity keys ride along in the checkpoint's v2 extra section
+        // so a resume cannot silently splice rows produced at a
+        // different fidelity into one dataset. Full fidelity writes no
+        // keys, keeping the default on-disk format byte-identical.
+        let reuse_extra = fidelity_extra(self.backend.fidelity());
         let mut done = 0usize;
         let mut resumed_from = 0usize;
         let (mut prior_rows, mut prior_discarded) = (0usize, 0usize);
@@ -631,11 +699,29 @@ impl Engine {
                         c.jobs_done
                     )));
                 }
+                for key in ["reuse.fidelity", "reuse.interval_len", "reuse.warmup"] {
+                    let want = reuse_extra
+                        .iter()
+                        .find(|(k, _)| k == key)
+                        .map(|(_, v)| v.as_str());
+                    if c.extra_get(key) != want {
+                        return Err(ArmdseError::Checkpoint(format!(
+                            "{}: {key} {:?} does not match this engine's {:?} — \
+                             refusing to mix fidelity tiers in one dataset",
+                            path.display(),
+                            c.extra_get(key),
+                            want
+                        )));
+                    }
+                }
                 done = c.jobs_done;
                 resumed_from = done;
                 prior_rows = c.rows;
                 prior_discarded = c.discarded;
             }
+        }
+        if ctl.reuse == ReuseMode::ColdStart {
+            self.backend.clear_reuse_cache();
         }
 
         let with_metrics = ctl.metrics.is_some();
@@ -663,12 +749,14 @@ impl Engine {
                 msink.chunk_end()?;
             }
             if let Some(path) = ctl.checkpoint {
+                let mut extra = reuse_extra.clone();
+                extra.extend_from_slice(ctl.checkpoint_extra.unwrap_or(&[]));
                 Checkpoint {
                     fingerprint,
                     jobs_done: done,
                     rows: prior_rows + rows,
                     discarded: prior_discarded + discarded,
-                    extra: ctl.checkpoint_extra.unwrap_or(&[]).to_vec(),
+                    extra,
                 }
                 .save(path)?;
             }
@@ -677,6 +765,7 @@ impl Engine {
                 total_jobs,
                 rows: prior_rows + rows,
                 discarded: prior_discarded + discarded,
+                reuse: self.backend.reuse_stats(),
             };
             if let Some(observer) = ctl.observer.as_deref_mut() {
                 if !observer(&progress) && done < total_jobs {
@@ -1212,5 +1301,164 @@ mod tests {
         )
         .unwrap();
         assert_ne!(base.fingerprint(), pinned.fingerprint());
+    }
+
+    #[test]
+    fn memoized_engine_produces_identical_datasets_cold_and_warm() {
+        let p = plan(4, 2);
+        let mut want = DseDataset::default();
+        Engine::idealized().run(&p, &mut want).unwrap();
+        let e = Engine::memoized(256);
+        let mut cold = DseDataset::default();
+        e.run(&p, &mut cold).unwrap();
+        assert_eq!(cold, want);
+        let mut warm = DseDataset::default();
+        e.run(&p, &mut warm).unwrap();
+        assert_eq!(warm, want);
+        let rs = e.backend().reuse_stats().expect("memoized reports stats");
+        assert!(rs.hits > 0, "warm campaign must hit the interval cache");
+    }
+
+    #[test]
+    fn progress_carries_reuse_stats_and_cold_start_clears_them() {
+        let p = plan(3, 1).with_chunk_jobs(6);
+        let e = Engine::memoized(256);
+        e.run(&p, &mut DseDataset::default()).unwrap(); // warm the cache
+        let mut last = None;
+        let mut observer = |pr: &Progress| {
+            last = pr.reuse;
+            true
+        };
+        e.run_controlled(
+            &p,
+            &mut DseDataset::default(),
+            RunControl {
+                observer: Some(&mut observer),
+                reuse: ReuseMode::ColdStart,
+                ..RunControl::default()
+            },
+        )
+        .unwrap();
+        let rs = last.expect("memoized backend reports reuse stats");
+        assert_eq!(rs.hits, 0, "cold start must not hit");
+        assert!(rs.misses > 0);
+        // The idealized engine reports no reuse state either way.
+        let mut last = None;
+        let mut observer = |pr: &Progress| {
+            last = pr.reuse;
+            true
+        };
+        Engine::idealized()
+            .run_controlled(
+                &p,
+                &mut DseDataset::default(),
+                RunControl {
+                    observer: Some(&mut observer),
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert!(last.is_none());
+    }
+
+    #[test]
+    fn checkpoints_record_fidelity_and_refuse_to_mix_tiers() {
+        let path = std::env::temp_dir().join("armdse_engine_ckpt_fidelity.ckpt");
+        std::fs::remove_file(&path).ok();
+        let p = plan(4, 1).with_chunk_jobs(2); // 8 jobs -> 4 chunks
+        let mut pause = |pr: &Progress| pr.jobs_done < 4;
+        let s = Engine::memoized(512)
+            .run_controlled(
+                &p,
+                &mut DseDataset::default(),
+                RunControl {
+                    checkpoint: Some(&path),
+                    observer: Some(&mut pause),
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert!(!s.completed);
+        let c = Checkpoint::load(&path).unwrap();
+        assert_eq!(c.extra_get("reuse.fidelity"), Some("memoized"));
+        assert_eq!(c.extra_get("reuse.interval_len"), Some("512"));
+        // A full-fidelity engine must refuse the memoized checkpoint...
+        let err = Engine::idealized()
+            .run_controlled(
+                &p,
+                &mut DseDataset::default(),
+                RunControl {
+                    checkpoint: Some(&path),
+                    resume: true,
+                    ..RunControl::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("reuse.fidelity"), "{err}");
+        // ...as must the same tier at a different interval length...
+        let err = Engine::memoized(64)
+            .run_controlled(
+                &p,
+                &mut DseDataset::default(),
+                RunControl {
+                    checkpoint: Some(&path),
+                    resume: true,
+                    ..RunControl::default()
+                },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("reuse.interval_len"), "{err}");
+        // ...while the matching engine resumes and completes.
+        let mut tail = DseDataset::default();
+        let s = Engine::memoized(512)
+            .run_controlled(
+                &p,
+                &mut tail,
+                RunControl {
+                    checkpoint: Some(&path),
+                    resume: true,
+                    ..RunControl::default()
+                },
+            )
+            .unwrap();
+        assert!(s.completed);
+        assert_eq!(s.resumed_from, 4);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sampled_engine_is_architecturally_exact_and_tagged() {
+        let p = plan(2, 1);
+        let e = Engine::sampled(64, 64);
+        assert_eq!(
+            e.backend().fidelity(),
+            armdse_simcore::Fidelity::Sampled {
+                interval_len: 64,
+                warmup: 64,
+            }
+        );
+        let mut data = DseDataset::default();
+        let s = e.run(&p, &mut data).unwrap();
+        assert_eq!(s.rows + s.discarded, s.jobs);
+        // Every emitted row passed architectural validation (rows are
+        // only emitted for validated runs).
+        assert_eq!(data.rows.len(), s.rows);
+        // And a sampled checkpoint records all three keys.
+        let path = std::env::temp_dir().join("armdse_engine_ckpt_sampled.ckpt");
+        std::fs::remove_file(&path).ok();
+        e.run_controlled(
+            &p,
+            &mut DseDataset::default(),
+            RunControl {
+                checkpoint: Some(&path),
+                ..RunControl::default()
+            },
+        )
+        .unwrap();
+        let c = Checkpoint::load(&path).unwrap();
+        assert_eq!(c.extra_get("reuse.fidelity"), Some("sampled"));
+        assert_eq!(c.extra_get("reuse.interval_len"), Some("64"));
+        assert_eq!(c.extra_get("reuse.warmup"), Some("64"));
+        std::fs::remove_file(&path).ok();
     }
 }

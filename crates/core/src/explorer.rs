@@ -76,6 +76,7 @@ use crate::space::ParamSpace;
 use armdse_kernels::{App, WorkloadScale};
 use armdse_mltree::{mae, r2, ForestParams, Matrix, RandomForest, Regressor};
 use armdse_rng::{Rng, SeedableRng, Xoshiro256pp};
+use armdse_simcore::{Idealized, Sampled};
 use std::path::{Path, PathBuf};
 
 /// Feature indices summed by [`structure_cost`]: the sized hardware
@@ -212,6 +213,17 @@ pub struct ExploreOptions {
     pub eps_decay: f64,
     /// Engine jobs per checkpointable chunk.
     pub chunk_jobs: usize,
+    /// Low-fidelity screening of acquisition candidates: in each
+    /// non-pareto round the greedy shortlist is over-selected by this
+    /// factor, quickly scored with the sampled fidelity tier
+    /// ([`armdse_simcore::Sampled`]), and only the best survivors are
+    /// simulated at full fidelity. `0` or `1` disables screening (the
+    /// default — byte-identical to the pre-screening explorer).
+    pub screen_factor: usize,
+    /// Sampled-tier measured-interval length used for screening.
+    pub screen_interval_len: u64,
+    /// Sampled-tier warmup prefix used for screening.
+    pub screen_warmup: u64,
 }
 
 impl ExploreOptions {
@@ -233,6 +245,9 @@ impl ExploreOptions {
             eps_min: 0.05,
             eps_decay: 0.7,
             chunk_jobs: DEFAULT_CHUNK_JOBS,
+            screen_factor: 0,
+            screen_interval_len: armdse_simcore::DEFAULT_INTERVAL_LEN,
+            screen_warmup: armdse_simcore::DEFAULT_WARMUP,
         }
     }
 
@@ -252,6 +267,9 @@ impl ExploreOptions {
         }
         if !(self.eps_decay > 0.0 && self.eps_decay <= 1.0) {
             return bad("eps_decay must be in (0, 1]");
+        }
+        if self.screen_factor >= 2 && self.screen_interval_len == 0 {
+            return bad("screening requires screen_interval_len >= 1");
         }
         Ok(())
     }
@@ -408,7 +426,7 @@ impl<'e> Explorer<'e> {
     /// and its resume.
     fn options_fingerprint(&self) -> u64 {
         let o = &self.opts;
-        let encoded = format!(
+        let mut encoded = format!(
             "{:?}|{:?}|{:?}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{}|{}|{}",
             self.space,
             o.app,
@@ -425,6 +443,14 @@ impl<'e> Explorer<'e> {
             o.eps_min,
             o.eps_decay
         );
+        // Screening joins the identity only when enabled, so every
+        // pre-screening checkpoint fingerprint is preserved verbatim.
+        if o.screen_factor >= 2 {
+            encoded.push_str(&format!(
+                "|screen:{}:{}:{}",
+                o.screen_factor, o.screen_interval_len, o.screen_warmup
+            ));
+        }
         fnv1a64(encoded.as_bytes())
     }
 
@@ -534,7 +560,23 @@ impl<'e> Explorer<'e> {
                 acquisition_scores(&preds, &stds, eps)
             };
             let n_rand = (((eps * size as f64) / 2.0).floor() as usize).min(size.saturating_sub(1));
-            let greedy = select_top_k(&remaining, &scores, size - n_rand);
+            let n_greedy = size - n_rand;
+            // With screening enabled (and a single scalar objective —
+            // the pareto ranking already encodes a different notion of
+            // "best"), over-select the greedy shortlist by the screen
+            // factor and let the sampled tier pick the survivors.
+            let greedy = if self.opts.screen_factor >= 2 && !self.opts.pareto {
+                let shortlist = select_top_k(
+                    &remaining,
+                    &scores,
+                    n_greedy
+                        .saturating_mul(self.opts.screen_factor)
+                        .min(remaining.len()),
+                );
+                self.screen(&shortlist, n_greedy)
+            } else {
+                select_top_k(&remaining, &scores, n_greedy)
+            };
             remaining.retain(|i| !greedy.contains(i));
             picks.extend(greedy);
         }
@@ -543,6 +585,33 @@ impl<'e> Explorer<'e> {
             picks.push(remaining.swap_remove(j));
         }
         picks
+    }
+
+    /// Rank `shortlist` with the sampled fidelity tier and keep the `k`
+    /// candidates with the lowest estimated cycles (ties broken by id,
+    /// so the result is deterministic). Runs sequentially on the shared
+    /// workload cache — each estimate costs a warmup plus one interval,
+    /// a small fraction of a full-fidelity simulation.
+    fn screen(&self, shortlist: &[u64], k: usize) -> Vec<u64> {
+        let backend = Sampled::with_params(
+            Idealized,
+            self.opts.screen_interval_len,
+            self.opts.screen_warmup,
+        );
+        let pins = self.pins_ref();
+        let mut ranked: Vec<(u64, u64)> = shortlist
+            .iter()
+            .map(|&i| {
+                let cfg = self.space.sample_seeded_pinned(self.opts.seed + i, &pins);
+                let stats =
+                    self.engine
+                        .simulate_config_on(&backend, self.opts.app, self.opts.scale, &cfg);
+                (stats.cycles, i)
+            })
+            .collect();
+        ranked.sort_unstable();
+        ranked.truncate(k);
+        ranked.into_iter().map(|(_, i)| i).collect()
     }
 
     fn checkpoint_extra(&self, state: &LoopState, done: bool) -> Vec<(String, String)> {
@@ -717,6 +786,7 @@ impl<'e> Explorer<'e> {
                         observer: Some(&mut engine_obs),
                         metrics: None,
                         checkpoint_extra: Some(&extra),
+                        ..RunControl::default()
                     },
                 )?
             };

@@ -64,7 +64,7 @@ pub mod surrogate;
 
 pub use config::DesignConfig;
 pub use dataset::{DseDataset, Row};
-pub use engine::{CsvSink, Engine, Progress, RowSink, RunControl, RunPlan, RunSummary};
+pub use engine::{CsvSink, Engine, Progress, ReuseMode, RowSink, RunControl, RunPlan, RunSummary};
 pub use error::ArmdseError;
 pub use explorer::{ExploreControl, ExploreOptions, ExploreProgress, ExploreReport, Explorer};
 pub use metrics::{MetricsCsvSink, MetricsRow, MetricsSink};

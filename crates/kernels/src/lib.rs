@@ -32,7 +32,7 @@ pub mod minisweep;
 pub mod stream;
 pub mod tealeaf;
 
-pub use cache::WorkloadCache;
+pub use cache::{CacheStats, ShardedCache, WorkloadCache};
 
 use armdse_isa::{OpSummary, Program};
 

@@ -189,13 +189,35 @@ impl FuzzReport {
 /// point. Every fourth program runs on the hardware-proxy hierarchy;
 /// memory parameters are the fixed ThunderX2-like baseline.
 pub fn fuzz(cfg: &FuzzConfig) -> FuzzReport {
+    fuzz_campaign(cfg, None)
+}
+
+/// Like [`fuzz`], but every program runs on the one supplied backend
+/// instead of the default idealized/proxy alternation. The reuse lane
+/// pushes the interval-memoizing backend through the same fixed-seed
+/// campaign this way: [`check_kernel`] cross-checks the backend's
+/// cached entry points (`run`, `run_with_metrics`) against its uncached
+/// trace (`run_traced`) and the reference interpreter, so any
+/// memoization unsoundness surfaces as a divergence.
+pub fn fuzz_with(cfg: &FuzzConfig, backend: &dyn SimBackend) -> FuzzReport {
+    fuzz_campaign(cfg, Some(backend))
+}
+
+/// The shared campaign loop: program generation and design-point
+/// sampling are identical whichever backend selection is in force, so
+/// `fuzz` and `fuzz_with` exercise the same program population.
+fn fuzz_campaign(cfg: &FuzzConfig, fixed: Option<&dyn SimBackend>) -> FuzzReport {
     let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
     let mem = MemParams::thunderx2();
     let mut failures = Vec::new();
     for i in 0..cfg.programs {
         let kernel = random_kernel(&mut rng, &cfg.gen, format!("fuzz-{:#x}-{i}", cfg.seed));
         let core = random_core_params(&mut rng);
-        let backend: &dyn SimBackend = if i % 4 == 3 { &BankedProxy } else { &Idealized };
+        let backend: &dyn SimBackend = match fixed {
+            Some(b) => b,
+            None if i % 4 == 3 => &BankedProxy,
+            None => &Idealized,
+        };
         if let Err(error) = check_kernel(&kernel, &core, &mem, backend) {
             failures.push(FuzzFailure {
                 index: i,

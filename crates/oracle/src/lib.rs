@@ -35,6 +35,6 @@ pub mod gen;
 pub mod interp;
 
 pub use arch::ArchState;
-pub use diff::{check_kernel, fuzz, FuzzConfig, FuzzFailure, FuzzReport};
+pub use diff::{check_kernel, fuzz, fuzz_with, FuzzConfig, FuzzFailure, FuzzReport};
 pub use gen::{random_core_params, random_kernel, GenConfig};
 pub use interp::{interpret, InterpResult};

@@ -25,6 +25,7 @@
 
 use crate::counters::Counters;
 use crate::params::CoreParams;
+use crate::reuse::{Fidelity, ReuseStats};
 use crate::stats::SimStats;
 use crate::{simulate_traced_with, simulate_with, simulate_with_metrics_with};
 use armdse_isa::instr::DynInstr;
@@ -68,6 +69,23 @@ pub trait SimBackend: Send + Sync {
         core: &CoreParams,
         mem: &MemParams,
     ) -> (SimStats, Counters);
+
+    /// Interval-cache counters, for backends that reuse computation
+    /// across runs ([`crate::reuse::Memoized`]). `None` for backends
+    /// with no reuse state (the default).
+    fn reuse_stats(&self) -> Option<ReuseStats> {
+        None
+    }
+
+    /// The fidelity tier this backend simulates at. Defaults to
+    /// [`Fidelity::Full`]: exact, uncached simulation.
+    fn fidelity(&self) -> Fidelity {
+        Fidelity::Full
+    }
+
+    /// Drop any memoized interval results so the next run starts cold.
+    /// No-op for backends without reuse state (the default).
+    fn clear_reuse_cache(&self) {}
 }
 
 /// The default infinite-bank (SST-like) hierarchy — the paper's

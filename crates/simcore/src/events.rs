@@ -42,7 +42,7 @@ const WHEEL: usize = 64;
 /// The caller must drain with a non-decreasing clock (`take_due(now)`
 /// with `now` never moving backwards), which the pipeline's monotone
 /// `self.now` guarantees; pushes must target the future (`t > now`).
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EventQueue {
     /// Ring of per-cycle slots; slot `t % WHEEL` holds the sequence
     /// numbers completing at cycle `t`, unordered.

@@ -31,12 +31,16 @@ pub mod events;
 pub mod params;
 pub mod pipeline;
 pub mod regfile;
+pub mod reuse;
 pub mod stats;
 
 pub use backend::{BankedProxy, Contended, Idealized, SimBackend, Traced};
 pub use counters::{Counters, CycleBucket, OccupancyHist, Structure};
 pub use params::CoreParams;
-pub use pipeline::{fast_forward_default, set_fast_forward_default, Pipeline};
+pub use pipeline::{fast_forward_default, set_fast_forward_default, Pipeline, PipelineSnapshot};
+pub use reuse::{
+    Fidelity, IntervalBackend, Memoized, ReuseStats, Sampled, DEFAULT_INTERVAL_LEN, DEFAULT_WARMUP,
+};
 pub use stats::{SimStats, StallStats};
 
 use armdse_isa::instr::DynInstr;

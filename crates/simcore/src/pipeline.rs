@@ -25,7 +25,7 @@ use crate::stats::SimStats;
 use armdse_isa::instr::{DynInstr, MemPattern, MemRef};
 use armdse_isa::op::{OpClass, PortClass};
 use armdse_isa::reg::RegClass;
-use armdse_isa::{Program, TraceCursor, INSTR_BYTES};
+use armdse_isa::{CursorPos, Program, TraceCursor, INSTR_BYTES};
 use armdse_memsim::{split_lines, MemoryModel};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -176,6 +176,80 @@ fn span_of(m: &MemRef) -> (u64, u64) {
 struct CommitLog {
     pending: VecDeque<DynInstr>,
     committed: Vec<DynInstr>,
+}
+
+/// A resumable snapshot of a paused [`Pipeline`]: every field of the
+/// machine except the program borrow (captured as a [`CursorPos`]), the
+/// commit log (tracing runs are never snapshotted), and the per-cycle
+/// scratch buffers (provably empty between cycles). Restoring with
+/// [`Pipeline::restore`] over the identical program yields a machine
+/// whose subsequent behaviour is bit-identical to the snapshotted one —
+/// the property the interval-memoizing backend's legality rests on (see
+/// DESIGN.md §13).
+pub struct PipelineSnapshot<M: MemoryModel> {
+    params: CoreParams,
+    mem: M,
+    cursor_pos: CursorPos,
+    pending_fetch: Option<DynInstr>,
+    now: u64,
+    fetch_q: VecDeque<DynInstr>,
+    loop_mode: Option<(u64, u64)>,
+    loop_candidate: Option<u64>,
+    window: VecDeque<Uop>,
+    window_base: Seq,
+    next_seq: Seq,
+    rename: RenameUnit,
+    rename_q: VecDeque<Seq>,
+    rs_count: u32,
+    ready_q: [VecDeque<Seq>; 4],
+    rs_ready: u32,
+    rob_count: u32,
+    port_busy: [Vec<u64>; 4],
+    done: EventQueue,
+    lq_count: u32,
+    sq: VecDeque<SqEntry>,
+    sq_span: (u64, u64),
+    pending_loads: VecDeque<Seq>,
+    completed_loads: VecDeque<Seq>,
+    counters: Option<Box<Counters>>,
+    mem_budget_exhausted: bool,
+    rename_blocked: bool,
+    stats: SimStats,
+}
+
+impl<M: MemoryModel + Clone> Clone for PipelineSnapshot<M> {
+    fn clone(&self) -> Self {
+        PipelineSnapshot {
+            params: self.params,
+            mem: self.mem.clone(),
+            cursor_pos: self.cursor_pos,
+            pending_fetch: self.pending_fetch,
+            now: self.now,
+            fetch_q: self.fetch_q.clone(),
+            loop_mode: self.loop_mode,
+            loop_candidate: self.loop_candidate,
+            window: self.window.clone(),
+            window_base: self.window_base,
+            next_seq: self.next_seq,
+            rename: self.rename.clone(),
+            rename_q: self.rename_q.clone(),
+            rs_count: self.rs_count,
+            ready_q: self.ready_q.clone(),
+            rs_ready: self.rs_ready,
+            rob_count: self.rob_count,
+            port_busy: self.port_busy.clone(),
+            done: self.done.clone(),
+            lq_count: self.lq_count,
+            sq: self.sq.clone(),
+            sq_span: self.sq_span,
+            pending_loads: self.pending_loads.clone(),
+            completed_loads: self.completed_loads.clone(),
+            counters: self.counters.clone(),
+            mem_budget_exhausted: self.mem_budget_exhausted,
+            rename_blocked: self.rename_blocked,
+            stats: self.stats.clone(),
+        }
+    }
 }
 
 /// The pipeline state machine.
@@ -393,6 +467,220 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         }
         self.stats.cycles = self.now;
         self.stats.mem = *self.mem.stats();
+    }
+
+    /// Drive until at least `retire_target` instructions have retired
+    /// (or the run finishes / hits `max_cycles`), then pause.
+    ///
+    /// The loop body is identical to the one-shot `drive` path — the only
+    /// difference is the extra `retired < retire_target` condition — so
+    /// a run executed as a sequence of `drive_until_retired` segments
+    /// performs *exactly* the same cycle steps as one uninterrupted
+    /// `drive` call: pausing happens only between cycles, never inside
+    /// one, and the epilogue (`cycles = now`, memory stats copy) is
+    /// idempotent. The pause boundary may overshoot the target by up to
+    /// `commit_width − 1` instructions (a commit batch is atomic), which
+    /// is deterministic in the pre-cycle state.
+    ///
+    /// The fast-forward skip is legal here unchanged: it only fires when
+    /// commit is provably idle, so it never jumps past a retirement.
+    pub fn drive_until_retired(&mut self, max_cycles: u64, retire_target: u64) {
+        while !self.finished() && self.stats.retired < retire_target {
+            if self.now >= max_cycles {
+                self.stats.hit_cycle_limit = true;
+                break;
+            }
+            if self.fast_forward && self.try_fast_forward(max_cycles) {
+                continue;
+            }
+            self.step();
+        }
+        self.stats.cycles = self.now;
+        self.stats.mem = *self.mem.stats();
+    }
+
+    /// Whether the run has completed (all instructions fetched, retired,
+    /// and every store drained to memory).
+    pub fn is_finished(&self) -> bool {
+        self.finished()
+    }
+
+    /// The statistics accumulated so far. Between
+    /// [`drive_until_retired`](Self::drive_until_retired) calls the
+    /// epilogue has run, so `cycles` and `mem` are current.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Enable cycle-accounting counters on an incrementally driven
+    /// pipeline (the consuming entry point is
+    /// [`run_with_counters`](Self::run_with_counters)). Must be called
+    /// before the first cycle; enabling mid-run would leave earlier
+    /// cycles unattributed and break conservation.
+    pub fn enable_counters(&mut self) {
+        debug_assert_eq!(self.now, 0, "counters must be enabled before cycle 0");
+        self.counters = Some(Box::new(Counters::new(&self.params)));
+    }
+
+    /// Borrow the live cycle-accounting counters of an incrementally
+    /// driven pipeline (`None` when counters were never enabled). Unlike
+    /// [`take_counters_finalized`](Self::take_counters_finalized) the
+    /// `cycles`/`loop_buffer_cycles` fields are *not* fixed up — callers
+    /// sampling mid-run (the sampled fidelity tier) work from the raw
+    /// exclusive buckets and occupancy histograms.
+    pub fn counters(&self) -> Option<&Counters> {
+        self.counters.as_deref()
+    }
+
+    /// Take the finalized counters from an incrementally driven pipeline:
+    /// the same `cycles`/`loop_buffer_cycles` fixup as
+    /// [`run_with_counters`](Self::run_with_counters). `None` when
+    /// counters were never enabled. Conservation holds only once the run
+    /// is finished (every elapsed cycle has been attributed).
+    pub fn take_counters_finalized(&mut self) -> Option<Box<Counters>> {
+        let mut c = self.counters.take()?;
+        c.cycles = self.stats.cycles;
+        c.loop_buffer_cycles = self.stats.stalls.loop_buffer_cycles;
+        debug_assert!(
+            !self.finished() || c.conserves(),
+            "cycle attribution leaked a cycle"
+        );
+        Some(c)
+    }
+
+    /// Capture the machine for a later [`restore`](Self::restore).
+    /// Only valid between cycles (which is the only time a caller can
+    /// observe the pipeline) and never on a tracing run — the commit
+    /// log holds borrowed-program history that snapshots don't carry.
+    pub fn snapshot(&self) -> PipelineSnapshot<M>
+    where
+        M: Clone,
+    {
+        debug_assert!(self.log.is_none(), "tracing runs cannot be snapshotted");
+        debug_assert!(
+            self.scratch_woken.is_empty()
+                && self.scratch_pending.is_empty()
+                && self.scratch_due.is_empty(),
+            "scratch buffers must be empty between cycles"
+        );
+        PipelineSnapshot {
+            params: self.params,
+            mem: self.mem.clone(),
+            cursor_pos: self.cursor.position(),
+            pending_fetch: self.pending_fetch,
+            now: self.now,
+            fetch_q: self.fetch_q.clone(),
+            loop_mode: self.loop_mode,
+            loop_candidate: self.loop_candidate,
+            window: self.window.clone(),
+            window_base: self.window_base,
+            next_seq: self.next_seq,
+            rename: self.rename.clone(),
+            rename_q: self.rename_q.clone(),
+            rs_count: self.rs_count,
+            ready_q: self.ready_q.clone(),
+            rs_ready: self.rs_ready,
+            rob_count: self.rob_count,
+            port_busy: self.port_busy.clone(),
+            done: self.done.clone(),
+            lq_count: self.lq_count,
+            sq: self.sq.clone(),
+            sq_span: self.sq_span,
+            pending_loads: self.pending_loads.clone(),
+            completed_loads: self.completed_loads.clone(),
+            counters: self.counters.clone(),
+            mem_budget_exhausted: self.mem_budget_exhausted,
+            rename_blocked: self.rename_blocked,
+            stats: self.stats.clone(),
+        }
+    }
+
+    /// Rebuild a machine from a snapshot taken over the identical
+    /// `program`. The fast-forward switch is re-sampled from
+    /// [`fast_forward_default`] (like [`new`](Self::new)) — legal
+    /// because the skip is timing-exact in either position.
+    pub fn restore(program: &'p Program, snap: &PipelineSnapshot<M>) -> Pipeline<'p, M>
+    where
+        M: Clone,
+    {
+        Pipeline {
+            params: snap.params,
+            mem: snap.mem.clone(),
+            cursor: TraceCursor::at(program, snap.cursor_pos),
+            pending_fetch: snap.pending_fetch,
+            now: snap.now,
+            fetch_q: snap.fetch_q.clone(),
+            loop_mode: snap.loop_mode,
+            loop_candidate: snap.loop_candidate,
+            window: snap.window.clone(),
+            window_base: snap.window_base,
+            next_seq: snap.next_seq,
+            rename: snap.rename.clone(),
+            rename_q: snap.rename_q.clone(),
+            rs_count: snap.rs_count,
+            ready_q: snap.ready_q.clone(),
+            rs_ready: snap.rs_ready,
+            rob_count: snap.rob_count,
+            port_busy: snap.port_busy.clone(),
+            done: snap.done.clone(),
+            lq_count: snap.lq_count,
+            sq: snap.sq.clone(),
+            sq_span: snap.sq_span,
+            pending_loads: snap.pending_loads.clone(),
+            completed_loads: snap.completed_loads.clone(),
+            log: None,
+            counters: snap.counters.clone(),
+            mem_budget_exhausted: snap.mem_budget_exhausted,
+            rename_blocked: snap.rename_blocked,
+            fast_forward: fast_forward_default(),
+            scratch_woken: Vec::new(),
+            scratch_pending: VecDeque::new(),
+            scratch_due: Vec::new(),
+            stats: snap.stats.clone(),
+        }
+    }
+
+    /// FNV-1a checksum of the machine's architectural-and-timing state,
+    /// the chain link of the interval-memoizing backend's keys. Two
+    /// runs of the same program/params chain through identical hashes;
+    /// the hash folds in the clock, progress counters, cursor position,
+    /// every queue occupancy, and the memory-hierarchy statistics, so
+    /// unrelated states virtually never collide — and the memoization
+    /// key additionally pins the program fingerprint, parameter slice,
+    /// and interval index, so a collision would further have to happen
+    /// inside one deterministic chain (see DESIGN.md §13).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = StateHasher::new();
+        h.u64(self.now);
+        h.u64(self.stats.cycles);
+        h.u64(self.stats.retired);
+        h.u64(self.cursor.produced());
+        h.u64(self.window_base);
+        h.u64(self.next_seq);
+        h.u64(u64::from(self.rob_count));
+        h.u64(u64::from(self.rs_count));
+        h.u64(u64::from(self.rs_ready));
+        h.u64(u64::from(self.lq_count));
+        h.u64(self.window.len() as u64);
+        h.u64(self.fetch_q.len() as u64);
+        h.u64(self.rename_q.len() as u64);
+        h.u64(self.sq.len() as u64);
+        h.u64(self.pending_loads.len() as u64);
+        h.u64(self.completed_loads.len() as u64);
+        h.u64(self.sq_span.0);
+        h.u64(self.sq_span.1);
+        h.u64(self.loop_mode.map_or(u64::MAX, |(lo, _)| lo));
+        h.u64(self.loop_mode.map_or(u64::MAX, |(_, hi)| hi));
+        h.u64(self.loop_candidate.unwrap_or(u64::MAX));
+        h.u64(self.pending_fetch.as_ref().map_or(u64::MAX, |d| d.pc));
+        let m = self.mem.stats();
+        h.u64(m.requests);
+        h.u64(m.l1_hits);
+        h.u64(m.l1_misses);
+        h.u64(m.l2_hits);
+        h.u64(m.l2_misses);
+        h.u64(m.writebacks);
+        h.finish()
     }
 
     fn finished(&self) -> bool {
@@ -1492,6 +1780,28 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
     }
 }
 
+/// Incremental FNV-1a (64-bit) over `u64` words, the checksum behind
+/// [`Pipeline::state_hash`].
+struct StateHasher(u64);
+
+impl StateHasher {
+    fn new() -> StateHasher {
+        StateHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    #[inline]
+    fn u64(&mut self, v: u64) {
+        for b in v.to_le_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Which full structure blocks dispatch during an idle skip (exactly
 /// one stall counter is charged per blocked cycle, in dispatch-check
 /// order).
@@ -1524,4 +1834,128 @@ enum StoreHazard {
     Forward,
     /// Overlapping store with unknown data or partial overlap: wait.
     Blocked,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cycle_limit;
+    use armdse_kernels::{build_workload, App, WorkloadScale};
+    use armdse_memsim::{Hierarchy, MemParams};
+
+    fn fixture(app: App) -> (armdse_isa::Program, CoreParams, MemParams) {
+        let core = CoreParams::thunderx2();
+        let w = build_workload(app, WorkloadScale::Tiny, core.vector_length);
+        (w.program, core, MemParams::thunderx2())
+    }
+
+    #[test]
+    fn segmented_drive_matches_one_shot() {
+        for app in [App::Stream, App::MiniBude, App::TeaLeaf] {
+            let (p, c, m) = fixture(app);
+            let limit = cycle_limit(&p);
+            let oneshot = Pipeline::new(&p, c, Hierarchy::new(m)).run(limit);
+            for seg in [1u64, 7, 64, 4096] {
+                let mut pl = Pipeline::new(&p, c, Hierarchy::new(m));
+                let mut target = seg;
+                while !pl.is_finished() {
+                    pl.drive_until_retired(limit, target);
+                    target += seg;
+                }
+                assert_eq!(
+                    *pl.stats(),
+                    oneshot,
+                    "{app:?} diverged at segment length {seg}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segmented_drive_matches_one_shot_with_counters() {
+        let (p, c, m) = fixture(App::Stream);
+        let limit = cycle_limit(&p);
+        let (ref_stats, ref_counters) =
+            Pipeline::new(&p, c, Hierarchy::new(m)).run_with_counters(limit);
+        let mut pl = Pipeline::new(&p, c, Hierarchy::new(m));
+        pl.enable_counters();
+        let mut target = 128u64;
+        while !pl.is_finished() {
+            pl.drive_until_retired(limit, target);
+            target += 128;
+        }
+        let counters = pl.take_counters_finalized().expect("counters enabled");
+        assert_eq!(*pl.stats(), ref_stats);
+        assert_eq!(*counters, *ref_counters);
+        assert!(counters.conserves());
+    }
+
+    #[test]
+    fn snapshot_restore_at_every_boundary_is_bit_identical() {
+        let (p, c, m) = fixture(App::Stream);
+        let limit = cycle_limit(&p);
+        let oneshot = Pipeline::new(&p, c, Hierarchy::new(m)).run(limit);
+        // Drive in segments, replacing the machine by snapshot+restore
+        // at every boundary: the final stats must be unchanged.
+        let mut pl = Pipeline::new(&p, c, Hierarchy::new(m));
+        let mut target = 100u64;
+        while !pl.is_finished() {
+            pl.drive_until_retired(limit, target);
+            target += 100;
+            let snap = pl.snapshot();
+            pl = Pipeline::restore(&p, &snap);
+        }
+        assert_eq!(*pl.stats(), oneshot);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_counters() {
+        let (p, c, m) = fixture(App::MiniBude);
+        let limit = cycle_limit(&p);
+        let (ref_stats, ref_counters) =
+            Pipeline::new(&p, c, Hierarchy::new(m)).run_with_counters(limit);
+        let mut pl = Pipeline::new(&p, c, Hierarchy::new(m));
+        pl.enable_counters();
+        let mut target = 256u64;
+        while !pl.is_finished() {
+            pl.drive_until_retired(limit, target);
+            target += 256;
+            let snap = pl.snapshot();
+            pl = Pipeline::restore(&p, &snap);
+        }
+        let counters = pl.take_counters_finalized().expect("counters enabled");
+        assert_eq!(*pl.stats(), ref_stats);
+        assert_eq!(*counters, *ref_counters);
+    }
+
+    #[test]
+    fn state_hash_chains_reproduce_and_discriminate() {
+        let (p, c, m) = fixture(App::Stream);
+        let limit = cycle_limit(&p);
+        let chain = |seg: u64| {
+            let mut pl = Pipeline::new(&p, c, Hierarchy::new(m));
+            let mut hashes = vec![pl.state_hash()];
+            let mut target = seg;
+            while !pl.is_finished() {
+                pl.drive_until_retired(limit, target);
+                target += seg;
+                hashes.push(pl.state_hash());
+            }
+            hashes
+        };
+        let a = chain(512);
+        let b = chain(512);
+        assert_eq!(a, b, "identical runs must chain identical hashes");
+        assert!(a.len() > 2, "fixture too small to exercise chaining");
+        // Successive interval boundaries are distinct states.
+        for w in a.windows(2) {
+            assert_ne!(w[0], w[1], "state hash failed to move");
+        }
+        // A different design point diverges immediately after cycle 0.
+        let mut c2 = c;
+        c2.rob_size = 8;
+        let mut pl = Pipeline::new(&p, c2, Hierarchy::new(m));
+        pl.drive_until_retired(limit, 512);
+        assert_ne!(pl.state_hash(), a[1]);
+    }
 }

@@ -13,14 +13,20 @@
 //! program count with `ARMDSE_FUZZ_PROGRAMS=N` (CI smoke uses a smaller
 //! N; the acceptance campaign is the 200-program default).
 
-use armdse::oracle::{fuzz, FuzzConfig};
+use armdse::oracle::{fuzz, fuzz_with, FuzzConfig};
+use armdse::simcore::{Idealized, Memoized, SimBackend};
 
-#[test]
-fn differential_fuzz_campaign_is_clean() {
+fn campaign_config() -> FuzzConfig {
     let mut cfg = FuzzConfig::default();
     if let Ok(n) = std::env::var("ARMDSE_FUZZ_PROGRAMS") {
         cfg.programs = n.parse().expect("ARMDSE_FUZZ_PROGRAMS must be an integer");
     }
+    cfg
+}
+
+#[test]
+fn differential_fuzz_campaign_is_clean() {
+    let cfg = campaign_config();
     let report = fuzz(&cfg);
     assert_eq!(report.programs, cfg.programs);
     assert!(
@@ -30,5 +36,38 @@ fn differential_fuzz_campaign_is_clean() {
         report.failures[0].index,
         report.failures[0].backend,
         report.failures[0].error,
+    );
+}
+
+/// Reuse lane: the same fixed-seed program population, every program
+/// forced through the interval-memoizing backend. `check_kernel`
+/// cross-checks the backend's cached entry points (`run`,
+/// `run_with_metrics`) against its own uncached trace (`run_traced`)
+/// and the reference interpreter, so any interval-fingerprint collision
+/// or snapshot-restore unsoundness surfaces as a divergence. A short
+/// interval length maximises the number of interval boundaries (and
+/// therefore snapshot/restore transitions) each program crosses.
+#[test]
+fn differential_fuzz_reuse_lane_is_clean() {
+    let cfg = campaign_config();
+    let backend = Memoized::with_interval_len(Idealized, 64);
+    let report = fuzz_with(&cfg, &backend);
+    assert_eq!(report.programs, cfg.programs);
+    assert!(
+        report.ok(),
+        "reuse-lane fuzz found {} divergence(s); first: program #{} on {:?}: {}",
+        report.failures.len(),
+        report.failures[0].index,
+        report.failures[0].backend,
+        report.failures[0].error,
+    );
+    // The campaign must actually have exercised the cache: every program
+    // runs the plain and the metrics chain, so lookups dominate.
+    let rs = backend
+        .reuse_stats()
+        .expect("memoized backend reports stats");
+    assert!(
+        rs.misses > 0 && rs.insertions > 0,
+        "reuse lane never touched the interval cache: {rs:?}"
     );
 }

@@ -1,0 +1,120 @@
+//! Reuse-equivalence proof harness: the interval-memoizing backend must
+//! be **bit-identical** to the plain backend — statistics, metrics
+//! counters, and emitted dataset CSV bytes — in every cache state (cold,
+//! warm, and polluted by a different campaign) and at any thread count.
+//!
+//! This is the memoization analogue of `tests/determinism.rs`: the paper
+//! pipeline's numbers must never depend on what happens to be cached.
+
+use armdse::core::orchestrator::GenOptions;
+use armdse::core::space::ParamSpace;
+use armdse::core::{CsvSink, Engine, RunPlan};
+use armdse::kernels::{App, WorkloadScale};
+use armdse::simcore::{BankedProxy, Counters, Idealized, Memoized, SimBackend, SimStats};
+
+/// A small campaign over the paper's ThunderX2-anchored space: every
+/// config is a constrained sample around the baseline's parameter
+/// ranges, exactly what dataset generation simulates.
+fn plan(configs: usize, threads: usize) -> RunPlan {
+    let opts = GenOptions {
+        configs,
+        scale: WorkloadScale::Tiny,
+        seed: 0x7D2_2024,
+        threads,
+        apps: vec![App::Stream, App::TeaLeaf],
+    };
+    RunPlan::new(&ParamSpace::paper(), &opts).unwrap()
+}
+
+/// Run `plan` on `engine` and return the emitted CSV bytes.
+fn csv_bytes(engine: &Engine, plan: &RunPlan, tag: &str) -> Vec<u8> {
+    let path = std::env::temp_dir().join(format!("armdse_reuse_eq_{tag}.csv"));
+    let mut sink = CsvSink::create(&path).unwrap();
+    engine.run(plan, &mut sink).unwrap();
+    drop(sink);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+/// Cold cache, warm cache, and cross-campaign-polluted cache all emit
+/// the reference CSV byte-for-byte, at 1 and at 8 worker threads.
+#[test]
+fn dataset_csv_bytes_identical_in_every_cache_state() {
+    for threads in [1usize, 8] {
+        let p = plan(5, threads);
+        let want = csv_bytes(&Engine::idealized(), &p, &format!("ref_{threads}"));
+        let e = Engine::memoized(256);
+        let cold = csv_bytes(&e, &p, &format!("cold_{threads}"));
+        assert_eq!(cold, want, "threads={threads}: cold cache diverged");
+        let warm = csv_bytes(&e, &p, &format!("warm_{threads}"));
+        assert_eq!(warm, want, "threads={threads}: warm cache diverged");
+        let rs = e.backend().reuse_stats().unwrap();
+        assert!(rs.hits > 0, "threads={threads}: warm pass must hit");
+        // Pollute the cache with a different campaign, then re-emit.
+        let other = GenOptions {
+            configs: 4,
+            scale: WorkloadScale::Tiny,
+            seed: 0xBAD_CAFE,
+            threads,
+            apps: vec![App::MiniBude, App::MiniSweep],
+        };
+        let other_plan = RunPlan::new(&ParamSpace::paper(), &other).unwrap();
+        e.run(&other_plan, &mut armdse::core::DseDataset::default())
+            .unwrap();
+        let polluted = csv_bytes(&e, &p, &format!("cross_{threads}"));
+        assert_eq!(polluted, want, "threads={threads}: polluted cache diverged");
+    }
+}
+
+/// Per-design-point equality of the raw statistics and metrics counters
+/// across a seeded subspace grid, through a cold and a warm cache.
+#[test]
+fn stats_and_counters_bit_identical_on_subspace_grid() {
+    let space = ParamSpace::paper();
+    let core_baseline = armdse::simcore::CoreParams::thunderx2();
+    let scale = WorkloadScale::Tiny;
+    let plain = Engine::idealized();
+    let configs: Vec<_> = (0..6u64)
+        .map(|i| space.sample_seeded(0x0005_EED0 + i))
+        .collect();
+    for (backend, cached) in [
+        (
+            Box::new(Idealized) as Box<dyn SimBackend>,
+            Box::new(Memoized::with_interval_len(Idealized, 128)) as Box<dyn SimBackend>,
+        ),
+        (
+            Box::new(BankedProxy),
+            Box::new(Memoized::with_interval_len(BankedProxy, 128)),
+        ),
+    ] {
+        for app in [App::Stream, App::MiniSweep] {
+            let w = plain.workload(app, scale, core_baseline.vector_length);
+            for cfg in &configs {
+                let w_cfg = plain.workload(app, scale, cfg.core.vector_length);
+                for (program, core, mem) in [
+                    (
+                        &w.program,
+                        &core_baseline,
+                        &armdse::memsim::MemParams::thunderx2(),
+                    ),
+                    (&w_cfg.program, &cfg.core, &cfg.mem),
+                ] {
+                    let want: SimStats = backend.run(program, core, mem);
+                    let (want_m, want_c): (SimStats, Counters) =
+                        backend.run_with_metrics(program, core, mem);
+                    // Cold, then warm.
+                    for pass in ["cold", "warm"] {
+                        let got = cached.run(program, core, mem);
+                        assert_eq!(got, want, "{} {app:?} {pass}", backend.name());
+                        let (gm, gc) = cached.run_with_metrics(program, core, mem);
+                        assert_eq!(gm, want_m, "{} {app:?} {pass} metrics", backend.name());
+                        assert_eq!(gc, want_c, "{} {app:?} {pass} counters", backend.name());
+                    }
+                }
+            }
+            let rs = cached.reuse_stats().unwrap();
+            assert!(rs.hits > 0, "{}: warm passes must hit", backend.name());
+        }
+    }
+}
