@@ -148,3 +148,47 @@ cargo run --release --offline -p armdse-bench --bin bench-trend -- \
   --check "$SMOKE/bench/BENCH_reuse.json"
 cargo run --release --offline -p armdse-bench --bin bench-trend -- \
   --check BENCH_reuse.json
+# Server bench: smoke the wire-level benches and validate both the
+# fresh and the committed snapshot.
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench server -- poll
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check "$SMOKE/bench/BENCH_server.json"
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check BENCH_server.json
+
+# Server-smoke lane: DSE-as-a-service end to end (docs/SERVER.md). A
+# plan submitted over HTTP must stream back exactly the bytes the
+# direct `repro dataset` run above wrote — same configs/scale/seed, so
+# the streamed CSV is cmp-identical to "$SMOKE/fresh/dataset.csv". The
+# lane also round-trips pause -> resume -> cancel on a long job and
+# shuts the server down cleanly (the background repro must exit 0).
+cargo run --release --offline -p armdse-analysis --bin repro -- \
+  --serve 127.0.0.1:0 --out "$SMOKE/server" --runners 2 \
+  2> "$SMOKE/server.log" &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  test -s "$SMOKE/server/server.addr" && break
+  sleep 0.1
+done
+ADDR=$(cat "$SMOKE/server/server.addr")
+aclient() { cargo run --release --offline -p armdse-server --bin armdse-client -- "$@"; }
+printf '{"configs": 40, "scale": "tiny", "seed": 7, "threads": 4}' \
+  > "$SMOKE/server/spec.json"
+JOB=$(aclient "$ADDR" submit "$SMOKE/server/spec.json")
+aclient "$ADDR" wait "$JOB" | grep -q '"state": "done"'
+aclient "$ADDR" rows "$JOB" "$SMOKE/server/rows.csv"
+cmp "$SMOKE/fresh/dataset.csv" "$SMOKE/server/rows.csv"
+# pause -> resume -> cancel round-trip on a long single-app campaign
+# (600 one-job chunks: cancel always lands mid-flight).
+printf '{"configs": 600, "apps": ["STREAM"], "scale": "tiny", "seed": 11, "threads": 2, "chunk_jobs": 1}' \
+  > "$SMOKE/server/spec2.json"
+JOB2=$(aclient "$ADDR" submit "$SMOKE/server/spec2.json")
+aclient "$ADDR" pause "$JOB2"
+aclient "$ADDR" resume "$JOB2"
+aclient "$ADDR" cancel "$JOB2"
+aclient "$ADDR" wait "$JOB2" | grep -q '"state": "cancelled"'
+aclient "$ADDR" stats | grep -q '"schema": "armdse-server-stats-v1"'
+aclient "$ADDR" shutdown
+wait "$SERVER_PID"
+grep -q 'server shut down' "$SMOKE/server.log"

@@ -5,6 +5,7 @@
 //!                    [--seed N] [--sweep-configs N] [--threads N]
 //!                    [--out DIR] [--resume] [--max-chunks N]
 //!                    [--metrics DIR] [--explore N] [--explore-pareto]
+//! repro --serve ADDR [--out DIR] [--runners N]
 //!
 //! experiments:
 //!   fig1      SVE fraction of retired instructions per vector length
@@ -65,6 +66,7 @@ use armdse_core::metrics::{MetricsCsvSink, MetricsSink};
 use armdse_core::space::ParamSpace;
 use armdse_core::{ArmdseError, DseDataset, SurrogateSuite};
 use armdse_kernels::{App, WorkloadScale};
+use armdse_server::{Server, ServerConfig};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -151,6 +153,15 @@ fn parse_args() -> Result<Cli, String> {
 }
 
 fn main() {
+    if std::env::args().nth(1).as_deref() == Some("--serve") {
+        match serve(&std::env::args().skip(2).collect::<Vec<_>>()) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("error: {e}\n\nusage: repro --serve ADDR [--out DIR] [--runners N]");
+                std::process::exit(2);
+            }
+        }
+    }
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
@@ -169,6 +180,56 @@ fn main() {
 fn fail(e: ArmdseError) -> ! {
     eprintln!("error: {e}");
     std::process::exit(1);
+}
+
+/// `repro --serve ADDR [--out DIR] [--runners N]` — run the DSE job
+/// server until a `POST /shutdown` arrives. The job store lives under
+/// `<out>/jobs` (campaigns interrupted by a shutdown reopen as paused
+/// and resume byte-identically), and the resolved bind address —
+/// meaningful with an ephemeral `127.0.0.1:0` — is written to
+/// `<out>/server.addr` for scripts to pick up.
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut args = args.iter();
+    let addr = args
+        .next()
+        .ok_or("missing bind address (try 127.0.0.1:0)")?
+        .clone();
+    let mut out = PathBuf::from("results");
+    let mut runners = 2usize;
+    while let Some(flag) = args.next() {
+        let mut val = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--out" => out = PathBuf::from(val()?),
+            "--runners" => runners = val()?.parse().map_err(|e| format!("{e}"))?,
+            f => return Err(format!("unknown flag {f}")),
+        }
+    }
+    let config = ServerConfig {
+        addr,
+        jobs_dir: out.join("jobs"),
+        runners: runners.max(1),
+    };
+    std::fs::create_dir_all(&out).expect("create output directory");
+    let server = match Server::bind(&config) {
+        Ok(s) => s,
+        Err(e) => fail(e),
+    };
+    let local = server.local_addr();
+    std::fs::write(out.join("server.addr"), format!("{local}\n"))
+        .unwrap_or_else(|e| fail(ArmdseError::from(e)));
+    eprintln!(
+        "[repro] serving jobs on {local} ({} runner threads; job store {})",
+        config.runners,
+        config.jobs_dir.display()
+    );
+    server
+        .serve()
+        .unwrap_or_else(|e| fail(ArmdseError::from(e)));
+    eprintln!(
+        "[repro] server shut down; job state saved under {}",
+        config.jobs_dir.display()
+    );
+    Ok(())
 }
 
 fn run(cli: &Cli) {

@@ -1,0 +1,130 @@
+//! Benchmarks of the serving layer (docs/SERVER.md): what DSE-as-a-
+//! service costs on top of the engine itself. Submission latency and
+//! status polls are pure wire + store overhead (a scheduler with no
+//! runner threads, so nothing executes behind the measurement); the
+//! streaming benches measure rows/sec off a completed job's CSV through
+//! chunked transfer encoding; the round-trip bench is the full job
+//! lifecycle — submit over HTTP, execute on a runner, observe Done.
+
+use armdse_bench::harness::Harness;
+use armdse_core::jobstore::{JobSpec, JobState, JobStatus};
+use armdse_kernels::{App, WorkloadScale};
+use armdse_server::{client, Server, ServerConfig};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("armdse_bench_server_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+fn spec(configs: usize, seed: u64) -> JobSpec {
+    JobSpec {
+        configs,
+        scale: WorkloadScale::Tiny,
+        seed,
+        threads: 1,
+        apps: App::ALL.to_vec(),
+        ..JobSpec::default()
+    }
+}
+
+/// Bind a server on an ephemeral port and serve it on a background
+/// thread; returns the address (the process exit reaps the thread).
+fn start(dir: PathBuf, runners: usize) -> String {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs_dir: dir,
+        runners,
+    })
+    .expect("bench server binds");
+    let addr = server.local_addr().to_string();
+    std::thread::spawn(move || server.serve());
+    addr
+}
+
+fn submit(addr: &str, spec: &JobSpec) -> JobStatus {
+    let resp = client::request(addr, "POST", "/jobs", Some(&spec.to_json())).expect("submit");
+    assert_eq!(resp.status, 201, "{}", resp.text());
+    JobStatus::from_json(&resp.text()).expect("status json")
+}
+
+fn wait_done(addr: &str, id: u64) {
+    loop {
+        let resp = client::request(addr, "GET", &format!("/jobs/{id}"), None).expect("status");
+        let st = JobStatus::from_json(&resp.text()).expect("status json");
+        if st.state.is_terminal() {
+            assert_eq!(st.state, JobState::Done, "{:?}", st.error);
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn main() {
+    let mut h = Harness::from_args("server");
+
+    // Idle server (no runners): submissions only queue, so these two
+    // benches isolate HTTP parse + spec validation + store write.
+    let idle = start(tmp("idle"), 0);
+    let queued = spec(4, 0xBE7C_0001);
+    h.bench("server/submit_queued", || black_box(submit(&idle, &queued)));
+    let probe = submit(&idle, &spec(4, 0xBE7C_0002));
+    h.bench("server/status_poll", || {
+        let resp =
+            client::request(&idle, "GET", &format!("/jobs/{}", probe.id), None).expect("status");
+        assert_eq!(resp.status, 200);
+        black_box(resp.body.len())
+    });
+
+    // Live server: one completed campaign to stream. The stream on a
+    // terminal job terminates at EOF, so this measures pure chunked
+    // file streaming (rows/sec), no simulation in the loop.
+    let live = start(tmp("live"), 1);
+    let done = submit(&live, &spec(25, 0xBE7C_0003));
+    wait_done(&live, done.id);
+    let rows = done.total_jobs as u64; // one CSV row per simulation job
+    h.bench_throughput("server/rows_streamed", rows, || {
+        let mut bytes = 0usize;
+        let code = client::stream(
+            &live,
+            "GET",
+            &format!("/jobs/{}/rows", done.id),
+            None,
+            &mut |chunk| {
+                bytes += chunk.len();
+                Ok(())
+            },
+        )
+        .expect("stream");
+        assert_eq!(code, 200);
+        black_box(bytes)
+    });
+
+    // Full lifecycle: submit a minimal campaign over HTTP, let a runner
+    // execute it, poll to Done. Dominated by the simulation itself —
+    // the number tracks total service overhead per job end to end.
+    let tiny = JobSpec {
+        configs: 1,
+        apps: vec![App::Stream],
+        ..spec(1, 0xBE7C_0004)
+    };
+    let mut seed = 0x1000u64;
+    h.bench("server/job_roundtrip", || {
+        seed += 1; // fresh seed: defeats any cross-job caching
+        let st = submit(
+            &live,
+            &JobSpec {
+                seed,
+                ..tiny.clone()
+            },
+        );
+        wait_done(&live, st.id);
+        black_box(st.id)
+    });
+
+    h.finish();
+}

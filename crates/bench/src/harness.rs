@@ -19,6 +19,7 @@
 //! path. The snapshot is the perf-trajectory artifact compared across
 //! commits by the [`crate::trend`] comparator.
 
+use armdse_core::json::{json_num, write_json_string};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -237,12 +238,12 @@ fn snapshot_path(target: &str, suite: &str) -> String {
 pub fn snapshot_json(suite: &str, results: &[BenchResult]) -> String {
     let mut out = String::with_capacity(256 + results.len() * 160);
     out.push_str("{\n  \"schema\": \"armdse-bench-v1\",\n  \"suite\": ");
-    json_string(suite, &mut out);
+    write_json_string(suite, &mut out);
     out.push_str(",\n  \"results\": [");
     for (i, r) in results.iter().enumerate() {
         out.push_str(if i == 0 { "\n" } else { ",\n" });
         out.push_str("    {\"id\": ");
-        json_string(&r.id, &mut out);
+        write_json_string(&r.id, &mut out);
         out.push_str(&format!(
             ", \"median_ns\": {}, \"min_ns\": {}, \"spread_ns\": {}, \"samples\": {}, \"iters\": {}",
             json_num(r.median_ns),
@@ -261,38 +262,6 @@ pub fn snapshot_json(suite: &str, results: &[BenchResult]) -> String {
     }
     out.push_str("\n  ]\n}\n");
     out
-}
-
-/// Format a finite f64 as a JSON number (Rust's shortest round-trip
-/// `Display`, which never emits `inf`/`NaN` here — callers guarantee
-/// finiteness — and uses no exponent for the magnitudes we measure).
-fn json_num(v: f64) -> String {
-    debug_assert!(v.is_finite());
-    // Guarantee a decimal point so the value reads back as a float and
-    // integers vs floats stay visually distinct in the snapshot.
-    let s = format!("{v}");
-    if s.contains('.') || s.contains('e') {
-        s
-    } else {
-        format!("{s}.0")
-    }
-}
-
-/// Escape and quote `s` per RFC 8259.
-fn json_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
 }
 
 /// `12345678` → `12,345,678`.
@@ -355,13 +324,6 @@ mod tests {
             snapshot_path("x/custom.json", "components"),
             "x/custom.json"
         );
-    }
-
-    #[test]
-    fn json_numbers_always_carry_a_decimal_point() {
-        assert_eq!(json_num(1.0), "1.0");
-        assert_eq!(json_num(1234.5), "1234.5");
-        assert_eq!(json_num(0.25), "0.25");
     }
 
     #[test]

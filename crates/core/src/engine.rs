@@ -62,8 +62,7 @@ use armdse_simcore::{
 };
 use std::io::{BufWriter, Write};
 use std::path::Path;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// Default jobs per chunk: small enough that checkpoints land every few
 /// seconds at Standard scale, large enough to amortise the thread scope.
@@ -214,10 +213,20 @@ impl RunPlan {
         fnv1a64(encoded.as_bytes())
     }
 
+    /// The parameter space the plan samples from.
+    pub(crate) fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// Pinned `(feature, value)` pairs.
+    pub(crate) fn pins(&self) -> &[(String, f64)] {
+        &self.pins
+    }
+
     /// The seed offset config slot `cfg_idx` samples with: the explicit
     /// index when [`RunPlan::with_config_indices`] set one, the slot
     /// number otherwise.
-    fn config_offset(&self, cfg_idx: usize) -> u64 {
+    pub(crate) fn config_offset(&self, cfg_idx: usize) -> u64 {
         match &self.indices {
             Some(indices) => indices[cfg_idx],
             None => cfg_idx as u64,
@@ -378,46 +387,63 @@ impl Checkpoint {
     }
 
     /// Load and parse a checkpoint file (v1 or v2).
+    ///
+    /// Every parse error names the offending file and 1-based line
+    /// number (`<path>:<line>: <reason>`) — a multi-job store holds
+    /// many checkpoints, and "unparsable field" without a location is
+    /// useless there.
     pub fn load(path: &Path) -> Result<Checkpoint, ArmdseError> {
         let body = std::fs::read_to_string(path)?;
+        let err = |line_no: usize, msg: String| {
+            ArmdseError::Checkpoint(format!("{}:{line_no}: {msg}", path.display()))
+        };
         let mut lines = body.lines();
-        let magic = lines.next();
-        if magic != Some(CHECKPOINT_MAGIC_V1) && magic != Some(CHECKPOINT_MAGIC_V2) {
-            return Err(ArmdseError::Checkpoint(format!(
-                "{}: not an armdse v1/v2 checkpoint",
-                path.display()
-            )));
+        match lines.next() {
+            Some(CHECKPOINT_MAGIC_V1) | Some(CHECKPOINT_MAGIC_V2) => {}
+            Some(other) => {
+                return Err(err(
+                    1,
+                    format!("not an armdse v1/v2 checkpoint (got '{other}')"),
+                ))
+            }
+            None => return Err(err(1, "empty checkpoint file".into())),
         }
-        let mut field = |key: &str| -> Result<String, ArmdseError> {
-            let line = lines.next().ok_or_else(|| {
-                ArmdseError::Checkpoint(format!("{}: missing field {key}", path.display()))
-            })?;
+        // The fixed fields sit at fixed lines: magic is line 1, then one
+        // field per line in FIXED_FIELDS order.
+        let mut field = |line_no: usize, key: &str| -> Result<String, ArmdseError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| err(line_no, format!("missing field {key}")))?;
             line.strip_prefix(&format!("{key}="))
                 .map(str::to_string)
-                .ok_or_else(|| {
-                    ArmdseError::Checkpoint(format!(
-                        "{}: expected '{key}=', got '{line}'",
-                        path.display()
-                    ))
-                })
+                .ok_or_else(|| err(line_no, format!("expected '{key}=<value>', got '{line}'")))
         };
-        let parse_err = |key: &str| ArmdseError::Checkpoint(format!("unparsable field {key}"));
-        let fingerprint = u64::from_str_radix(&field("fingerprint")?, 16)
-            .map_err(|_| parse_err("fingerprint"))?;
-        let jobs_done = field("jobs_done")?
+        let text = field(2, "fingerprint")?;
+        let fingerprint = u64::from_str_radix(&text, 16).map_err(|_| {
+            err(
+                2,
+                format!("unparsable fingerprint '{text}' (want 16 hex digits)"),
+            )
+        })?;
+        let text = field(3, "jobs_done")?;
+        let jobs_done = text
             .parse()
-            .map_err(|_| parse_err("jobs_done"))?;
-        let rows = field("rows")?.parse().map_err(|_| parse_err("rows"))?;
-        let discarded = field("discarded")?
+            .map_err(|_| err(3, format!("unparsable jobs_done '{text}'")))?;
+        let text = field(4, "rows")?;
+        let rows = text
             .parse()
-            .map_err(|_| parse_err("discarded"))?;
+            .map_err(|_| err(4, format!("unparsable rows '{text}'")))?;
+        let text = field(5, "discarded")?;
+        let discarded = text
+            .parse()
+            .map_err(|_| err(5, format!("unparsable discarded '{text}'")))?;
         let mut extra = Vec::new();
-        for line in lines {
+        for (i, line) in lines.enumerate() {
             let (k, v) = line.split_once('=').ok_or_else(|| {
-                ArmdseError::Checkpoint(format!(
-                    "{}: malformed extra line '{line}'",
-                    path.display()
-                ))
+                err(
+                    6 + i,
+                    format!("malformed extra line '{line}' (want key=value)"),
+                )
             })?;
             extra.push((k.to_string(), v.to_string()));
         }
@@ -502,27 +528,6 @@ pub enum ReuseMode {
     ColdStart,
 }
 
-/// The checkpoint v2 extra keys recording a non-default fidelity tier.
-/// [`Fidelity::Full`] maps to no keys at all so default campaigns keep
-/// the v1 on-disk checkpoint format byte-for-byte.
-fn fidelity_extra(f: Fidelity) -> Vec<(String, String)> {
-    let tag = ("reuse.fidelity".into(), f.tag().into());
-    match f {
-        Fidelity::Full => Vec::new(),
-        Fidelity::Memoized { interval_len } => {
-            vec![tag, ("reuse.interval_len".into(), interval_len.to_string())]
-        }
-        Fidelity::Sampled {
-            interval_len,
-            warmup,
-        } => vec![
-            tag,
-            ("reuse.interval_len".into(), interval_len.to_string()),
-            ("reuse.warmup".into(), warmup.to_string()),
-        ],
-    }
-}
-
 /// Outcome of [`Engine::run_controlled`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSummary {
@@ -539,9 +544,6 @@ pub struct RunSummary {
     /// Whether the campaign ran to completion (false: observer paused).
     pub completed: bool,
 }
-
-/// One job's chunk result: index, dataset outcome, optional metrics row.
-type ChunkResult = (usize, Result<Row, DiscardedRun>, Option<Box<MetricsRow>>);
 
 /// The unified run path: a pluggable backend plus the shared workload
 /// cache, executing validated plans into row sinks.
@@ -590,6 +592,20 @@ impl Engine {
             interval_len,
             warmup,
         )))
+    }
+
+    /// An engine at the given [`Fidelity`] tier over the default
+    /// hierarchy — the tier-tag-driven constructor the job server uses
+    /// to build each job's private engine.
+    pub fn with_fidelity(f: Fidelity) -> Engine {
+        match f {
+            Fidelity::Full => Engine::idealized(),
+            Fidelity::Memoized { interval_len } => Engine::memoized(interval_len),
+            Fidelity::Sampled {
+                interval_len,
+                warmup,
+            } => Engine::sampled(interval_len, warmup),
+        }
     }
 
     /// Toggle the pipeline's idle-cycle fast-forward for every pipeline
@@ -661,188 +677,19 @@ impl Engine {
     }
 
     /// Run with checkpointing, resume, and/or a progress observer.
+    ///
+    /// Since PR 9 this is a thin wrapper over the scheduler layer's
+    /// [`crate::scheduler`] run loop (the extracted former body of this
+    /// method), so single-plan consumers and the multi-job
+    /// [`crate::scheduler::JobScheduler`] execute the exact same code
+    /// path.
     pub fn run_controlled(
         &self,
         plan: &RunPlan,
         sink: &mut dyn RowSink,
-        mut ctl: RunControl<'_>,
+        ctl: RunControl<'_>,
     ) -> Result<RunSummary, ArmdseError> {
-        let total_jobs = plan.jobs();
-        let fingerprint = plan.fingerprint();
-        // Fidelity keys ride along in the checkpoint's v2 extra section
-        // so a resume cannot silently splice rows produced at a
-        // different fidelity into one dataset. Full fidelity writes no
-        // keys, keeping the default on-disk format byte-identical.
-        let reuse_extra = fidelity_extra(self.backend.fidelity());
-        let mut done = 0usize;
-        let mut resumed_from = 0usize;
-        let (mut prior_rows, mut prior_discarded) = (0usize, 0usize);
-        if ctl.resume {
-            let path = ctl.checkpoint.ok_or_else(|| {
-                ArmdseError::InvalidPlan("resume requested without a checkpoint path".into())
-            })?;
-            if path.exists() {
-                let c = Checkpoint::load(path)?;
-                if c.fingerprint != fingerprint {
-                    return Err(ArmdseError::Checkpoint(format!(
-                        "{}: fingerprint {:016x} does not match plan {:016x} — \
-                         refusing to resume a different campaign",
-                        path.display(),
-                        c.fingerprint,
-                        fingerprint
-                    )));
-                }
-                if c.jobs_done > total_jobs {
-                    return Err(ArmdseError::Checkpoint(format!(
-                        "{}: jobs_done {} exceeds plan total {total_jobs}",
-                        path.display(),
-                        c.jobs_done
-                    )));
-                }
-                for key in ["reuse.fidelity", "reuse.interval_len", "reuse.warmup"] {
-                    let want = reuse_extra
-                        .iter()
-                        .find(|(k, _)| k == key)
-                        .map(|(_, v)| v.as_str());
-                    if c.extra_get(key) != want {
-                        return Err(ArmdseError::Checkpoint(format!(
-                            "{}: {key} {:?} does not match this engine's {:?} — \
-                             refusing to mix fidelity tiers in one dataset",
-                            path.display(),
-                            c.extra_get(key),
-                            want
-                        )));
-                    }
-                }
-                done = c.jobs_done;
-                resumed_from = done;
-                prior_rows = c.rows;
-                prior_discarded = c.discarded;
-            }
-        }
-        if ctl.reuse == ReuseMode::ColdStart {
-            self.backend.clear_reuse_cache();
-        }
-
-        let with_metrics = ctl.metrics.is_some();
-        let (mut rows, mut discarded) = (0usize, 0usize);
-        while done < total_jobs {
-            let end = (done + plan.chunk_jobs).min(total_jobs);
-            for (_, result, metrics_row) in self.run_chunk(plan, done, end, with_metrics) {
-                match result {
-                    Ok(row) => {
-                        sink.row(&row)?;
-                        rows += 1;
-                    }
-                    Err(d) => {
-                        sink.discarded(&d)?;
-                        discarded += 1;
-                    }
-                }
-                if let (Some(m), Some(msink)) = (metrics_row, ctl.metrics.as_deref_mut()) {
-                    msink.metrics(&m)?;
-                }
-            }
-            done = end;
-            sink.chunk_end()?;
-            if let Some(msink) = ctl.metrics.as_deref_mut() {
-                msink.chunk_end()?;
-            }
-            if let Some(path) = ctl.checkpoint {
-                let mut extra = reuse_extra.clone();
-                extra.extend_from_slice(ctl.checkpoint_extra.unwrap_or(&[]));
-                Checkpoint {
-                    fingerprint,
-                    jobs_done: done,
-                    rows: prior_rows + rows,
-                    discarded: prior_discarded + discarded,
-                    extra,
-                }
-                .save(path)?;
-            }
-            let progress = Progress {
-                jobs_done: done,
-                total_jobs,
-                rows: prior_rows + rows,
-                discarded: prior_discarded + discarded,
-                reuse: self.backend.reuse_stats(),
-            };
-            if let Some(observer) = ctl.observer.as_deref_mut() {
-                if !observer(&progress) && done < total_jobs {
-                    return Ok(RunSummary {
-                        jobs: total_jobs,
-                        jobs_done: done,
-                        rows,
-                        discarded,
-                        resumed_from,
-                        completed: false,
-                    });
-                }
-            }
-        }
-        Ok(RunSummary {
-            jobs: total_jobs,
-            jobs_done: done,
-            rows,
-            discarded,
-            resumed_from,
-            completed: true,
-        })
-    }
-
-    /// Execute jobs `start..end` across the plan's worker threads and
-    /// return the results sorted by job index. With `with_metrics`, each
-    /// result additionally carries its per-job [`MetricsRow`].
-    fn run_chunk(
-        &self,
-        plan: &RunPlan,
-        start: usize,
-        end: usize,
-        with_metrics: bool,
-    ) -> Vec<ChunkResult> {
-        let n = end - start;
-        let threads = plan.threads.clamp(1, n);
-        let pins: Vec<(&str, f64)> = plan
-            .pins
-            .iter()
-            .map(|(name, v)| (name.as_str(), *v))
-            .collect();
-        let counter = AtomicUsize::new(start);
-        let results: Mutex<Vec<ChunkResult>> = Mutex::new(Vec::with_capacity(n));
-
-        std::thread::scope(|s| {
-            for _ in 0..threads {
-                s.spawn(|| {
-                    let mut local: Vec<ChunkResult> = Vec::new();
-                    loop {
-                        let job = counter.fetch_add(1, Ordering::Relaxed);
-                        if job >= end {
-                            break;
-                        }
-                        let cfg_idx = job / plan.apps.len();
-                        let app = plan.apps[job % plan.apps.len()];
-                        let cfg = plan
-                            .space
-                            .sample_seeded_pinned(plan.seed + plan.config_offset(cfg_idx), &pins);
-                        let (result, metrics_row) = if with_metrics {
-                            let (r, m) = self.run_job_metrics(app, job, cfg_idx, plan.scale, &cfg);
-                            (r, Some(m))
-                        } else {
-                            (self.run_job(app, cfg_idx, plan.scale, &cfg), None)
-                        };
-                        local.push((job, result, metrics_row));
-                    }
-                    results
-                        .lock()
-                        .expect("worker poisoned results")
-                        .append(&mut local);
-                });
-            }
-        });
-
-        let mut collected = results.into_inner().expect("worker poisoned results");
-        collected.sort_unstable_by_key(|(job, ..)| *job);
-        collected
+        crate::scheduler::run_job_loop(self, plan, sink, ctl, None)
     }
 
     /// Build the dataset-facing outcome from one job's statistics.
@@ -871,7 +718,7 @@ impl Engine {
 
     /// Run one simulation with cycle accounting enabled, producing both
     /// the dataset-facing outcome and the per-job metrics row.
-    fn run_job_metrics(
+    pub(crate) fn run_job_metrics(
         &self,
         app: App,
         job: usize,
@@ -897,7 +744,7 @@ impl Engine {
 
     /// Run one simulation; `Err` reports a run that failed validation
     /// (the paper discards such runs — we record what was dropped).
-    fn run_job(
+    pub(crate) fn run_job(
         &self,
         app: App,
         config_index: usize,
@@ -1057,6 +904,59 @@ mod tests {
         assert_eq!(loaded.extra_get("explore.round"), Some("3"));
         assert_eq!(loaded.extra_get("no.such.key"), None);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_load_errors_name_path_and_line() {
+        let dir = std::env::temp_dir();
+        let case = |name: &str, body: &str, line: usize, needle: &str| {
+            let path = dir.join(name);
+            std::fs::write(&path, body).unwrap();
+            let msg = Checkpoint::load(&path).unwrap_err().to_string();
+            assert!(
+                msg.contains(&format!("{}:{line}:", path.display())),
+                "{name}: wanted '{}:{line}:' in '{msg}'",
+                path.display()
+            );
+            assert!(msg.contains(needle), "{name}: wanted '{needle}' in '{msg}'");
+            std::fs::remove_file(&path).ok();
+        };
+        case(
+            "armdse_ckpt_err_magic.ckpt",
+            "not a checkpoint\n",
+            1,
+            "not an armdse",
+        );
+        case(
+            "armdse_ckpt_err_fp.ckpt",
+            "armdse-checkpoint v1\nfingerprint=XYZ\njobs_done=1\nrows=1\ndiscarded=0\n",
+            2,
+            "unparsable fingerprint 'XYZ'",
+        );
+        case(
+            "armdse_ckpt_err_jobs.ckpt",
+            "armdse-checkpoint v1\nfingerprint=0000000000000001\njobs_done=lots\nrows=1\ndiscarded=0\n",
+            3,
+            "unparsable jobs_done 'lots'",
+        );
+        case(
+            "armdse_ckpt_err_missing.ckpt",
+            "armdse-checkpoint v1\nfingerprint=0000000000000001\njobs_done=1\n",
+            4,
+            "missing field rows",
+        );
+        case(
+            "armdse_ckpt_err_swapped.ckpt",
+            "armdse-checkpoint v1\nfingerprint=0000000000000001\nrows=1\njobs_done=1\ndiscarded=0\n",
+            3,
+            "expected 'jobs_done=<value>'",
+        );
+        case(
+            "armdse_ckpt_err_extra.ckpt",
+            "armdse-checkpoint v2\nfingerprint=0000000000000001\njobs_done=1\nrows=1\ndiscarded=0\nok=1\nbroken\n",
+            7,
+            "malformed extra line 'broken'",
+        );
     }
 
     #[test]

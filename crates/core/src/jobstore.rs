@@ -1,0 +1,957 @@
+//! The session layer: named, isolated, restartable campaign jobs.
+//!
+//! A [`Job`] is one submitted campaign — a validated [`RunPlan`] plus a
+//! fidelity tier, priority, and sink layout — owned by a [`JobStore`]
+//! that gives it an id, a directory slot, and a state machine. The
+//! execution side (the priority queue and runner threads) lives in
+//! [`crate::scheduler::JobScheduler`]; this module is everything the
+//! scheduler schedules *around*: identity, isolation, persistence, and
+//! machine-readable status.
+//!
+//! ## Per-job isolation
+//!
+//! Every job owns a private [`Engine`] — its own [`WorkloadCache`] and
+//! its own backend instance (and therefore its own interval-reuse
+//! cache when the job runs at the memoized or sampled tier). Two
+//! tenants submitting jobs with different seeds or fidelity tiers can
+//! never pollute each other's memoized chains or workload cache; the
+//! only shared state between concurrent jobs is the scheduler's queue
+//! lock. Combined with the engine's thread-count-invariant determinism
+//! contract, a job's output bytes depend only on its spec — never on
+//! what else the server happens to be running (pinned by
+//! `tests/server_jobs.rs`).
+//!
+//! [`WorkloadCache`]: armdse_kernels::WorkloadCache
+//!
+//! ## On-disk layout
+//!
+//! Inside the store directory every job `N` owns:
+//!
+//! ```text
+//! job-N.spec.json    # the submitted spec (wire format, re-parseable)
+//! job-N.csv          # the streamed dataset rows (CsvSink bytes)
+//! job-N.ckpt         # armdse-checkpoint v1/v2, atomically replaced
+//! job-N.metrics.csv  # per-job metrics stream (only when requested)
+//! job-N.state        # terminal marker: done / cancelled / failed <msg>
+//! ```
+//!
+//! [`JobStore::open`] rescans this layout, so a server restart recovers
+//! every job: terminal jobs keep their recorded state, and anything
+//! else comes back as [`JobState::Paused`] at its checkpointed position
+//! — an explicit resume re-queues it and the engine's byte-identical
+//! resume contract takes over. No background work survives the process;
+//! recovery is purely file-driven.
+
+use crate::engine::{Checkpoint, Engine, RunPlan, DEFAULT_CHUNK_JOBS};
+use crate::error::ArmdseError;
+use crate::json::{json_num, parse_json, write_json_string, Json};
+use crate::orchestrator::GenOptions;
+use crate::space::ParamSpace;
+use armdse_kernels::{App, WorkloadScale};
+use armdse_simcore::Fidelity;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Identifier of one submitted job (assigned by the store, ascending
+/// in submission order).
+pub type JobId = u64;
+
+/// Lifecycle of a job. `Queued → Running → {Done, Failed}` is the happy
+/// path; `Paused` is re-enterable (`resume` re-queues), and `Done`,
+/// `Failed`, `Cancelled` are terminal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// In the scheduler's priority queue, waiting for a runner.
+    Queued,
+    /// A runner thread is executing the campaign.
+    Running,
+    /// Stopped at a chunk boundary with a checkpoint on disk; resume
+    /// continues to byte-identical output.
+    Paused,
+    /// Completed every job in the plan.
+    Done,
+    /// Aborted with an error (recorded in the status snapshot).
+    Failed,
+    /// Cancelled by request; the last checkpoint remains loadable.
+    Cancelled,
+}
+
+impl JobState {
+    /// Stable lowercase tag (wire format and state-marker files).
+    pub fn tag(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Paused => "paused",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Parse a state tag.
+    pub fn parse(s: &str) -> Option<JobState> {
+        match s {
+            "queued" => Some(JobState::Queued),
+            "running" => Some(JobState::Running),
+            "paused" => Some(JobState::Paused),
+            "done" => Some(JobState::Done),
+            "failed" => Some(JobState::Failed),
+            "cancelled" => Some(JobState::Cancelled),
+            _ => None,
+        }
+    }
+
+    /// Whether the state is final (no further transitions).
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+}
+
+impl fmt::Display for JobState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// A submitted campaign description: the wire-format form of a
+/// [`RunPlan`] plus scheduling and sink options. This is exactly what
+/// `POST /jobs` accepts as a JSON body (see docs/SERVER.md).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// Design points to sample (required; `0` fails validation).
+    pub configs: usize,
+    /// Workload input scale.
+    pub scale: WorkloadScale,
+    /// Base campaign seed (config `i` samples with `seed + i`).
+    pub seed: u64,
+    /// Worker threads (shards) the job's config range fans out over.
+    pub threads: usize,
+    /// Applications simulated per configuration.
+    pub apps: Vec<App>,
+    /// Features pinned to fixed values by name.
+    pub pins: Vec<(String, f64)>,
+    /// Jobs per chunk (checkpoint cadence; never changes output bytes).
+    pub chunk_jobs: usize,
+    /// Scheduling priority: higher runs first; ties run in submission
+    /// order (job-id ascending) — deterministic, pinned by test.
+    pub priority: i64,
+    /// Simulation tier the job's private engine runs at.
+    pub fidelity: Fidelity,
+    /// Also stream a per-job metrics CSV (cycle accounting per job).
+    pub metrics: bool,
+}
+
+impl Default for JobSpec {
+    fn default() -> JobSpec {
+        JobSpec {
+            configs: 0,
+            scale: WorkloadScale::Standard,
+            seed: 0x5EED,
+            threads: 1,
+            apps: App::ALL.to_vec(),
+            pins: Vec::new(),
+            chunk_jobs: DEFAULT_CHUNK_JOBS,
+            priority: 0,
+            fidelity: Fidelity::Full,
+            metrics: false,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Validate into a [`RunPlan`] over `space`.
+    pub fn plan(&self, space: &ParamSpace) -> Result<RunPlan, ArmdseError> {
+        let opts = GenOptions {
+            configs: self.configs,
+            scale: self.scale,
+            seed: self.seed,
+            threads: self.threads,
+            apps: self.apps.clone(),
+        };
+        let pins: Vec<(&str, f64)> = self.pins.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        Ok(RunPlan::pinned(space, &opts, &pins)?.with_chunk_jobs(self.chunk_jobs))
+    }
+
+    /// Build the job's private engine at the requested fidelity tier.
+    pub fn engine(&self) -> Engine {
+        Engine::with_fidelity(self.fidelity)
+    }
+
+    /// Serialize to the canonical wire JSON (round-trips through
+    /// [`JobSpec::from_json`]).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"configs\": {},\n", self.configs));
+        out.push_str(&format!("  \"scale\": \"{}\",\n", self.scale.name()));
+        out.push_str(&format!("  \"seed\": {},\n", self.seed));
+        out.push_str(&format!("  \"threads\": {},\n", self.threads));
+        out.push_str("  \"apps\": [");
+        for (i, a) in self.apps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(a.name(), &mut out);
+        }
+        out.push_str("],\n  \"pins\": {");
+        for (i, (n, v)) in self.pins.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_json_string(n, &mut out);
+            out.push_str(": ");
+            out.push_str(&json_num(*v));
+        }
+        out.push_str("},\n");
+        out.push_str(&format!("  \"chunk_jobs\": {},\n", self.chunk_jobs));
+        out.push_str(&format!("  \"priority\": {},\n", self.priority));
+        out.push_str(&format!("  \"fidelity\": \"{}\",\n", self.fidelity.tag()));
+        match self.fidelity {
+            Fidelity::Full => {}
+            Fidelity::Memoized { interval_len } => {
+                out.push_str(&format!("  \"interval_len\": {interval_len},\n"));
+            }
+            Fidelity::Sampled {
+                interval_len,
+                warmup,
+            } => {
+                out.push_str(&format!("  \"interval_len\": {interval_len},\n"));
+                out.push_str(&format!("  \"warmup\": {warmup},\n"));
+            }
+        }
+        out.push_str(&format!("  \"metrics\": {}\n}}\n", self.metrics));
+        out
+    }
+
+    /// Parse the wire JSON. Strict: unknown keys and ill-typed values
+    /// are errors (a typo'd field silently ignored would run the wrong
+    /// campaign), missing optional keys take [`JobSpec::default`]
+    /// values, and `configs` is required.
+    pub fn from_json(body: &str) -> Result<JobSpec, ArmdseError> {
+        let bad = |m: String| ArmdseError::InvalidPlan(m);
+        let v = parse_json(body).map_err(|e| bad(format!("bad JSON: {e}")))?;
+        let obj = v
+            .as_object()
+            .ok_or_else(|| bad("job spec must be a JSON object".into()))?;
+        let mut spec = JobSpec::default();
+        let mut have_configs = false;
+        let mut interval_len = None;
+        let mut warmup = None;
+        let mut fidelity_tag = "full".to_string();
+        for (key, val) in obj {
+            let uint = || -> Result<u64, ArmdseError> {
+                val.as_u64()
+                    .ok_or_else(|| bad(format!("\"{key}\" must be a non-negative integer")))
+            };
+            match key.as_str() {
+                "configs" => {
+                    spec.configs = uint()? as usize;
+                    have_configs = true;
+                }
+                "scale" => {
+                    let s = val
+                        .as_str()
+                        .ok_or_else(|| bad("\"scale\" must be a string".into()))?;
+                    spec.scale = WorkloadScale::parse(s)
+                        .ok_or_else(|| bad(format!("unknown scale \"{s}\"")))?;
+                }
+                "seed" => spec.seed = uint()?,
+                "threads" => spec.threads = (uint()? as usize).max(1),
+                "apps" => {
+                    let arr = val
+                        .as_array()
+                        .ok_or_else(|| bad("\"apps\" must be an array".into()))?;
+                    spec.apps = arr
+                        .iter()
+                        .map(|a| {
+                            a.as_str()
+                                .and_then(App::parse)
+                                .ok_or_else(|| bad(format!("unknown app {a:?}")))
+                        })
+                        .collect::<Result<Vec<App>, ArmdseError>>()?;
+                }
+                "pins" => {
+                    let m = val
+                        .as_object()
+                        .ok_or_else(|| bad("\"pins\" must be an object".into()))?;
+                    spec.pins = m
+                        .iter()
+                        .map(|(n, pv)| {
+                            pv.as_f64()
+                                .map(|f| (n.clone(), f))
+                                .ok_or_else(|| bad(format!("pin \"{n}\" must be a number")))
+                        })
+                        .collect::<Result<Vec<(String, f64)>, ArmdseError>>()?;
+                }
+                "chunk_jobs" => spec.chunk_jobs = (uint()? as usize).max(1),
+                "priority" => {
+                    let n = val
+                        .as_f64()
+                        .ok_or_else(|| bad("\"priority\" must be an integer".into()))?;
+                    if n.fract() != 0.0 || !(i64::MIN as f64..=i64::MAX as f64).contains(&n) {
+                        return Err(bad("\"priority\" must be an integer".into()));
+                    }
+                    spec.priority = n as i64;
+                }
+                "fidelity" => {
+                    fidelity_tag = val
+                        .as_str()
+                        .ok_or_else(|| bad("\"fidelity\" must be a string".into()))?
+                        .to_string();
+                }
+                "interval_len" => interval_len = Some(uint()?),
+                "warmup" => warmup = Some(uint()?),
+                "metrics" => {
+                    spec.metrics = val
+                        .as_bool()
+                        .ok_or_else(|| bad("\"metrics\" must be a boolean".into()))?;
+                }
+                other => return Err(bad(format!("unknown key \"{other}\""))),
+            }
+        }
+        if !have_configs {
+            return Err(bad("missing required key \"configs\"".into()));
+        }
+        spec.fidelity = match fidelity_tag.as_str() {
+            "full" => {
+                if interval_len.is_some() || warmup.is_some() {
+                    return Err(bad(
+                        "\"interval_len\"/\"warmup\" only apply to memoized/sampled fidelity"
+                            .into(),
+                    ));
+                }
+                Fidelity::Full
+            }
+            "memoized" => Fidelity::Memoized {
+                interval_len: interval_len.unwrap_or(armdse_simcore::DEFAULT_INTERVAL_LEN),
+            },
+            "sampled" => Fidelity::Sampled {
+                interval_len: interval_len.unwrap_or(armdse_simcore::DEFAULT_INTERVAL_LEN),
+                warmup: warmup.unwrap_or(armdse_simcore::DEFAULT_WARMUP),
+            },
+            other => return Err(bad(format!("unknown fidelity \"{other}\""))),
+        };
+        Ok(spec)
+    }
+}
+
+/// A machine-readable snapshot of one job's position and state: what
+/// `GET /jobs/<id>` returns, and what every scheduler operation hands
+/// back. Values are consistent with each other (taken under one lock).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Job id.
+    pub id: JobId,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Scheduling priority (higher first).
+    pub priority: i64,
+    /// Total simulation jobs in the plan (`configs × apps`).
+    pub total_jobs: usize,
+    /// Simulation jobs completed (always a chunk boundary).
+    pub jobs_done: usize,
+    /// Validated rows streamed so far.
+    pub rows: usize,
+    /// Validation-failed runs so far.
+    pub discarded: usize,
+    /// Simulation jobs executed per worker shard in the current run
+    /// session (observability only — shard assignment is racy by
+    /// design; the output bytes never depend on it).
+    pub shards: Vec<usize>,
+    /// Fidelity tier tag (`full` / `memoized` / `sampled`).
+    pub fidelity: &'static str,
+    /// Error message (`Failed` jobs only).
+    pub error: Option<String>,
+    /// Global sequence stamp when a runner picked the job up (None if
+    /// it never started). Monotone across the store: pins execution
+    /// order in tests.
+    pub started_seq: Option<u64>,
+    /// Global sequence stamp when the job reached a terminal state.
+    pub finished_seq: Option<u64>,
+    /// Change counter: bumped on every state or progress transition.
+    /// Streamers wait for it to move instead of polling blindly.
+    pub version: u64,
+}
+
+impl JobStatus {
+    /// Fraction of the campaign completed, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        self.jobs_done as f64 / self.total_jobs.max(1) as f64
+    }
+
+    /// Serialize as the wire-format status object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str(&format!(
+            "{{\"id\": {}, \"state\": \"{}\", \"priority\": {}, \"total_jobs\": {}, \
+             \"jobs_done\": {}, \"rows\": {}, \"discarded\": {}, \"shards\": [",
+            self.id,
+            self.state.tag(),
+            self.priority,
+            self.total_jobs,
+            self.jobs_done,
+            self.rows,
+            self.discarded
+        ));
+        for (i, s) in self.shards.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&s.to_string());
+        }
+        out.push_str(&format!(
+            "], \"fidelity\": \"{}\", \"error\": ",
+            self.fidelity
+        ));
+        match &self.error {
+            Some(e) => write_json_string(e, &mut out),
+            None => out.push_str("null"),
+        }
+        out.push_str(&format!(", \"version\": {}}}", self.version));
+        out
+    }
+
+    /// Parse a wire-format status object (the client side).
+    pub fn from_json(body: &str) -> Result<JobStatus, String> {
+        let v = parse_json(body)?;
+        let obj = v.as_object().ok_or("status must be a JSON object")?;
+        let uint = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("missing numeric \"{key}\""))
+        };
+        let state_tag = obj
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or("missing \"state\"")?;
+        let state = JobState::parse(state_tag).ok_or_else(|| format!("bad state {state_tag:?}"))?;
+        let fidelity = match obj.get("fidelity").and_then(Json::as_str) {
+            Some("memoized") => "memoized",
+            Some("sampled") => "sampled",
+            _ => "full",
+        };
+        Ok(JobStatus {
+            id: uint("id")?,
+            state,
+            priority: obj
+                .get("priority")
+                .and_then(Json::as_f64)
+                .ok_or("missing \"priority\"")? as i64,
+            total_jobs: uint("total_jobs")? as usize,
+            jobs_done: uint("jobs_done")? as usize,
+            rows: uint("rows")? as usize,
+            discarded: uint("discarded")? as usize,
+            shards: obj
+                .get("shards")
+                .and_then(Json::as_array)
+                .map(|a| {
+                    a.iter()
+                        .filter_map(Json::as_u64)
+                        .map(|n| n as usize)
+                        .collect()
+                })
+                .unwrap_or_default(),
+            fidelity,
+            error: obj.get("error").and_then(Json::as_str).map(str::to_string),
+            started_seq: None,
+            finished_seq: None,
+            version: uint("version").unwrap_or(0),
+        })
+    }
+}
+
+/// Why a pause/resume/cancel request was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOpError {
+    /// No job with this id exists in the store.
+    Unknown(JobId),
+    /// The job's current state does not admit the requested operation.
+    BadTransition {
+        /// Target job.
+        id: JobId,
+        /// State the job was in when the request arrived.
+        state: JobState,
+        /// The refused operation (`"pause"` / `"resume"` / `"cancel"`).
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for JobOpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobOpError::Unknown(id) => write!(f, "unknown job {id}"),
+            JobOpError::BadTransition { id, state, op } => {
+                write!(f, "cannot {op} job {id} in state {state}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JobOpError {}
+
+/// Mutable position/state of a job, guarded by the job's mutex.
+#[derive(Debug, Clone)]
+pub(crate) struct JobInner {
+    pub(crate) state: JobState,
+    pub(crate) jobs_done: usize,
+    pub(crate) rows: usize,
+    pub(crate) discarded: usize,
+    pub(crate) shards: Vec<usize>,
+    pub(crate) error: Option<String>,
+    pub(crate) started_seq: Option<u64>,
+    pub(crate) finished_seq: Option<u64>,
+    pub(crate) version: u64,
+}
+
+/// One submitted campaign: spec, validated plan, private engine, state.
+pub struct Job {
+    id: JobId,
+    spec: JobSpec,
+    plan: RunPlan,
+    engine: Engine,
+    dir: PathBuf,
+    pub(crate) inner: Mutex<JobInner>,
+    pub(crate) cv: Condvar,
+    /// Cooperative stop-and-checkpoint request (checked at chunk ends).
+    pub(crate) pause_flag: AtomicBool,
+    /// Cooperative cancel request (implies pause; decides the terminal
+    /// state the runner records).
+    pub(crate) cancel_flag: AtomicBool,
+}
+
+impl Job {
+    /// Job id.
+    pub fn id(&self) -> JobId {
+        self.id
+    }
+
+    /// The submitted spec.
+    pub fn spec(&self) -> &JobSpec {
+        &self.spec
+    }
+
+    /// The validated plan.
+    pub fn plan(&self) -> &RunPlan {
+        &self.plan
+    }
+
+    /// The job's private engine (isolated caches).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Path of the job's streamed dataset CSV.
+    pub fn csv_path(&self) -> PathBuf {
+        self.dir.join(format!("job-{}.csv", self.id))
+    }
+
+    /// Path of the job's checkpoint file.
+    pub fn ckpt_path(&self) -> PathBuf {
+        self.dir.join(format!("job-{}.ckpt", self.id))
+    }
+
+    /// Path of the job's metrics CSV (exists only for `metrics` jobs).
+    pub fn metrics_path(&self) -> PathBuf {
+        self.dir.join(format!("job-{}.metrics.csv", self.id))
+    }
+
+    fn spec_path(&self) -> PathBuf {
+        self.dir.join(format!("job-{}.spec.json", self.id))
+    }
+
+    fn state_path(&self) -> PathBuf {
+        self.dir.join(format!("job-{}.state", self.id))
+    }
+
+    /// Consistent status snapshot.
+    pub fn status(&self) -> JobStatus {
+        let inner = self.inner.lock().expect("job lock poisoned");
+        self.status_locked(&inner)
+    }
+
+    pub(crate) fn status_locked(&self, inner: &JobInner) -> JobStatus {
+        JobStatus {
+            id: self.id,
+            state: inner.state,
+            priority: self.spec.priority,
+            total_jobs: self.plan.jobs(),
+            jobs_done: inner.jobs_done,
+            rows: inner.rows,
+            discarded: inner.discarded,
+            shards: inner.shards.clone(),
+            fidelity: self.spec.fidelity.tag(),
+            error: inner.error.clone(),
+            started_seq: inner.started_seq,
+            finished_seq: inner.finished_seq,
+            version: inner.version,
+        }
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait_terminal(&self) -> JobStatus {
+        let mut inner = self.inner.lock().expect("job lock poisoned");
+        while !inner.state.is_terminal() {
+            inner = self.cv.wait(inner).expect("job lock poisoned");
+        }
+        self.status_locked(&inner)
+    }
+
+    /// Block until the status `version` moves past `last_version`, the
+    /// job is already past it, or `timeout` elapses; returns the
+    /// current snapshot either way. The streaming endpoints drive their
+    /// read loop off this instead of sleeping blind.
+    pub fn wait_change(&self, last_version: u64, timeout: Duration) -> JobStatus {
+        let mut inner = self.inner.lock().expect("job lock poisoned");
+        if inner.version == last_version && !inner.state.is_terminal() {
+            let (guard, _) = self
+                .cv
+                .wait_timeout(inner, timeout)
+                .expect("job lock poisoned");
+            inner = guard;
+        }
+        self.status_locked(&inner)
+    }
+
+    /// Record a terminal state marker atomically (tmp + rename), so a
+    /// restarted store recovers the exact state.
+    pub(crate) fn persist_terminal(&self, state: JobState, error: Option<&str>) {
+        debug_assert!(state.is_terminal());
+        let body = match error {
+            Some(e) => format!("{}\n{e}\n", state.tag()),
+            None => format!("{}\n", state.tag()),
+        };
+        let path = self.state_path();
+        let tmp = path.with_extension("state.tmp");
+        if std::fs::write(&tmp, body).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+}
+
+/// The job registry: assigns ids, owns every [`Job`], and rebuilds
+/// itself from its directory on restart.
+pub struct JobStore {
+    dir: PathBuf,
+    space: ParamSpace,
+    jobs: Mutex<BTreeMap<JobId, Arc<Job>>>,
+    next_id: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl JobStore {
+    /// Open (or create) a store at `dir` over the paper's parameter
+    /// space, recovering any jobs already on disk: terminal jobs keep
+    /// their recorded state; everything else returns as `Paused` at its
+    /// checkpointed position, ready for an explicit resume.
+    pub fn open(dir: &Path) -> Result<JobStore, ArmdseError> {
+        std::fs::create_dir_all(dir)?;
+        let store = JobStore {
+            dir: dir.to_path_buf(),
+            space: ParamSpace::paper(),
+            jobs: Mutex::new(BTreeMap::new()),
+            next_id: AtomicU64::new(1),
+            seq: AtomicU64::new(1),
+        };
+        let mut max_id = 0;
+        let mut names: Vec<String> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok()?.file_name().into_string().ok())
+            .filter(|n| n.starts_with("job-") && n.ends_with(".spec.json"))
+            .collect();
+        names.sort();
+        for name in names {
+            let id: JobId = match name["job-".len()..name.len() - ".spec.json".len()].parse() {
+                Ok(id) => id,
+                Err(_) => continue,
+            };
+            let body = std::fs::read_to_string(dir.join(&name))?;
+            let spec = match JobSpec::from_json(&body) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("[jobstore] skipping unparsable {name}: {e}");
+                    continue;
+                }
+            };
+            let job = match store.build_job(id, spec) {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("[jobstore] skipping invalid {name}: {e}");
+                    continue;
+                }
+            };
+            // Recover position from the checkpoint and state from the
+            // terminal marker (absent marker => Paused, resumable).
+            {
+                let mut inner = job.inner.lock().expect("job lock poisoned");
+                if let Ok(c) = Checkpoint::load(&job.ckpt_path()) {
+                    inner.jobs_done = c.jobs_done;
+                    inner.rows = c.rows;
+                    inner.discarded = c.discarded;
+                }
+                inner.state = JobState::Paused;
+                if let Ok(marker) = std::fs::read_to_string(job.state_path()) {
+                    let mut lines = marker.lines();
+                    if let Some(state) = lines.next().and_then(JobState::parse) {
+                        inner.state = state;
+                        if state == JobState::Failed {
+                            inner.error = Some(lines.collect::<Vec<_>>().join("\n"));
+                        }
+                    }
+                }
+            }
+            max_id = max_id.max(id);
+            store
+                .jobs
+                .lock()
+                .expect("store lock poisoned")
+                .insert(id, job);
+        }
+        store.next_id.store(max_id + 1, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn build_job(&self, id: JobId, spec: JobSpec) -> Result<Arc<Job>, ArmdseError> {
+        let plan = spec.plan(&self.space)?;
+        let engine = spec.engine();
+        Ok(Arc::new(Job {
+            id,
+            spec,
+            plan,
+            engine,
+            dir: self.dir.clone(),
+            inner: Mutex::new(JobInner {
+                state: JobState::Queued,
+                jobs_done: 0,
+                rows: 0,
+                discarded: 0,
+                shards: Vec::new(),
+                error: None,
+                started_seq: None,
+                finished_seq: None,
+                version: 0,
+            }),
+            cv: Condvar::new(),
+            pause_flag: AtomicBool::new(false),
+            cancel_flag: AtomicBool::new(false),
+        }))
+    }
+
+    /// Validate `spec`, assign an id, persist the spec, and register
+    /// the job as `Queued`. (Submission is the scheduler's job — it
+    /// calls this and then enqueues.)
+    pub fn create(&self, spec: JobSpec) -> Result<Arc<Job>, ArmdseError> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let job = self.build_job(id, spec)?;
+        std::fs::write(job.spec_path(), job.spec.to_json())?;
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .insert(id, Arc::clone(&job));
+        Ok(job)
+    }
+
+    /// Look up one job.
+    pub fn get(&self, id: JobId) -> Option<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .get(&id)
+            .cloned()
+    }
+
+    /// All jobs, id-ascending.
+    pub fn list(&self) -> Vec<Arc<Job>> {
+        self.jobs
+            .lock()
+            .expect("store lock poisoned")
+            .values()
+            .cloned()
+            .collect()
+    }
+
+    /// Per-state job counts (the `/stats` endpoint's `jobs` object).
+    pub fn state_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut counts = BTreeMap::new();
+        for job in self.list() {
+            *counts.entry(job.status().state.tag()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Next global sequence stamp (orders job starts/finishes).
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            configs: 3,
+            scale: WorkloadScale::Tiny,
+            seed: 11,
+            threads: 2,
+            apps: vec![App::Stream, App::TeaLeaf],
+            pins: vec![("Vector-Length".into(), 128.0)],
+            chunk_jobs: 4,
+            priority: 7,
+            fidelity: Fidelity::Memoized { interval_len: 512 },
+            metrics: true,
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_wire_json() {
+        let s = spec();
+        let back = JobSpec::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        // Sampled carries warmup too.
+        let s2 = JobSpec {
+            fidelity: Fidelity::Sampled {
+                interval_len: 256,
+                warmup: 1024,
+            },
+            ..spec()
+        };
+        assert_eq!(JobSpec::from_json(&s2.to_json()).unwrap(), s2);
+    }
+
+    #[test]
+    fn spec_parser_is_strict() {
+        assert!(JobSpec::from_json("[]").is_err());
+        assert!(JobSpec::from_json("{").is_err());
+        // configs is required.
+        let e = JobSpec::from_json("{\"seed\": 1}").unwrap_err();
+        assert!(e.to_string().contains("configs"), "{e}");
+        // Unknown keys are rejected, not ignored.
+        let e = JobSpec::from_json("{\"configs\": 2, \"confgs\": 3}").unwrap_err();
+        assert!(e.to_string().contains("confgs"), "{e}");
+        // Ill-typed values are rejected.
+        assert!(JobSpec::from_json("{\"configs\": \"two\"}").is_err());
+        assert!(JobSpec::from_json("{\"configs\": 2, \"apps\": [\"nope\"]}").is_err());
+        assert!(JobSpec::from_json("{\"configs\": 2, \"scale\": \"huge\"}").is_err());
+        assert!(JobSpec::from_json("{\"configs\": 2, \"fidelity\": \"best\"}").is_err());
+        // interval_len makes no sense at full fidelity.
+        assert!(JobSpec::from_json("{\"configs\": 2, \"interval_len\": 64}").is_err());
+    }
+
+    #[test]
+    fn minimal_spec_takes_defaults() {
+        let s = JobSpec::from_json("{\"configs\": 5}").unwrap();
+        assert_eq!(s.configs, 5);
+        assert_eq!(s.scale, WorkloadScale::Standard);
+        assert_eq!(s.apps, App::ALL.to_vec());
+        assert_eq!(s.fidelity, Fidelity::Full);
+        assert_eq!(s.priority, 0);
+        assert!(!s.metrics);
+    }
+
+    #[test]
+    fn status_round_trips_through_wire_json() {
+        let status = JobStatus {
+            id: 9,
+            state: JobState::Failed,
+            priority: -2,
+            total_jobs: 80,
+            jobs_done: 40,
+            rows: 39,
+            discarded: 1,
+            shards: vec![21, 19],
+            fidelity: "memoized",
+            error: Some("checkpoint error: boom".into()),
+            started_seq: None,
+            finished_seq: None,
+            version: 12,
+        };
+        let back = JobStatus::from_json(&status.to_json()).unwrap();
+        assert_eq!(back, status);
+        assert!((status.fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn store_assigns_ascending_ids_and_isolates_engines() {
+        let dir = std::env::temp_dir().join("armdse_jobstore_ids");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = JobStore::open(&dir).unwrap();
+        let a = store.create(spec()).unwrap();
+        let b = store.create(spec()).unwrap();
+        assert!(a.id() < b.id());
+        assert_eq!(store.list().len(), 2);
+        // Same spec, distinct engines: caches are per-job.
+        assert!(!std::ptr::eq(a.engine(), b.engine()));
+        assert_eq!(store.get(a.id()).unwrap().id(), a.id());
+        assert!(store.get(999).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_rejects_invalid_specs() {
+        let dir = std::env::temp_dir().join("armdse_jobstore_invalid");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = JobStore::open(&dir).unwrap();
+        let err = match store.create(JobSpec {
+            configs: 0,
+            ..spec()
+        }) {
+            Err(e) => e,
+            Ok(_) => panic!("configs == 0 must be rejected"),
+        };
+        assert!(matches!(err, ArmdseError::InvalidPlan(_)), "{err}");
+        assert!(store.list().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_store_recovers_specs_states_and_positions() {
+        let dir = std::env::temp_dir().join("armdse_jobstore_reopen");
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = JobStore::open(&dir).unwrap();
+        let a = store.create(spec()).unwrap();
+        let b = store.create(spec()).unwrap();
+        let c = store.create(spec()).unwrap();
+        // a: done marker; b: failed marker; c: mid-campaign checkpoint.
+        a.persist_terminal(JobState::Done, None);
+        b.persist_terminal(JobState::Failed, Some("sim exploded"));
+        Checkpoint {
+            fingerprint: c.plan().fingerprint(),
+            jobs_done: 4,
+            rows: 4,
+            discarded: 0,
+            extra: Vec::new(),
+        }
+        .save(&c.ckpt_path())
+        .unwrap();
+        let (ida, idb, idc) = (a.id(), b.id(), c.id());
+        drop((a, b, c, store));
+
+        let store = JobStore::open(&dir).unwrap();
+        assert_eq!(store.list().len(), 3);
+        assert_eq!(store.get(ida).unwrap().status().state, JobState::Done);
+        let st_b = store.get(idb).unwrap().status();
+        assert_eq!(st_b.state, JobState::Failed);
+        assert_eq!(st_b.error.as_deref(), Some("sim exploded"));
+        let st_c = store.get(idc).unwrap().status();
+        assert_eq!(st_c.state, JobState::Paused);
+        assert_eq!(st_c.jobs_done, 4);
+        // Recovered specs are intact and new ids continue after the max.
+        assert_eq!(store.get(idc).unwrap().spec(), &spec());
+        let d = store.create(spec()).unwrap();
+        assert!(d.id() > idc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

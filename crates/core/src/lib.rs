@@ -55,9 +55,11 @@ pub mod dataset;
 pub mod engine;
 pub mod error;
 pub mod explorer;
+pub mod jobstore;
+pub mod json;
 pub mod metrics;
 pub mod orchestrator;
-pub mod runner;
+pub mod scheduler;
 pub mod space;
 pub mod summary;
 pub mod surrogate;
@@ -67,6 +69,8 @@ pub use dataset::{DseDataset, Row};
 pub use engine::{CsvSink, Engine, Progress, ReuseMode, RowSink, RunControl, RunPlan, RunSummary};
 pub use error::ArmdseError;
 pub use explorer::{ExploreControl, ExploreOptions, ExploreProgress, ExploreReport, Explorer};
+pub use jobstore::{Job, JobId, JobOpError, JobSpec, JobState, JobStatus, JobStore};
 pub use metrics::{MetricsCsvSink, MetricsRow, MetricsSink};
+pub use scheduler::JobScheduler;
 pub use space::{ParamSpace, FEATURE_COUNT};
 pub use surrogate::{AppModel, ModelMetrics, SurrogateSuite};

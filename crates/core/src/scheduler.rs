@@ -1,0 +1,766 @@
+//! The scheduler layer: the campaign run loop, extracted and shared.
+//!
+//! PR 9 split the old monolithic `Engine::run_controlled` into three
+//! layers (DESIGN.md §14). This module is the middle one: it owns the
+//! mechanics of *executing* a validated [`RunPlan`] — chunk
+//! partitioning, worker-thread fan-out, checkpoint cadence, the
+//! observer/pause hook — and a [`JobScheduler`] that drives many
+//! [`Job`]s through that loop from a priority queue.
+//!
+//! * `run_span` executes one chunk of jobs across worker threads and
+//!   returns results sorted by job index (the determinism keystone:
+//!   threads race on an atomic counter, order is restored before the
+//!   sink sees anything).
+//! * `run_job_loop` is the full resumable campaign loop —
+//!   [`Engine::run_controlled`] is now a thin wrapper over it, so every
+//!   existing consumer (Explorer, repro, analysis harnesses) runs
+//!   through the exact same code path the job server does.
+//! * [`JobScheduler`] owns runner threads and a priority queue of
+//!   submitted jobs ([`crate::jobstore`]), with cooperative pause and
+//!   cancel implemented via the observer hook the engine already had.
+//!
+//! ## Queue discipline
+//!
+//! The queue pops the highest `priority` first and breaks ties by job
+//! id ascending (submission order). Both halves are deterministic: the
+//! same submissions always start in the same order
+//! (`tests/server_jobs.rs` pins this). Cancelled or paused entries are
+//! removed lazily — a popped id whose job is no longer `Queued` is
+//! simply skipped, so stale heap entries are harmless.
+//!
+//! ## Pause / cancel semantics
+//!
+//! Pause and cancel are cooperative and chunk-granular. A `Running`
+//! job's flags are checked by the run loop's observer at every chunk
+//! boundary — *after* the sink flushed and the checkpoint was saved —
+//! so a paused or cancelled job always leaves a loadable checkpoint
+//! and a CSV that is byte-identical to a prefix of the uninterrupted
+//! run. A `Queued` job pauses or cancels immediately (it never ran).
+
+use crate::dataset::{DiscardedRun, Row};
+use crate::engine::{
+    Checkpoint, CsvSink, Engine, Progress, ReuseMode, RowSink, RunControl, RunPlan, RunSummary,
+};
+use crate::error::ArmdseError;
+use crate::jobstore::{Job, JobId, JobOpError, JobSpec, JobState, JobStatus, JobStore};
+use crate::metrics::{MetricsCsvSink, MetricsRow, MetricsSink};
+use armdse_simcore::Fidelity;
+use std::collections::BinaryHeap;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One job's chunk result: index, dataset outcome, optional metrics row.
+pub(crate) type ChunkResult = (usize, Result<Row, DiscardedRun>, Option<Box<MetricsRow>>);
+
+/// The checkpoint v2 extra keys recording a non-default fidelity tier.
+/// [`Fidelity::Full`] maps to no keys at all so default campaigns keep
+/// the v1 on-disk checkpoint format byte-for-byte.
+pub(crate) fn fidelity_extra(f: Fidelity) -> Vec<(String, String)> {
+    let tag = ("reuse.fidelity".into(), f.tag().into());
+    match f {
+        Fidelity::Full => Vec::new(),
+        Fidelity::Memoized { interval_len } => {
+            vec![tag, ("reuse.interval_len".into(), interval_len.to_string())]
+        }
+        Fidelity::Sampled {
+            interval_len,
+            warmup,
+        } => vec![
+            tag,
+            ("reuse.interval_len".into(), interval_len.to_string()),
+            ("reuse.warmup".into(), warmup.to_string()),
+        ],
+    }
+}
+
+/// Execute jobs `start..end` of `plan` across its worker threads on
+/// `engine`, returning results sorted by job index. Worker shard `t`
+/// optionally counts the jobs it executed into `shards[t]`
+/// (observability only — shard assignment is racy by design and never
+/// affects the sorted output).
+pub(crate) fn run_span(
+    engine: &Engine,
+    plan: &RunPlan,
+    start: usize,
+    end: usize,
+    with_metrics: bool,
+    shards: Option<&[AtomicUsize]>,
+) -> Vec<ChunkResult> {
+    let n = end - start;
+    let threads = plan.threads().clamp(1, n);
+    let pins: Vec<(&str, f64)> = plan
+        .pins()
+        .iter()
+        .map(|(name, v)| (name.as_str(), *v))
+        .collect();
+    let counter = AtomicUsize::new(start);
+    let results: Mutex<Vec<ChunkResult>> = Mutex::new(Vec::with_capacity(n));
+
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (pins, counter, results) = (&pins, &counter, &results);
+            s.spawn(move || {
+                let mut local: Vec<ChunkResult> = Vec::new();
+                loop {
+                    let job = counter.fetch_add(1, Ordering::Relaxed);
+                    if job >= end {
+                        break;
+                    }
+                    let cfg_idx = job / plan.apps().len();
+                    let app = plan.apps()[job % plan.apps().len()];
+                    let cfg = plan
+                        .space()
+                        .sample_seeded_pinned(plan.seed() + plan.config_offset(cfg_idx), pins);
+                    let (result, metrics_row) = if with_metrics {
+                        let (r, m) = engine.run_job_metrics(app, job, cfg_idx, plan.scale(), &cfg);
+                        (r, Some(m))
+                    } else {
+                        (engine.run_job(app, cfg_idx, plan.scale(), &cfg), None)
+                    };
+                    local.push((job, result, metrics_row));
+                }
+                if let Some(counts) = shards {
+                    counts[t].fetch_add(local.len(), Ordering::Relaxed);
+                }
+                results
+                    .lock()
+                    .expect("worker poisoned results")
+                    .append(&mut local);
+            });
+        }
+    });
+
+    let mut collected = results.into_inner().expect("worker poisoned results");
+    collected.sort_unstable_by_key(|(job, ..)| *job);
+    collected
+}
+
+/// The resumable campaign loop: chunk partitioning, checkpoint cadence,
+/// fidelity-tier guard, observer/pause hook. This *is* the former body
+/// of `Engine::run_controlled`; the engine method now delegates here
+/// with `shards: None`, and the [`JobScheduler`] runner calls it with
+/// per-shard counters and a flag-checking observer.
+pub(crate) fn run_job_loop(
+    engine: &Engine,
+    plan: &RunPlan,
+    sink: &mut dyn RowSink,
+    mut ctl: RunControl<'_>,
+    shards: Option<&[AtomicUsize]>,
+) -> Result<RunSummary, ArmdseError> {
+    let total_jobs = plan.jobs();
+    let fingerprint = plan.fingerprint();
+    // Fidelity keys ride along in the checkpoint's v2 extra section so a
+    // resume cannot silently splice rows produced at a different
+    // fidelity into one dataset. Full fidelity writes no keys, keeping
+    // the default on-disk format byte-identical.
+    let reuse_extra = fidelity_extra(engine.backend().fidelity());
+    let mut done = 0usize;
+    let mut resumed_from = 0usize;
+    let (mut prior_rows, mut prior_discarded) = (0usize, 0usize);
+    if ctl.resume {
+        let path = ctl.checkpoint.ok_or_else(|| {
+            ArmdseError::InvalidPlan("resume requested without a checkpoint path".into())
+        })?;
+        if path.exists() {
+            let c = Checkpoint::load(path)?;
+            if c.fingerprint != fingerprint {
+                return Err(ArmdseError::Checkpoint(format!(
+                    "{}: fingerprint {:016x} does not match plan {:016x} — \
+                     refusing to resume a different campaign",
+                    path.display(),
+                    c.fingerprint,
+                    fingerprint
+                )));
+            }
+            if c.jobs_done > total_jobs {
+                return Err(ArmdseError::Checkpoint(format!(
+                    "{}: jobs_done {} exceeds plan total {total_jobs}",
+                    path.display(),
+                    c.jobs_done
+                )));
+            }
+            for key in ["reuse.fidelity", "reuse.interval_len", "reuse.warmup"] {
+                let want = reuse_extra
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .map(|(_, v)| v.as_str());
+                if c.extra_get(key) != want {
+                    return Err(ArmdseError::Checkpoint(format!(
+                        "{}: {key} {:?} does not match this engine's {:?} — \
+                         refusing to mix fidelity tiers in one dataset",
+                        path.display(),
+                        c.extra_get(key),
+                        want
+                    )));
+                }
+            }
+            done = c.jobs_done;
+            resumed_from = done;
+            prior_rows = c.rows;
+            prior_discarded = c.discarded;
+        }
+    }
+    if ctl.reuse == ReuseMode::ColdStart {
+        engine.backend().clear_reuse_cache();
+    }
+
+    let with_metrics = ctl.metrics.is_some();
+    let (mut rows, mut discarded) = (0usize, 0usize);
+    while done < total_jobs {
+        let end = (done + plan.chunk_jobs()).min(total_jobs);
+        for (_, result, metrics_row) in run_span(engine, plan, done, end, with_metrics, shards) {
+            match result {
+                Ok(row) => {
+                    sink.row(&row)?;
+                    rows += 1;
+                }
+                Err(d) => {
+                    sink.discarded(&d)?;
+                    discarded += 1;
+                }
+            }
+            if let (Some(m), Some(msink)) = (metrics_row, ctl.metrics.as_deref_mut()) {
+                msink.metrics(&m)?;
+            }
+        }
+        done = end;
+        sink.chunk_end()?;
+        if let Some(msink) = ctl.metrics.as_deref_mut() {
+            msink.chunk_end()?;
+        }
+        if let Some(path) = ctl.checkpoint {
+            let mut extra = reuse_extra.clone();
+            extra.extend_from_slice(ctl.checkpoint_extra.unwrap_or(&[]));
+            Checkpoint {
+                fingerprint,
+                jobs_done: done,
+                rows: prior_rows + rows,
+                discarded: prior_discarded + discarded,
+                extra,
+            }
+            .save(path)?;
+        }
+        let progress = Progress {
+            jobs_done: done,
+            total_jobs,
+            rows: prior_rows + rows,
+            discarded: prior_discarded + discarded,
+            reuse: engine.backend().reuse_stats(),
+        };
+        if let Some(observer) = ctl.observer.as_deref_mut() {
+            if !observer(&progress) && done < total_jobs {
+                return Ok(RunSummary {
+                    jobs: total_jobs,
+                    jobs_done: done,
+                    rows,
+                    discarded,
+                    resumed_from,
+                    completed: false,
+                });
+            }
+        }
+    }
+    Ok(RunSummary {
+        jobs: total_jobs,
+        jobs_done: done,
+        rows,
+        discarded,
+        resumed_from,
+        completed: true,
+    })
+}
+
+/// Max-heap key: highest priority first, job-id ascending on ties.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct QueueKey {
+    priority: i64,
+    id: JobId,
+}
+
+impl Ord for QueueKey {
+    fn cmp(&self, other: &QueueKey) -> std::cmp::Ordering {
+        self.priority
+            .cmp(&other.priority)
+            .then(other.id.cmp(&self.id))
+    }
+}
+
+impl PartialOrd for QueueKey {
+    fn partial_cmp(&self, other: &QueueKey) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct Shared {
+    store: Arc<JobStore>,
+    queue: Mutex<BinaryHeap<QueueKey>>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// Runner-thread pool plus priority queue over a [`JobStore`]: the
+/// execution half of the DSE service. Submitted jobs queue by
+/// `(priority desc, id asc)`; each runner pops one, claims it
+/// (`Queued → Running`), and drives `run_job_loop` with the job's
+/// private engine and per-job sinks. [`JobScheduler::shutdown`]
+/// pauses running jobs at their next chunk boundary and joins every
+/// runner, so process exit always leaves resumable state on disk.
+pub struct JobScheduler {
+    shared: Arc<Shared>,
+    runners: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl JobScheduler {
+    /// A scheduler over `store` with `runners` runner threads (0 is
+    /// valid: jobs queue until [`JobScheduler::add_runners`]).
+    pub fn new(store: Arc<JobStore>, runners: usize) -> JobScheduler {
+        let sched = JobScheduler {
+            shared: Arc::new(Shared {
+                store,
+                queue: Mutex::new(BinaryHeap::new()),
+                cv: Condvar::new(),
+                shutdown: AtomicBool::new(false),
+            }),
+            runners: Mutex::new(Vec::new()),
+        };
+        sched.add_runners(runners);
+        sched
+    }
+
+    /// Convenience: open (or create) the store at `dir` and schedule
+    /// over it.
+    pub fn open(dir: &Path, runners: usize) -> Result<JobScheduler, ArmdseError> {
+        Ok(JobScheduler::new(Arc::new(JobStore::open(dir)?), runners))
+    }
+
+    /// The underlying job store.
+    pub fn store(&self) -> &Arc<JobStore> {
+        &self.shared.store
+    }
+
+    /// Spawn `n` additional runner threads.
+    pub fn add_runners(&self, n: usize) {
+        let mut runners = self.runners.lock().expect("runner list poisoned");
+        for _ in 0..n {
+            let shared = Arc::clone(&self.shared);
+            let idx = runners.len();
+            runners.push(
+                std::thread::Builder::new()
+                    .name(format!("armdse-runner-{idx}"))
+                    .spawn(move || runner_loop(&shared))
+                    .expect("spawn runner thread"),
+            );
+        }
+    }
+
+    /// Validate and persist `spec` as a new job and enqueue it.
+    pub fn submit(&self, spec: JobSpec) -> Result<Arc<Job>, ArmdseError> {
+        let job = self.shared.store.create(spec)?;
+        self.enqueue(job.spec().priority, job.id());
+        Ok(job)
+    }
+
+    fn enqueue(&self, priority: i64, id: JobId) {
+        self.shared
+            .queue
+            .lock()
+            .expect("queue poisoned")
+            .push(QueueKey { priority, id });
+        self.shared.cv.notify_one();
+    }
+
+    /// Request a pause. `Queued` jobs pause immediately; `Running` jobs
+    /// stop at the next chunk boundary (their checkpoint already
+    /// saved). Returns the status at the time of the request.
+    pub fn pause(&self, id: JobId) -> Result<JobStatus, JobOpError> {
+        let job = self.shared.store.get(id).ok_or(JobOpError::Unknown(id))?;
+        let mut inner = job.inner.lock().expect("job lock poisoned");
+        match inner.state {
+            JobState::Queued => {
+                inner.state = JobState::Paused;
+                inner.version += 1;
+                job.cv.notify_all();
+            }
+            JobState::Running => {
+                job.pause_flag.store(true, Ordering::Relaxed);
+            }
+            state => {
+                return Err(JobOpError::BadTransition {
+                    id,
+                    state,
+                    op: "pause",
+                })
+            }
+        }
+        Ok(job.status_locked(&inner))
+    }
+
+    /// Re-queue a `Paused` job (resume is byte-identical: the run loop
+    /// continues from the job's checkpoint). Also rescinds a pause
+    /// requested on a still-`Running` job.
+    pub fn resume(&self, id: JobId) -> Result<JobStatus, JobOpError> {
+        let job = self.shared.store.get(id).ok_or(JobOpError::Unknown(id))?;
+        let mut inner = job.inner.lock().expect("job lock poisoned");
+        match inner.state {
+            JobState::Paused => {
+                job.pause_flag.store(false, Ordering::Relaxed);
+                inner.state = JobState::Queued;
+                inner.version += 1;
+                job.cv.notify_all();
+                let status = job.status_locked(&inner);
+                drop(inner);
+                self.enqueue(job.spec().priority, id);
+                return Ok(status);
+            }
+            JobState::Running if job.pause_flag.load(Ordering::Relaxed) => {
+                job.pause_flag.store(false, Ordering::Relaxed);
+            }
+            state => {
+                return Err(JobOpError::BadTransition {
+                    id,
+                    state,
+                    op: "resume",
+                })
+            }
+        }
+        Ok(job.status_locked(&inner))
+    }
+
+    /// Request cancellation. `Queued`/`Paused` jobs cancel immediately;
+    /// `Running` jobs stop at the next chunk boundary. Either way the
+    /// job's last checkpoint stays on disk and loadable.
+    pub fn cancel(&self, id: JobId) -> Result<JobStatus, JobOpError> {
+        let job = self.shared.store.get(id).ok_or(JobOpError::Unknown(id))?;
+        let mut inner = job.inner.lock().expect("job lock poisoned");
+        match inner.state {
+            JobState::Queued | JobState::Paused => {
+                inner.state = JobState::Cancelled;
+                inner.finished_seq = Some(self.shared.store.next_seq());
+                inner.version += 1;
+                job.persist_terminal(JobState::Cancelled, None);
+                job.cv.notify_all();
+            }
+            JobState::Running => {
+                job.cancel_flag.store(true, Ordering::Relaxed);
+                job.pause_flag.store(true, Ordering::Relaxed);
+            }
+            state => {
+                return Err(JobOpError::BadTransition {
+                    id,
+                    state,
+                    op: "cancel",
+                })
+            }
+        }
+        Ok(job.status_locked(&inner))
+    }
+
+    /// Stop accepting work, pause running jobs at their next chunk
+    /// boundary, and join every runner thread. Idempotent. Queued jobs
+    /// stay on disk and reopen as `Paused` (resumable) next start.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for job in self.shared.store.list() {
+            let inner = job.inner.lock().expect("job lock poisoned");
+            if inner.state == JobState::Running {
+                job.pause_flag.store(true, Ordering::Relaxed);
+            }
+        }
+        self.shared.cv.notify_all();
+        let handles: Vec<JoinHandle<()>> = self
+            .runners
+            .lock()
+            .expect("runner list poisoned")
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for JobScheduler {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn runner_loop(shared: &Shared) {
+    loop {
+        let key = {
+            let mut queue = shared.queue.lock().expect("queue poisoned");
+            loop {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(key) = queue.pop() {
+                    break key;
+                }
+                queue = shared.cv.wait(queue).expect("queue poisoned");
+            }
+        };
+        let Some(job) = shared.store.get(key.id) else {
+            continue;
+        };
+        // Claim: stale heap entries (paused/cancelled while queued, or
+        // duplicate keys from pause+resume cycles) are skipped here.
+        {
+            let mut inner = job.inner.lock().expect("job lock poisoned");
+            if inner.state != JobState::Queued {
+                continue;
+            }
+            inner.state = JobState::Running;
+            if inner.started_seq.is_none() {
+                inner.started_seq = Some(shared.store.next_seq());
+            }
+            inner.shards = vec![0; job.plan().threads()];
+            inner.version += 1;
+            job.cv.notify_all();
+        }
+        execute(&shared.store, &job);
+    }
+}
+
+/// Run one claimed job to its next stop (completion, pause, cancel, or
+/// error) and record the resulting state transition.
+fn execute(store: &JobStore, job: &Job) {
+    let result = run_one(job);
+    let mut inner = job.inner.lock().expect("job lock poisoned");
+    match result {
+        Ok(s) if s.completed => {
+            inner.state = JobState::Done;
+            inner.jobs_done = s.jobs;
+            inner.finished_seq = Some(store.next_seq());
+            job.persist_terminal(JobState::Done, None);
+        }
+        Ok(_) => {
+            if job.cancel_flag.load(Ordering::Relaxed) {
+                inner.state = JobState::Cancelled;
+                inner.finished_seq = Some(store.next_seq());
+                job.persist_terminal(JobState::Cancelled, None);
+            } else {
+                inner.state = JobState::Paused;
+            }
+            job.pause_flag.store(false, Ordering::Relaxed);
+        }
+        Err(e) => {
+            let msg = e.to_string();
+            inner.state = JobState::Failed;
+            inner.error = Some(msg.clone());
+            inner.finished_seq = Some(store.next_seq());
+            job.persist_terminal(JobState::Failed, Some(&msg));
+        }
+    }
+    inner.version += 1;
+    job.cv.notify_all();
+}
+
+fn run_one(job: &Job) -> Result<RunSummary, ArmdseError> {
+    let plan = job.plan();
+    let ckpt = job.ckpt_path();
+    let resume = ckpt.exists();
+    let csv_path = job.csv_path();
+    let mut csv = if resume {
+        CsvSink::append(&csv_path)?
+    } else {
+        CsvSink::create(&csv_path)?
+    };
+    let mut metrics_sink = if job.spec().metrics {
+        let path = job.metrics_path();
+        Some(if resume && path.exists() {
+            MetricsCsvSink::append(&path)?
+        } else {
+            MetricsCsvSink::create(&path)?
+        })
+    } else {
+        None
+    };
+    let shards: Vec<AtomicUsize> = (0..plan.threads()).map(|_| AtomicUsize::new(0)).collect();
+    let shards_ref: &[AtomicUsize] = &shards;
+    // The observer runs at every chunk boundary, after the CSV flushed
+    // and the checkpoint saved: publish progress (waking streamers) and
+    // honour pause/cancel requests.
+    let mut observer = |pr: &Progress| {
+        {
+            let mut inner = job.inner.lock().expect("job lock poisoned");
+            inner.jobs_done = pr.jobs_done;
+            inner.rows = pr.rows;
+            inner.discarded = pr.discarded;
+            inner.shards = shards_ref
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect();
+            inner.version += 1;
+        }
+        job.cv.notify_all();
+        !job.pause_flag.load(Ordering::Relaxed)
+    };
+    let ctl = RunControl {
+        checkpoint: Some(&ckpt),
+        resume,
+        observer: Some(&mut observer),
+        metrics: metrics_sink.as_mut().map(|m| m as &mut dyn MetricsSink),
+        checkpoint_extra: None,
+        reuse: ReuseMode::Inherit,
+    };
+    run_job_loop(job.engine(), plan, &mut csv, ctl, Some(shards_ref))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use armdse_kernels::{App, WorkloadScale};
+
+    fn store(tag: &str) -> Arc<JobStore> {
+        let dir = std::env::temp_dir().join(format!("armdse_scheduler_{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        Arc::new(JobStore::open(&dir).unwrap())
+    }
+
+    fn tiny_spec(seed: u64) -> JobSpec {
+        JobSpec {
+            configs: 3,
+            scale: WorkloadScale::Tiny,
+            seed,
+            threads: 2,
+            apps: vec![App::Stream, App::TeaLeaf],
+            chunk_jobs: 2,
+            ..JobSpec::default()
+        }
+    }
+
+    #[test]
+    fn submitted_job_runs_to_done_with_direct_run_bytes() {
+        let store = store("done");
+        let sched = JobScheduler::new(Arc::clone(&store), 2);
+        let job = sched.submit(tiny_spec(5)).unwrap();
+        let status = job.wait_terminal();
+        assert_eq!(status.state, JobState::Done);
+        assert_eq!(status.jobs_done, status.total_jobs);
+        assert_eq!(status.shards.len(), 2);
+        assert_eq!(status.shards.iter().sum::<usize>(), status.total_jobs);
+        // The job's CSV is byte-identical to a direct Engine::run of
+        // the same plan.
+        let direct = std::env::temp_dir().join("armdse_scheduler_done_direct.csv");
+        let mut sink = CsvSink::create(&direct).unwrap();
+        job.engine().run(job.plan(), &mut sink).unwrap();
+        sink.chunk_end().unwrap();
+        assert_eq!(
+            std::fs::read(job.csv_path()).unwrap(),
+            std::fs::read(&direct).unwrap()
+        );
+        sched.shutdown();
+        let _ = std::fs::remove_file(&direct);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn queued_jobs_pause_cancel_and_resume_without_running() {
+        let store = store("queued_ops");
+        let sched = JobScheduler::new(Arc::clone(&store), 0); // no runners
+        let a = sched.submit(tiny_spec(1)).unwrap();
+        let b = sched.submit(tiny_spec(2)).unwrap();
+        // Pause then resume a queued job.
+        assert_eq!(sched.pause(a.id()).unwrap().state, JobState::Paused);
+        assert!(matches!(
+            sched.pause(a.id()),
+            Err(JobOpError::BadTransition { op: "pause", .. })
+        ));
+        assert_eq!(sched.resume(a.id()).unwrap().state, JobState::Queued);
+        // Cancel a queued job: immediate, terminal, durable.
+        assert_eq!(sched.cancel(b.id()).unwrap().state, JobState::Cancelled);
+        assert!(matches!(
+            sched.cancel(b.id()),
+            Err(JobOpError::BadTransition { op: "cancel", .. })
+        ));
+        assert!(matches!(sched.resume(77), Err(JobOpError::Unknown(77))));
+        // A runner added later drains the queue: a runs, b never does.
+        sched.add_runners(1);
+        assert_eq!(a.wait_terminal().state, JobState::Done);
+        assert_eq!(b.status().state, JobState::Cancelled);
+        assert!(b.status().started_seq.is_none(), "cancelled before start");
+        assert!(!b.csv_path().exists(), "cancelled-while-queued never ran");
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn priority_queue_orders_by_priority_then_id() {
+        let store = store("priority");
+        let sched = JobScheduler::new(Arc::clone(&store), 0);
+        // Submit out of priority order; ties (priority 5) by id.
+        let low = sched
+            .submit(JobSpec {
+                priority: 1,
+                ..tiny_spec(1)
+            })
+            .unwrap();
+        let tie_a = sched
+            .submit(JobSpec {
+                priority: 5,
+                ..tiny_spec(2)
+            })
+            .unwrap();
+        let tie_b = sched
+            .submit(JobSpec {
+                priority: 5,
+                ..tiny_spec(3)
+            })
+            .unwrap();
+        let high = sched
+            .submit(JobSpec {
+                priority: 9,
+                ..tiny_spec(4)
+            })
+            .unwrap();
+        sched.add_runners(1); // single runner => strictly serial order
+        for j in [&low, &tie_a, &tie_b, &high] {
+            assert_eq!(j.wait_terminal().state, JobState::Done);
+        }
+        let seq = |j: &Job| j.status().started_seq.unwrap();
+        assert!(seq(&high) < seq(&tie_a), "highest priority first");
+        assert!(seq(&tie_a) < seq(&tie_b), "ties break by id ascending");
+        assert!(seq(&tie_b) < seq(&low), "lowest priority last");
+        sched.shutdown();
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn shutdown_pauses_running_jobs_resumably() {
+        let store = store("shutdown");
+        let sched = JobScheduler::new(Arc::clone(&store), 1);
+        // Long job (many chunks) so shutdown lands mid-campaign.
+        let job = sched
+            .submit(JobSpec {
+                configs: 40,
+                chunk_jobs: 1,
+                threads: 1,
+                ..tiny_spec(9)
+            })
+            .unwrap();
+        // Wait for it to actually start producing chunks.
+        let mut status = job.status();
+        while status.jobs_done == 0 && !status.state.is_terminal() {
+            status = job.wait_change(status.version, std::time::Duration::from_millis(200));
+        }
+        sched.shutdown();
+        let status = job.status();
+        assert_eq!(status.state, JobState::Paused);
+        assert!(status.jobs_done > 0 && status.jobs_done < status.total_jobs);
+        // The checkpoint on disk is loadable and matches the status.
+        let c = Checkpoint::load(&job.ckpt_path()).unwrap();
+        assert_eq!(c.jobs_done, status.jobs_done);
+        // A fresh scheduler over the same directory resumes it to Done.
+        drop(sched);
+        let store2 = Arc::new(JobStore::open(store.dir()).unwrap());
+        let sched2 = JobScheduler::new(Arc::clone(&store2), 1);
+        let job2 = store2.get(job.id()).unwrap();
+        assert_eq!(job2.status().state, JobState::Paused);
+        sched2.resume(job2.id()).unwrap();
+        assert_eq!(job2.wait_terminal().state, JobState::Done);
+        sched2.shutdown();
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+}

@@ -101,6 +101,28 @@ pub enum WorkloadScale {
     Standard,
 }
 
+impl WorkloadScale {
+    /// Stable lowercase tag for CLI flags, wire protocols, and
+    /// checkpoints (`tiny` / `small` / `standard`).
+    pub fn name(self) -> &'static str {
+        match self {
+            WorkloadScale::Tiny => "tiny",
+            WorkloadScale::Small => "small",
+            WorkloadScale::Standard => "standard",
+        }
+    }
+
+    /// Parse a case-insensitive scale tag.
+    pub fn parse(s: &str) -> Option<WorkloadScale> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Some(WorkloadScale::Tiny),
+            "small" => Some(WorkloadScale::Small),
+            "standard" => Some(WorkloadScale::Standard),
+            _ => None,
+        }
+    }
+}
+
 /// A generated workload: the lowered program plus its analytic summary
 /// (the validation reference).
 #[derive(Debug, Clone)]

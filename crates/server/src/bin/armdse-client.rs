@@ -1,0 +1,116 @@
+//! armdse-client — thin CLI over the job-server wire API.
+//!
+//! ```text
+//! armdse-client ADDR submit SPEC.json|-     # POST /jobs; prints the new job id
+//! armdse-client ADDR list                   # GET /jobs
+//! armdse-client ADDR status ID              # GET /jobs/ID
+//! armdse-client ADDR wait ID                # poll until terminal; prints final status
+//! armdse-client ADDR rows ID [FILE]         # GET /jobs/ID/rows (streamed; stdout or FILE)
+//! armdse-client ADDR metrics ID [FILE]      # GET /jobs/ID/metrics
+//! armdse-client ADDR pause|resume|cancel ID # POST /jobs/ID/<op>
+//! armdse-client ADDR stats                  # GET /stats
+//! armdse-client ADDR shutdown               # POST /shutdown
+//! ```
+//!
+//! Exit status: 0 on HTTP 2xx, 2 on an HTTP error response (the
+//! server's error JSON goes to stderr), 1 on usage errors.
+
+use armdse_core::jobstore::JobStatus;
+use armdse_server::client;
+use std::io::{Read, Write};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: armdse-client ADDR COMMAND ...\n\
+         commands: submit SPEC.json|-  |  list  |  status ID  |  wait ID\n\
+         \t  rows ID [FILE]  |  metrics ID [FILE]\n\
+         \t  pause ID  |  resume ID  |  cancel ID  |  stats  |  shutdown"
+    );
+    std::process::exit(1);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("armdse-client: {msg}");
+    std::process::exit(2);
+}
+
+fn check(resp: &client::Response) {
+    if resp.status >= 300 {
+        eprintln!("{}", resp.text());
+        fail(&format!("server returned HTTP {}", resp.status));
+    }
+}
+
+fn simple(addr: &str, method: &str, path: &str, body: Option<&str>) -> String {
+    match client::request(addr, method, path, body) {
+        Ok(resp) => {
+            check(&resp);
+            resp.text()
+        }
+        Err(e) => fail(&e),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let addr = &args[0];
+    match (args[1].as_str(), &args[2..]) {
+        ("submit", [spec]) => {
+            let body = if spec == "-" {
+                let mut s = String::new();
+                std::io::stdin()
+                    .read_to_string(&mut s)
+                    .unwrap_or_else(|e| fail(&format!("read stdin: {e}")));
+                s
+            } else {
+                std::fs::read_to_string(spec).unwrap_or_else(|e| fail(&format!("read {spec}: {e}")))
+            };
+            let text = simple(addr, "POST", "/jobs", Some(&body));
+            let status = JobStatus::from_json(&text)
+                .unwrap_or_else(|e| fail(&format!("bad status response: {e}")));
+            println!("{}", status.id);
+        }
+        ("list", []) => println!("{}", simple(addr, "GET", "/jobs", None)),
+        ("status", [id]) => println!("{}", simple(addr, "GET", &format!("/jobs/{id}"), None)),
+        ("wait", [id]) => loop {
+            let text = simple(addr, "GET", &format!("/jobs/{id}"), None);
+            let status = JobStatus::from_json(&text)
+                .unwrap_or_else(|e| fail(&format!("bad status response: {e}")));
+            if status.state.is_terminal() {
+                println!("{text}");
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(150));
+        },
+        ("rows", [id, rest @ ..]) | ("metrics", [id, rest @ ..]) if rest.len() <= 1 => {
+            let path = format!("/jobs/{id}/{}", args[1]);
+            let mut out: Box<dyn Write> = match rest.first() {
+                Some(file) => Box::new(
+                    std::fs::File::create(file)
+                        .unwrap_or_else(|e| fail(&format!("create {file}: {e}"))),
+                ),
+                None => Box::new(std::io::stdout()),
+            };
+            let status = client::stream(addr, "GET", &path, None, &mut |chunk| {
+                out.write_all(chunk).map_err(|e| format!("write: {e}"))
+            })
+            .unwrap_or_else(|e| fail(&e));
+            out.flush().unwrap_or_else(|e| fail(&format!("flush: {e}")));
+            if status >= 300 {
+                fail(&format!("server returned HTTP {status}"));
+            }
+        }
+        (op @ ("pause" | "resume" | "cancel"), [id]) => {
+            println!(
+                "{}",
+                simple(addr, "POST", &format!("/jobs/{id}/{op}"), None)
+            );
+        }
+        ("stats", []) => println!("{}", simple(addr, "GET", "/stats", None)),
+        ("shutdown", []) => println!("{}", simple(addr, "POST", "/shutdown", None)),
+        _ => usage(),
+    }
+}

@@ -1,0 +1,270 @@
+//! Minimal hand-rolled HTTP/1.1, std-only.
+//!
+//! The repo's zero-external-dependency guarantee extends to the wire:
+//! no hyper, no tokio — just enough of RFC 9112 over
+//! [`std::net::TcpStream`] to serve the job API in docs/SERVER.md.
+//! Deliberate simplifications, documented there too:
+//!
+//! * every response carries `Connection: close` and the server closes
+//!   the socket after one exchange (no keep-alive state machine);
+//! * request bodies require `Content-Length` (no inbound chunked
+//!   decoding — only responses use chunked transfer encoding);
+//! * request line and headers are capped ([`MAX_HEAD_BYTES`]) and
+//!   bodies capped ([`MAX_BODY_BYTES`]) so a misbehaving client cannot
+//!   balloon server memory.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Cap on the request line + headers (64 KiB).
+pub const MAX_HEAD_BYTES: usize = 64 * 1024;
+
+/// Cap on a request body (1 MiB — job specs are a few hundred bytes).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method, uppercased by the client (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target path (query strings are not used by this API).
+    pub path: String,
+    /// Headers, names lowercased, in arrival order (first wins on
+    /// lookup).
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header with this name (lowercase), if any.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Read and parse one request from `stream`. `Err` carries a
+/// human-readable reason suitable for a 400 body.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let mut head = Vec::new();
+    // Read up to the blank line, byte-capped.
+    loop {
+        let mut line = Vec::new();
+        let n = reader
+            .by_ref()
+            .take((MAX_HEAD_BYTES - head.len()) as u64 + 1)
+            .read_until(b'\n', &mut line)
+            .map_err(|e| format!("read error: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-request".into());
+        }
+        head.extend_from_slice(&line);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(format!("request head exceeds {MAX_HEAD_BYTES} bytes"));
+        }
+        if line == b"\r\n" || line == b"\n" {
+            break;
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| "request head is not UTF-8".to_string())?;
+    let mut lines = head.lines();
+    let request_line = lines.next().ok_or("empty request")?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("missing method")?.to_string();
+    let path = parts.next().ok_or("missing request target")?.to_string();
+    let version = parts.next().ok_or("missing HTTP version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line '{line}'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let mut req = Request {
+        method,
+        path,
+        headers,
+        body: Vec::new(),
+    };
+    if let Some(len) = req.header("content-length") {
+        let len: usize = len
+            .parse()
+            .map_err(|_| format!("bad Content-Length '{len}'"))?;
+        if len > MAX_BODY_BYTES {
+            return Err(format!("body of {len} bytes exceeds {MAX_BODY_BYTES}"));
+        }
+        let mut body = vec![0u8; len];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("short body: {e}"))?;
+        req.body = body;
+    }
+    Ok(req)
+}
+
+/// Reason phrase for the handful of status codes this API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        204 => "No Content",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete (non-chunked) response and flush.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    )?;
+    stream.write_all(body)?;
+    stream.flush()
+}
+
+/// Write the head of a chunked response; follow with
+/// [`ChunkedWriter`].
+pub fn write_chunked_head(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n",
+        reason(status)
+    )
+}
+
+/// Streams a chunked-transfer-encoded body: each [`ChunkedWriter::chunk`]
+/// call becomes one size-prefixed chunk on the wire, flushed
+/// immediately so clients observe rows as the campaign produces them.
+/// [`ChunkedWriter::finish`] writes the terminating zero-size chunk.
+pub struct ChunkedWriter<'a> {
+    stream: &'a mut TcpStream,
+    /// Payload bytes written so far (excludes framing).
+    pub bytes: u64,
+}
+
+impl<'a> ChunkedWriter<'a> {
+    /// Start a chunked body on `stream` (after [`write_chunked_head`]).
+    pub fn new(stream: &'a mut TcpStream) -> ChunkedWriter<'a> {
+        ChunkedWriter { stream, bytes: 0 }
+    }
+
+    /// Emit one non-empty chunk (empty input is skipped — a zero-size
+    /// chunk would terminate the stream).
+    pub fn chunk(&mut self, data: &[u8]) -> std::io::Result<()> {
+        if data.is_empty() {
+            return Ok(());
+        }
+        write!(self.stream, "{:x}\r\n", data.len())?;
+        self.stream.write_all(data)?;
+        self.stream.write_all(b"\r\n")?;
+        self.stream.flush()?;
+        self.bytes += data.len() as u64;
+        Ok(())
+    }
+
+    /// Terminate the stream (zero-size chunk, no trailers).
+    pub fn finish(self) -> std::io::Result<()> {
+        self.stream.write_all(b"0\r\n\r\n")?;
+        self.stream.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(raw: &[u8]) -> Result<Request, String> {
+        // Push raw bytes through a real socket pair so the reader path
+        // is exactly the production one.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+        });
+        let (stream, _) = listener.accept().unwrap();
+        let req = read_request(&mut BufReader::new(stream));
+        writer.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = round_trip(b"POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n\r\nhello")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.header("content-length"), Some("5"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = round_trip(b"GET /stats HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn rejects_garbage_and_bad_lengths() {
+        assert!(round_trip(b"nonsense\r\n\r\n").is_err());
+        assert!(round_trip(b"GET /x SPDY/3\r\n\r\n").is_err());
+        assert!(round_trip(b"POST /x HTTP/1.1\r\nContent-Length: ten\r\n\r\n").is_err());
+        // Declared body longer than what arrives -> short-body error.
+        assert!(round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 99\r\n\r\nabc").is_err());
+    }
+
+    #[test]
+    fn chunked_writer_frames_and_terminates() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            write_chunked_head(&mut stream, 200, "text/plain").unwrap();
+            let mut w = ChunkedWriter::new(&mut stream);
+            w.chunk(b"hello ").unwrap();
+            w.chunk(b"").unwrap(); // skipped, must not terminate
+            w.chunk(b"world").unwrap();
+            assert_eq!(w.bytes, 11);
+            w.finish().unwrap();
+        });
+        let mut out = Vec::new();
+        TcpStream::connect(addr)
+            .unwrap()
+            .read_to_end(&mut out)
+            .unwrap();
+        server.join().unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        assert!(text.ends_with("6\r\nhello \r\n5\r\nworld\r\n0\r\n\r\n"));
+    }
+}

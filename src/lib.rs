@@ -15,6 +15,10 @@
 //!   streaming row sinks, checkpoint/resume), dataset handling, and the
 //!   surrogate-analysis pipeline.
 //! * [`analysis`] — experiment harness regenerating every table and figure.
+//! * [`server`] — DSE-as-a-service: std-only HTTP/1.1 server exposing the
+//!   core job scheduler (submit campaigns as JSON, stream rows back
+//!   byte-identically, pause/resume/cancel across restarts) plus the
+//!   matching client (`armdse-client`); wire protocol in docs/SERVER.md.
 //! * [`oracle`] — architecturally exact reference interpreter, random
 //!   KIR program generator, and differential fuzzer (the repo's stand-in
 //!   for the paper's Table I hardware validation).
@@ -42,4 +46,5 @@ pub use armdse_memsim as memsim;
 pub use armdse_mltree as mltree;
 pub use armdse_oracle as oracle;
 pub use armdse_rng as rng;
+pub use armdse_server as server;
 pub use armdse_simcore as simcore;

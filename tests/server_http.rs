@@ -1,0 +1,223 @@
+//! End-to-end wire-level tests of the job server (docs/SERVER.md): a
+//! plan submitted over HTTP must stream back row bytes identical to a
+//! direct `Engine::run` of the same plan — while the job is still
+//! running, at 1 and 8 worker threads, and after a pause/resume cycle
+//! across a full server restart. Error responses carry the documented
+//! status codes (400 / 404 / 405 / 409).
+
+use armdse::core::jobstore::JobStatus;
+use armdse::core::space::ParamSpace;
+use armdse::core::{CsvSink, JobSpec, JobState};
+use armdse::kernels::{App, WorkloadScale};
+use armdse::server::{client, Server, ServerConfig};
+use std::path::{Path, PathBuf};
+use std::thread::JoinHandle;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("armdse_server_http_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec(configs: usize, seed: u64, threads: usize) -> JobSpec {
+    JobSpec {
+        configs,
+        scale: WorkloadScale::Tiny,
+        seed,
+        threads,
+        apps: App::ALL.to_vec(),
+        chunk_jobs: 8,
+        ..JobSpec::default()
+    }
+}
+
+fn direct_csv(spec: &JobSpec, dir: &Path, tag: &str) -> Vec<u8> {
+    let plan = spec.plan(&ParamSpace::paper()).unwrap();
+    let path = dir.join(format!("direct_{tag}.csv"));
+    let mut sink = CsvSink::create(&path).unwrap();
+    let summary = spec.engine().run(&plan, &mut sink).unwrap();
+    assert!(summary.completed);
+    drop(sink);
+    std::fs::read(&path).unwrap()
+}
+
+/// Bind on an ephemeral port and serve on a background thread.
+fn start(jobs_dir: &Path, runners: usize) -> (String, JoinHandle<std::io::Result<()>>) {
+    let server = Server::bind(&ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        jobs_dir: jobs_dir.to_path_buf(),
+        runners,
+    })
+    .unwrap();
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.serve());
+    (addr, handle)
+}
+
+fn stop(addr: &str, handle: JoinHandle<std::io::Result<()>>) {
+    let resp = client::request(addr, "POST", "/shutdown", None).unwrap();
+    assert_eq!(resp.status, 200);
+    handle.join().unwrap().unwrap();
+}
+
+fn submit(addr: &str, spec: &JobSpec) -> u64 {
+    let resp = client::request(addr, "POST", "/jobs", Some(&spec.to_json())).unwrap();
+    assert_eq!(resp.status, 201, "submit failed: {}", resp.text());
+    JobStatus::from_json(&resp.text()).unwrap().id
+}
+
+fn status(addr: &str, id: u64) -> JobStatus {
+    let resp = client::request(addr, "GET", &format!("/jobs/{id}"), None).unwrap();
+    assert_eq!(resp.status, 200, "status failed: {}", resp.text());
+    JobStatus::from_json(&resp.text()).unwrap()
+}
+
+fn stream_rows(addr: &str, id: u64) -> Vec<u8> {
+    let mut streamed = Vec::new();
+    let code = client::stream(
+        addr,
+        "GET",
+        &format!("/jobs/{id}/rows"),
+        None,
+        &mut |chunk| {
+            streamed.extend_from_slice(chunk);
+            Ok(())
+        },
+    )
+    .unwrap();
+    assert_eq!(code, 200);
+    streamed
+}
+
+#[test]
+fn submitted_plan_streams_engine_identical_bytes_at_1_and_8_threads() {
+    let dir = tmp("stream");
+    let (addr, handle) = start(&dir.join("jobs"), 2);
+    for threads in [1usize, 8] {
+        let s = spec(10, 0xFACE ^ threads as u64, threads);
+        let id = submit(&addr, &s);
+        // Open the stream immediately — it follows the CSV live, at
+        // chunk cadence, and terminates when the job finishes.
+        let streamed = stream_rows(&addr, id);
+        let st = status(&addr, id);
+        assert_eq!(st.state, JobState::Done, "job {id}: {:?}", st.error);
+        assert_eq!(
+            streamed,
+            direct_csv(&s, &dir, &format!("t{threads}")),
+            "streamed bytes diverged from direct Engine::run at {threads} threads"
+        );
+    }
+    stop(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pause_resume_across_server_restart_streams_identical_bytes() {
+    let dir = tmp("restart");
+    let jobs_dir = dir.join("jobs");
+    let (addr, handle) = start(&jobs_dir, 1);
+
+    // A long campaign with one job per chunk: plenty of boundaries to
+    // pause between.
+    let mut s = spec(60, 0x5EED_0005, 2);
+    s.apps = vec![App::Stream];
+    s.chunk_jobs = 1;
+    let id = submit(&addr, &s);
+
+    // Wait for real progress, then pause mid-campaign.
+    loop {
+        let st = status(&addr, id);
+        assert!(!st.state.is_terminal(), "job finished before pause");
+        if st.state == JobState::Running && st.jobs_done > 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let resp = client::request(&addr, "POST", &format!("/jobs/{id}/pause"), None).unwrap();
+    assert_eq!(resp.status, 200, "pause failed: {}", resp.text());
+
+    // Full restart: shut the server down (joins runners, persists job
+    // state) and bind a fresh one on the same store.
+    stop(&addr, handle);
+    let (addr, handle) = start(&jobs_dir, 1);
+    let st = status(&addr, id);
+    assert_eq!(st.state, JobState::Paused, "job must reopen paused");
+    assert!(
+        st.jobs_done > 0 && st.jobs_done < st.total_jobs,
+        "restart must preserve mid-campaign progress (done {}/{})",
+        st.jobs_done,
+        st.total_jobs
+    );
+
+    let resp = client::request(&addr, "POST", &format!("/jobs/{id}/resume"), None).unwrap();
+    assert_eq!(resp.status, 200, "resume failed: {}", resp.text());
+    let streamed = stream_rows(&addr, id);
+    let st = status(&addr, id);
+    assert_eq!(st.state, JobState::Done, "job {id}: {:?}", st.error);
+    assert_eq!(
+        streamed,
+        direct_csv(&s, &dir, "restart"),
+        "pause/restart/resume must not change a single output byte"
+    );
+    stop(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn error_responses_carry_documented_status_codes() {
+    let dir = tmp("errors");
+    let (addr, handle) = start(&dir.join("jobs"), 1);
+
+    // 400: not JSON / unknown key / missing configs.
+    for body in [
+        "not json",
+        "{\"bogus\": 1}",
+        "{\"seed\": 3}",
+        "{\"configs\": 0}",
+    ] {
+        let resp = client::request(&addr, "POST", "/jobs", Some(body)).unwrap();
+        assert_eq!(resp.status, 400, "body {body:?} → {}", resp.text());
+        assert!(resp.text().contains("\"error\""));
+    }
+
+    // 404: unknown job id, unknown endpoint, metrics on a metrics-less job.
+    for (method, path) in [
+        ("GET", "/jobs/999"),
+        ("POST", "/jobs/999/pause"),
+        ("GET", "/nope"),
+    ] {
+        let resp = client::request(&addr, method, path, None).unwrap();
+        assert_eq!(resp.status, 404, "{method} {path} → {}", resp.text());
+    }
+
+    // 405: wrong method on a known resource.
+    let resp = client::request(&addr, "DELETE", "/jobs", None).unwrap();
+    assert_eq!(resp.status, 405);
+
+    // 409: pausing a job that already finished is a bad transition.
+    let mut s = spec(1, 0x0E44, 1);
+    s.apps = vec![App::Stream];
+    let id = submit(&addr, &s);
+    loop {
+        let st = status(&addr, id);
+        if st.state.is_terminal() {
+            assert_eq!(st.state, JobState::Done);
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    let resp = client::request(&addr, "POST", &format!("/jobs/{id}/pause"), None).unwrap();
+    assert_eq!(resp.status, 409, "pausing a done job → {}", resp.text());
+    let resp = client::request(&addr, "GET", &format!("/jobs/{id}/metrics"), None).unwrap();
+    assert_eq!(
+        resp.status,
+        404,
+        "metrics on a metrics-less job → {}",
+        resp.text()
+    );
+
+    stop(&addr, handle);
+    std::fs::remove_dir_all(&dir).ok();
+}

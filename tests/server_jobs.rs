@@ -1,0 +1,155 @@
+//! Session/scheduler-layer integration tests (the DSE-as-a-service
+//! guarantees below the HTTP layer):
+//!
+//! * jobs executed by the [`JobScheduler`] write CSVs byte-identical to
+//!   a direct `Engine::run` of the same plan, even when two jobs with
+//!   different seeds run concurrently on shared runner threads;
+//! * cancelling a running job mid-campaign stops at a chunk boundary
+//!   and leaves a loadable checkpoint consistent with the CSV;
+//! * priority ties are broken deterministically by job id (submission
+//!   order), pinned via the store's `started_seq` stamps.
+
+use armdse::core::engine::Checkpoint;
+use armdse::core::space::ParamSpace;
+use armdse::core::{CsvSink, JobScheduler, JobSpec, JobState};
+use armdse::kernels::{App, WorkloadScale};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("armdse_server_jobs_{name}_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn spec(configs: usize, seed: u64, threads: usize) -> JobSpec {
+    JobSpec {
+        configs,
+        scale: WorkloadScale::Tiny,
+        seed,
+        threads,
+        apps: App::ALL.to_vec(),
+        chunk_jobs: 8,
+        ..JobSpec::default()
+    }
+}
+
+/// Reference bytes: a direct, uninterrupted `Engine::run` of the same
+/// plan the job executes (own engine at the spec's fidelity).
+fn direct_csv(spec: &JobSpec, dir: &Path, tag: &str) -> Vec<u8> {
+    let plan = spec.plan(&ParamSpace::paper()).unwrap();
+    let path = dir.join(format!("direct_{tag}.csv"));
+    let mut sink = CsvSink::create(&path).unwrap();
+    let summary = spec.engine().run(&plan, &mut sink).unwrap();
+    assert!(summary.completed);
+    drop(sink);
+    std::fs::read(&path).unwrap()
+}
+
+#[test]
+fn concurrent_jobs_with_different_seeds_match_serial_runs() {
+    let dir = tmp("concurrent");
+    let sched = JobScheduler::open(&dir.join("jobs"), 2).unwrap();
+    // Different seeds AND different thread counts: isolation must hold
+    // regardless of how each job shards its config range.
+    let spec_a = spec(10, 0xA11C_E001, 1);
+    let spec_b = spec(10, 0xB0B0_0002, 8);
+    let a = sched.submit(spec_a.clone()).unwrap();
+    let b = sched.submit(spec_b.clone()).unwrap();
+    let st_a = a.wait_terminal();
+    let st_b = b.wait_terminal();
+    assert_eq!(st_a.state, JobState::Done, "job a: {:?}", st_a.error);
+    assert_eq!(st_b.state, JobState::Done, "job b: {:?}", st_b.error);
+    assert_eq!(st_a.jobs_done, st_a.total_jobs);
+    assert_eq!(
+        std::fs::read(a.csv_path()).unwrap(),
+        direct_csv(&spec_a, &dir, "a"),
+        "concurrent job a diverged from its serial reference run"
+    );
+    assert_eq!(
+        std::fs::read(b.csv_path()).unwrap(),
+        direct_csv(&spec_b, &dir, "b"),
+        "concurrent job b diverged from its serial reference run"
+    );
+    sched.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cancel_mid_campaign_leaves_loadable_checkpoint() {
+    let dir = tmp("cancel");
+    let sched = JobScheduler::open(&dir.join("jobs"), 1).unwrap();
+    // One job per chunk: many checkpoint boundaries to cancel between.
+    let mut s = spec(60, 0xDEAD_BEEF, 2);
+    s.apps = vec![App::Stream];
+    s.chunk_jobs = 1;
+    let job = sched.submit(s).unwrap();
+
+    // Wait for real progress, then cancel mid-campaign.
+    let mut st = job.status();
+    while st.jobs_done == 0 || st.state != JobState::Running {
+        assert!(
+            !st.state.is_terminal(),
+            "job finished before the test could cancel it"
+        );
+        st = job.wait_change(st.version, Duration::from_millis(200));
+    }
+    sched.cancel(job.id()).unwrap();
+    let fin = job.wait_terminal();
+    assert_eq!(fin.state, JobState::Cancelled);
+    assert!(
+        fin.jobs_done > 0 && fin.jobs_done < fin.total_jobs,
+        "cancel should land mid-campaign (done {}/{})",
+        fin.jobs_done,
+        fin.total_jobs
+    );
+
+    // The checkpoint on disk is loadable and consistent with both the
+    // final status and the CSV written so far.
+    let ckpt = Checkpoint::load(&job.ckpt_path()).unwrap();
+    assert_eq!(ckpt.jobs_done, fin.jobs_done);
+    assert_eq!(ckpt.rows, fin.rows);
+    assert_eq!(ckpt.discarded, fin.discarded);
+    assert_eq!(ckpt.rows + ckpt.discarded, ckpt.jobs_done);
+    let csv = std::fs::read_to_string(job.csv_path()).unwrap();
+    assert_eq!(
+        csv.lines().count(),
+        ckpt.rows + 1, // header line
+        "CSV row count must match the checkpoint"
+    );
+    sched.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn priority_ties_run_in_job_id_order() {
+    let dir = tmp("priority");
+    // No runners yet: all five jobs are queued before anything runs,
+    // then a single runner drains the queue in priority order.
+    let sched = JobScheduler::open(&dir.join("jobs"), 0).unwrap();
+    let jobs: Vec<_> = [0i64, 5, 0, 5, -1]
+        .iter()
+        .map(|&priority| {
+            let mut s = spec(1, 0x7E57, 1);
+            s.apps = vec![App::Stream];
+            s.priority = priority;
+            sched.submit(s).unwrap()
+        })
+        .collect();
+    sched.add_runners(1);
+    let statuses: Vec<_> = jobs.iter().map(|j| j.wait_terminal()).collect();
+    for st in &statuses {
+        assert_eq!(st.state, JobState::Done, "job {}: {:?}", st.id, st.error);
+    }
+    let seq = |i: usize| statuses[i].started_seq.expect("job never started");
+    // Expected order: priority 5 (ids ascending), then 0 (ids
+    // ascending), then -1 — submission order breaks every tie.
+    assert!(seq(1) < seq(3), "priority-5 tie must run in id order");
+    assert!(seq(3) < seq(0), "priority 5 must run before priority 0");
+    assert!(seq(0) < seq(2), "priority-0 tie must run in id order");
+    assert!(seq(2) < seq(4), "priority -1 must run last");
+    sched.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
