@@ -104,7 +104,42 @@ cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
   --fidelity sampled 2> "$SMOKE/sampled.log"
 grep -q 'fidelity tier: Sampled' "$SMOKE/sampled.log"
 
-# Invariant lane: rebuild the simulator with cycle-level structural
+# Multicore-smoke lane: a tiny 2-core campaign over the extended
+# kernels through the repro binary (docs/MULTICORE.md). The artifacts
+# must be byte-identical at 1 vs 8 worker threads (the slice loop is
+# deterministic; one job runs one whole machine on one thread), the
+# metrics CSV must carry per-core detail rows, and a --cores run must
+# refuse the reuse fidelity tiers.
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 12 --scale tiny --seed 7 --threads 8 --apps extended \
+  --cores 2 --banks 4 --out "$SMOKE/mc8" --metrics "$SMOKE/mc8/metrics"
+cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 12 --scale tiny --seed 7 --threads 1 --apps extended \
+  --cores 2 --banks 4 --out "$SMOKE/mc1" --metrics "$SMOKE/mc1/metrics"
+cmp "$SMOKE/mc8/dataset.csv" "$SMOKE/mc1/dataset.csv"
+cmp "$SMOKE/mc8/metrics/metrics.csv" "$SMOKE/mc1/metrics/metrics.csv"
+# Per-core detail rows exist: the core column (4th) carries index 1
+# somewhere in the stream on a 2-core machine.
+grep -q '^[0-9]*,[0-9]*,[^,]*,1,' "$SMOKE/mc8/metrics/metrics.csv"
+if cargo run --release --offline -p armdse-analysis --bin repro -- dataset \
+  --configs 12 --scale tiny --seed 7 --cores 2 --reuse \
+  --out "$SMOKE/mcbad"; then
+  echo 'FAIL: --cores must reject the reuse fidelity tiers' >&2
+  exit 1
+fi
+
+# Docs link-check: every relative markdown link target in README.md and
+# docs/*.md must exist on disk (external http(s) links are skipped).
+for doc in README.md docs/*.md; do
+  dir=$(dirname "$doc")
+  grep -o ']([^)]*)' "$doc" | sed 's/^](//; s/)$//; s/#.*$//' | \
+    grep -v '^https\?://' | grep -v '^$' | sort -u | while read -r target; do
+    test -e "$dir/$target" || {
+      echo "FAIL: $doc links to missing file: $target" >&2
+      exit 1
+    }
+  done
+done
 # checks compiled in and rerun the crates they gate. Any violation
 # panics. (Scoped to these crates: the full integration suite re-runs
 # dataset-scale simulations and is too slow with per-cycle asserts.)
@@ -148,6 +183,16 @@ cargo run --release --offline -p armdse-bench --bin bench-trend -- \
   --check "$SMOKE/bench/BENCH_reuse.json"
 cargo run --release --offline -p armdse-bench --bin bench-trend -- \
   --check BENCH_reuse.json
+# Multicore bench: smoke the machine-layer suite (N=1 point only —
+# the cheap slice-loop overhead bound) and validate both the fresh and
+# the committed cores-simulated-cycles/sec snapshot.
+ARMDSE_BENCH_JSON="$SMOKE/bench" \
+  cargo bench --offline -p armdse-bench --bench multicore -- n1
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check "$SMOKE/bench/BENCH_multicore.json"
+cargo run --release --offline -p armdse-bench --bin bench-trend -- \
+  --check BENCH_multicore.json
+
 # Server bench: smoke the wire-level benches and validate both the
 # fresh and the committed snapshot.
 ARMDSE_BENCH_JSON="$SMOKE/bench" \

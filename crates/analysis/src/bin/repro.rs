@@ -5,6 +5,7 @@
 //!                    [--seed N] [--sweep-configs N] [--threads N]
 //!                    [--out DIR] [--resume] [--max-chunks N]
 //!                    [--metrics DIR] [--explore N] [--explore-pareto]
+//!                    [--cores N] [--banks N] [--apps base|extended]
 //! repro --serve ADDR [--out DIR] [--runners N]
 //!
 //! experiments:
@@ -20,7 +21,8 @@
 //!   fig8      speedup vs FP/SVE register count
 //!   headline  paper-vs-measured headline numbers
 //!   unseen    extension: leave-one-app-out transfer accuracy
-//!   multicore extension: slowdown under shared-DRAM contention
+//!   multicore extension: slowdown under shared-DRAM contention, plus
+//!             the phantom-projection-vs-real-machine validation table
 //!   crossval  extension: surrogate partial dependence vs fresh simulation
 //!   summary   distribution/coverage summary of the cached dataset
 //!   explore   surrogate-guided adaptive exploration (budget via --explore)
@@ -43,6 +45,23 @@
 //! and `explore_pareto.csv` in Pareto mode) land under `--out`; the
 //! same `--resume` / `--max-chunks` semantics apply, and the finished
 //! artifacts are byte-identical at any `--threads` count.
+//!
+//! `--cores N` runs every experiment on the real multicore machine
+//! ([`armdse_simcore::MultiCore`]): N pipelines, each executing its own
+//! instance of the workload, contending over the shared banked L2 and
+//! DRAM. `--banks N` sets the shared-L2 bank count (default 8). The
+//! multicore machine always simulates at full fidelity, so `--cores`
+//! conflicts with `--reuse` / a non-full `--fidelity`. Dataset
+//! campaigns on a multicore machine record the machine shape in their
+//! checkpoint (`mc.cores` / `mc.banks`) and refuse to resume under a
+//! different shape; with `--metrics` the metrics CSV carries one
+//! aggregate row per job plus one detail row per core (see
+//! docs/METRICS.md and docs/MULTICORE.md).
+//!
+//! `--apps extended` widens dataset-driven experiments from the paper's
+//! four applications to the extended kernel set (adds SpMV, GEMM, and
+//! the pointer-chasing Graph kernel); the unseen-code transfer matrix
+//! folds the extra kernels in automatically.
 //!
 //! `--metrics DIR` additionally runs every dataset job with cycle
 //! accounting enabled, streaming one counter row per job to
@@ -67,6 +86,7 @@ use armdse_core::space::ParamSpace;
 use armdse_core::{ArmdseError, DseDataset, SurrogateSuite};
 use armdse_kernels::{App, WorkloadScale};
 use armdse_server::{Server, ServerConfig};
+use armdse_simcore::Topology;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -81,6 +101,7 @@ struct Cli {
     explore_pareto: bool,
     explore_screen: usize,
     fidelity: FidelityArg,
+    topology: Topology,
 }
 
 /// `--fidelity` argument: which simulation tier the shared engine runs
@@ -104,6 +125,7 @@ fn parse_args() -> Result<Cli, String> {
     let mut explore_pareto = false;
     let mut explore_screen = 0;
     let mut fidelity = FidelityArg::Full;
+    let mut topology = Topology::default();
     while let Some(flag) = args.next() {
         let mut val = || args.next().ok_or(format!("{flag} needs a value"));
         match flag.as_str() {
@@ -135,8 +157,34 @@ fn parse_args() -> Result<Cli, String> {
                     s => return Err(format!("unknown fidelity {s}")),
                 }
             }
+            "--cores" => {
+                topology.cores = val()?.parse().map_err(|e| format!("{e}"))?;
+                if topology.cores == 0 {
+                    return Err("--cores must be at least 1".to_string());
+                }
+            }
+            "--banks" => {
+                topology.banks = val()?.parse().map_err(|e| format!("{e}"))?;
+                if topology.banks == 0 {
+                    return Err("--banks must be at least 1".to_string());
+                }
+            }
+            "--apps" => {
+                opts.apps = match val()?.as_str() {
+                    "base" => App::ALL.to_vec(),
+                    "extended" => App::EXTENDED.to_vec(),
+                    s => return Err(format!("unknown app set {s} (base|extended)")),
+                }
+            }
             f => return Err(format!("unknown flag {f}")),
         }
+    }
+    if topology != Topology::default() && fidelity != FidelityArg::Full {
+        return Err(
+            "--cores/--banks run the multicore machine, which only simulates at full \
+                    fidelity; drop --reuse/--fidelity"
+                .to_string(),
+        );
     }
     Ok(Cli {
         experiment,
@@ -149,6 +197,7 @@ fn parse_args() -> Result<Cli, String> {
         explore_pareto,
         explore_screen,
         fidelity,
+        topology,
     })
 }
 
@@ -165,7 +214,7 @@ fn main() {
     let cli = match parse_args() {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR] [--explore N] [--explore-pareto] [--explore-screen N] [--reuse] [--fidelity full|memoized|sampled]");
+            eprintln!("error: {e}\n\nusage: repro <experiment> [--configs N] [--scale tiny|small|standard] [--seed N] [--sweep-configs N] [--threads N] [--out DIR] [--resume] [--max-chunks N] [--metrics DIR] [--explore N] [--explore-pareto] [--explore-screen N] [--reuse] [--fidelity full|memoized|sampled] [--cores N] [--banks N] [--apps base|extended]");
             std::process::exit(2);
         }
     };
@@ -235,14 +284,24 @@ fn serve(args: &[String]) -> Result<(), String> {
 fn run(cli: &Cli) {
     let space = ParamSpace::paper();
     let opts = &cli.opts;
-    let engine = match cli.fidelity {
-        FidelityArg::Full => Engine::idealized(),
-        FidelityArg::Memoized => Engine::memoized(armdse_simcore::DEFAULT_INTERVAL_LEN),
-        FidelityArg::Sampled => Engine::sampled(
-            armdse_simcore::DEFAULT_INTERVAL_LEN,
-            armdse_simcore::DEFAULT_WARMUP,
-        ),
+    let engine = if cli.topology != Topology::default() {
+        Engine::multicore(cli.topology.cores, cli.topology.banks)
+    } else {
+        match cli.fidelity {
+            FidelityArg::Full => Engine::idealized(),
+            FidelityArg::Memoized => Engine::memoized(armdse_simcore::DEFAULT_INTERVAL_LEN),
+            FidelityArg::Sampled => Engine::sampled(
+                armdse_simcore::DEFAULT_INTERVAL_LEN,
+                armdse_simcore::DEFAULT_WARMUP,
+            ),
+        }
     };
+    if cli.topology != Topology::default() {
+        eprintln!(
+            "[repro] multicore machine: {} core(s), {} shared-L2 bank(s)",
+            cli.topology.cores, cli.topology.banks
+        );
+    }
     if cli.fidelity != FidelityArg::Full {
         eprintln!("[repro] fidelity tier: {:?}", engine.backend().fidelity());
     }
@@ -306,10 +365,14 @@ fn run(cli: &Cli) {
             );
         }
         "multicore" => {
-            emit_table(
+            emit_tables(
                 cli,
                 "multicore",
-                &multicore::run(&engine, opts.scale).table(),
+                &[
+                    multicore::run(&engine, opts.scale).table(),
+                    multicore::validate(&engine, opts.scale).table(),
+                ],
+                None,
             );
         }
         "unseen" => {
@@ -364,10 +427,14 @@ fn run(cli: &Cli) {
                 &headline::from_parts(&suite, &f7, &f8).table(),
             );
             emit_table(cli, "unseen", &unseen::run(&data, opts.seed).table());
-            emit_table(
+            emit_tables(
                 cli,
                 "multicore",
-                &multicore::run(&engine, opts.scale).table(),
+                &[
+                    multicore::run(&engine, opts.scale).table(),
+                    multicore::validate(&engine, opts.scale).table(),
+                ],
+                None,
             );
             emit_tables(
                 cli,

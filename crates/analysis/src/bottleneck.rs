@@ -41,6 +41,12 @@ pub struct MetricsTable {
 
 impl MetricsTable {
     /// Load a metrics CSV written by `armdse_core::metrics`.
+    ///
+    /// Multicore campaigns interleave per-core detail rows (non-empty
+    /// `core` cell) with the per-job aggregates; only the aggregates are
+    /// loaded here — the analysis attributes cycles per *job*, and
+    /// keeping the detail rows would double-count every counter. Files
+    /// without a `core` column (pre-multicore campaigns) load as before.
     pub fn load_csv(path: &Path) -> Result<MetricsTable, ArmdseError> {
         let body = std::fs::read_to_string(path)?;
         let mut lines = body.lines();
@@ -52,6 +58,7 @@ impl MetricsTable {
             .iter()
             .position(|c| c == "app")
             .ok_or_else(|| bad(path, "missing 'app' column"))?;
+        let core_col = columns.iter().position(|c| c == "core");
         let val_col = columns
             .iter()
             .position(|c| c == "validated")
@@ -77,9 +84,12 @@ impl MetricsTable {
             }
             let app = App::parse(cells[app_col])
                 .ok_or_else(|| bad(path, &format!("unknown app '{}'", cells[app_col])))?;
+            if core_col.is_some_and(|c| !cells[c].is_empty()) {
+                continue; // per-core detail row: aggregates only
+            }
             let mut row = Vec::with_capacity(cells.len());
             for (i, cell) in cells.iter().enumerate() {
-                if i == app_col {
+                if i == app_col || Some(i) == core_col {
                     row.push(0);
                 } else {
                     row.push(cell.parse::<u64>().map_err(|_| {
@@ -150,9 +160,10 @@ impl MetricsTable {
         best.map(|(c, s)| (self.columns[c].clone(), s))
     }
 
-    /// Applications present in the table, in [`App::ALL`] order.
+    /// Applications present in the table, in [`App::EXTENDED`] order
+    /// (the paper's four first, then the extension kernels).
     pub fn apps_present(&self) -> Vec<App> {
-        App::ALL
+        App::EXTENDED
             .into_iter()
             .filter(|a| self.apps.contains(a))
             .collect()
@@ -483,6 +494,32 @@ mod tests {
         assert_eq!(stream[1], "2"); // jobs
         assert_eq!(stream[2], "220"); // cycles
         assert!(stream[4].starts_with("stall_mem_data"));
+    }
+
+    #[test]
+    fn per_core_detail_rows_are_skipped() {
+        // A multicore metrics file interleaves the aggregate (empty
+        // `core` cell) with per-core detail; only aggregates load.
+        let path = std::env::temp_dir().join("armdse_bottleneck_multicore.csv");
+        std::fs::write(
+            &path,
+            "job,config_index,app,core,validated,cycles,stall_mem_data\n\
+             0,0,STREAM,,1,100,60\n\
+             0,0,STREAM,0,1,90,30\n\
+             0,0,STREAM,1,1,100,30\n\
+             1,0,SpMV,,1,50,20\n",
+        )
+        .unwrap();
+        let t = MetricsTable::load_csv(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(t.len(), 2, "aggregate rows only");
+        assert_eq!(t.apps, [App::Stream, App::Spmv]);
+        // Counters come from the aggregate, not a double-counted sum.
+        assert_eq!(
+            t.bottleneck_of(App::Stream),
+            Some(("stall_mem_data".to_string(), 60))
+        );
+        assert_eq!(t.apps_present(), [App::Stream, App::Spmv]);
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct ExpOptions {
     /// Base design points per sweep experiment (each is re-simulated at
     /// every sweep value, paired-sample style).
     pub sweep_configs: usize,
+    /// Applications included in dataset-driven experiments. Defaults to
+    /// the paper's four ([`App::ALL`]); switch to [`App::EXTENDED`] to
+    /// fold the SpMV/GEMM/Graph kernels into the dataset and every
+    /// experiment that derives its app set from it.
+    pub apps: Vec<App>,
 }
 
 impl Default for ExpOptions {
@@ -66,6 +71,7 @@ impl Default for ExpOptions {
             seed: 20240931, // arbitrary fixed seed for reproducibility
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             sweep_configs: 12,
+            apps: App::ALL.to_vec(),
         }
     }
 }
@@ -79,6 +85,7 @@ impl ExpOptions {
             seed: 7,
             threads: 2,
             sweep_configs: 4,
+            apps: App::ALL.to_vec(),
         }
     }
 }
@@ -91,7 +98,7 @@ impl ExpOptions {
             scale: self.scale,
             seed: self.seed,
             threads: self.threads,
-            apps: App::ALL.to_vec(),
+            apps: self.apps.clone(),
         }
     }
 }

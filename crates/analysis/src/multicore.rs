@@ -9,12 +9,21 @@
 //! 0–15 phantom co-runners saturate the shared DRAM controller. The
 //! paper's expectation — memory-bound codes degrade most, compute-bound
 //! codes barely notice — is checked by the accompanying tests.
+//!
+//! The phantom-co-runner sweep is a closed-form *projection*: the
+//! co-runners are synthetic DRAM traffic, not real pipelines. Since the
+//! simulator grew a real multicore machine
+//! ([`armdse_simcore::MultiCore`]), [`validate`] cross-checks the
+//! projection against it — N real cores each running their own instance
+//! of the workload over the shared banked L2 + DRAM — and the tests pin
+//! the two models to agree on direction (no contention speedups) and on
+//! which application is most contention-sensitive.
 
 use crate::report;
 use armdse_core::engine::Engine;
 use armdse_core::DesignConfig;
 use armdse_kernels::{App, WorkloadScale};
-use armdse_simcore::Contended;
+use armdse_simcore::{Contended, MultiCore, Topology};
 
 /// Co-runner counts simulated (0 = the paper's single-core setting).
 pub const CO_RUNNERS: [u32; 5] = [0, 1, 3, 7, 15];
@@ -107,6 +116,179 @@ impl MulticoreFig {
     }
 }
 
+/// Core counts swept by [`validate`] (1 = the uncontended baseline).
+pub const VALIDATE_CORES: [u32; 3] = [1, 2, 4];
+
+/// One application's projected-vs-measured slowdown comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementRow {
+    /// Application name.
+    pub app: String,
+    /// (cores, projected slowdown, measured slowdown). Projected comes
+    /// from [`Contended`] with `cores - 1` phantom co-runners; measured
+    /// from a real [`MultiCore`] machine with `cores` pipelines.
+    pub points: Vec<(u32, f64, f64)>,
+}
+
+/// The closed-form projection validated against the real machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AgreementFig {
+    /// One row per application.
+    pub rows: Vec<AgreementRow>,
+}
+
+/// Cross-check the phantom-co-runner projection against the real
+/// multicore machine at matching core counts. Both slowdown columns are
+/// normalised to their own single-core run, so the comparison isolates
+/// *contention scaling* from any absolute-cycle offset between the two
+/// backends.
+pub fn validate(engine: &Engine, scale: WorkloadScale) -> AgreementFig {
+    let cfg = DesignConfig::thunderx2();
+    let banks = Topology::default().banks;
+    let rows = App::ALL
+        .iter()
+        .map(|&app| {
+            let mut solo_proj = 0u64;
+            let mut solo_real = 0u64;
+            let points = VALIDATE_CORES
+                .iter()
+                .map(|&n| {
+                    let proj = engine.simulate_config_on(
+                        &Contended { co_runners: n - 1 },
+                        app,
+                        scale,
+                        &cfg,
+                    );
+                    let real =
+                        engine.simulate_config_on(&MultiCore::new(n, banks), app, scale, &cfg);
+                    assert!(proj.validated && real.validated, "{app:?} at {n} cores");
+                    if n == 1 {
+                        solo_proj = proj.cycles;
+                        solo_real = real.cycles;
+                    }
+                    (
+                        n,
+                        proj.cycles as f64 / solo_proj as f64,
+                        real.cycles as f64 / solo_real as f64,
+                    )
+                })
+                .collect();
+            AgreementRow {
+                app: app.name().to_string(),
+                points,
+            }
+        })
+        .collect();
+    AgreementFig { rows }
+}
+
+impl AgreementFig {
+    /// Projected slowdown of `app` at `cores` (phantom co-runners).
+    pub fn projected(&self, app: App, cores: u32) -> Option<f64> {
+        self.point(app, cores).map(|(_, p, _)| p)
+    }
+
+    /// Measured slowdown of `app` at `cores` (real machine).
+    pub fn measured(&self, app: App, cores: u32) -> Option<f64> {
+        self.point(app, cores).map(|(_, _, m)| m)
+    }
+
+    fn point(&self, app: App, cores: u32) -> Option<(u32, f64, f64)> {
+        self.rows
+            .iter()
+            .find(|r| r.app == app.name())?
+            .points
+            .iter()
+            .find(|(n, _, _)| *n == cores)
+            .copied()
+    }
+
+    /// The projection agrees with the machine when (a) neither model
+    /// reports a contention *speedup* anywhere, and (b) at the largest
+    /// core count, the application the projection ranks most
+    /// contention-sensitive is measured at least as degraded as the one
+    /// it ranks least sensitive. Magnitudes are allowed to differ — the
+    /// phantom model saturates the controller harder than real
+    /// co-runners do — but direction and ranking must match.
+    pub fn agrees(&self) -> bool {
+        let no_speedup = self
+            .rows
+            .iter()
+            .flat_map(|r| r.points.iter())
+            .all(|&(_, p, m)| p >= 0.999 && m >= 0.999);
+        let top = VALIDATE_CORES[VALIDATE_CORES.len() - 1];
+        let at_top = |key: fn(&(u32, f64, f64)) -> f64| {
+            self.rows.iter().filter_map(move |r| {
+                r.points
+                    .iter()
+                    .find(|(n, _, _)| *n == top)
+                    .map(|pt| (r.app.as_str(), key(pt)))
+            })
+        };
+        let extreme = |by_max: bool| -> Option<&str> {
+            let mut best: Option<(&str, f64)> = None;
+            for (app, p) in at_top(|&(_, p, _)| p) {
+                let better = match best {
+                    None => true,
+                    Some((_, b)) => {
+                        if by_max {
+                            p > b
+                        } else {
+                            p < b
+                        }
+                    }
+                };
+                if better {
+                    best = Some((app, p));
+                }
+            }
+            best.map(|(a, _)| a)
+        };
+        let (Some(most), Some(least)) = (extreme(true), extreme(false)) else {
+            return false;
+        };
+        let measured_of = |name: &str| {
+            at_top(|&(_, _, m)| m)
+                .find(|(a, _)| *a == name)
+                .map(|(_, m)| m)
+        };
+        let ranking_holds = match (measured_of(most), measured_of(least)) {
+            (Some(m_most), Some(m_least)) => m_most >= m_least,
+            _ => false,
+        };
+        no_speedup && ranking_holds
+    }
+
+    /// Render as a text table.
+    pub fn to_table(&self) -> String {
+        self.table().to_text()
+    }
+
+    /// The structured artifact: one row per `(app, cores)` pair with the
+    /// projected and measured slowdown columns side by side.
+    pub fn table(&self) -> report::Table {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .flat_map(|r| {
+                r.points.iter().map(|&(n, p, m)| {
+                    vec![
+                        r.app.clone(),
+                        n.to_string(),
+                        format!("{p:.2}x"),
+                        format!("{m:.2}x"),
+                    ]
+                })
+            })
+            .collect();
+        report::Table::new(
+            "Extension: phantom-co-runner projection vs real multicore machine",
+            &["App", "Cores", "Projected", "Measured"],
+            rows,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -147,6 +329,36 @@ mod tests {
         let t = run(&Engine::idealized(), WorkloadScale::Tiny).to_table();
         for app in App::ALL {
             assert!(t.contains(app.name()));
+        }
+    }
+
+    #[test]
+    fn projection_tracks_the_real_machine() {
+        // Standard scale so compulsory DRAM misses are amortised and the
+        // memory-bound / compute-bound ranking is meaningful.
+        let f = validate(&Engine::idealized(), WorkloadScale::Standard);
+        assert!(f.agrees(), "projection diverges:\n{}", f.to_table());
+        // One core is the normalisation baseline for both columns.
+        for app in App::ALL {
+            assert_eq!(f.projected(app, 1), Some(1.0));
+            assert_eq!(f.measured(app, 1), Some(1.0));
+        }
+        let t = f.to_table();
+        assert!(t.contains("Projected") && t.contains("Measured"));
+    }
+
+    #[test]
+    fn real_machine_contention_is_monotone_in_cores() {
+        let f = validate(&Engine::idealized(), WorkloadScale::Tiny);
+        for r in &f.rows {
+            for w in r.points.windows(2) {
+                assert!(
+                    w[1].2 >= w[0].2 * 0.999,
+                    "{}: measured slowdown must not shrink with cores: {:?}",
+                    r.app,
+                    r.points
+                );
+            }
         }
     }
 }

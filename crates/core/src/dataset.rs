@@ -53,6 +53,19 @@ impl DseDataset {
         self.rows.iter().filter(|r| r.app == app).collect()
     }
 
+    /// The applications present in the dataset, in [`App::EXTENDED`]
+    /// order. Experiments that fan out per app (e.g. the unseen-code
+    /// transfer matrix) iterate this instead of hard-coding
+    /// [`App::ALL`], so a dataset generated over the extended kernel
+    /// set folds the extra kernels in automatically.
+    pub fn apps(&self) -> Vec<App> {
+        App::EXTENDED
+            .iter()
+            .copied()
+            .filter(|&a| self.rows.iter().any(|r| r.app == a))
+            .collect()
+    }
+
     /// Convert one app's rows into an ML dataset (features → cycles).
     pub fn ml_dataset(&self, app: App) -> armdse_mltree::Dataset {
         let rows = self.for_app(app);

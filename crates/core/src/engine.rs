@@ -58,7 +58,7 @@ use crate::orchestrator::GenOptions;
 use crate::space::{ParamSpace, FEATURE_NAMES};
 use armdse_kernels::{App, Workload, WorkloadCache, WorkloadScale};
 use armdse_simcore::{
-    Counters, Fidelity, Idealized, Memoized, ReuseStats, Sampled, SimBackend, SimStats,
+    Counters, Fidelity, Idealized, Memoized, MultiCore, ReuseStats, Sampled, SimBackend, SimStats,
 };
 use std::io::{BufWriter, Write};
 use std::path::Path;
@@ -594,6 +594,17 @@ impl Engine {
         )))
     }
 
+    /// An engine over the [`MultiCore`] machine layer: `cores` replicas
+    /// of the workload stepped in lockstep slices over one shared banked
+    /// L2+DRAM with `banks` interleaved banks (contention is the design
+    /// axis). A 1-core machine is architecturally identical to the
+    /// default banked hierarchy, so `Engine::multicore(1,
+    /// armdse_memsim::DEFAULT_BANKS as u32)` reproduces the single-core
+    /// engine's bytes exactly (pinned by `tests/multicore_campaign.rs`).
+    pub fn multicore(cores: u32, banks: u32) -> Engine {
+        Engine::new(Box::new(MultiCore::new(cores, banks)))
+    }
+
     /// An engine at the given [`Fidelity`] tier over the default
     /// hierarchy — the tier-tag-driven constructor the job server uses
     /// to build each job's private engine.
@@ -716,8 +727,11 @@ impl Engine {
         }
     }
 
-    /// Run one simulation with cycle accounting enabled, producing both
-    /// the dataset-facing outcome and the per-job metrics row.
+    /// Run one simulation with cycle accounting enabled, producing the
+    /// dataset-facing outcome and the job's metrics rows: the aggregate
+    /// row first (`core: None`), then one detail row per core when the
+    /// backend runs more than one core (single-core backends emit only
+    /// the aggregate, keeping the historical one-row-per-job stream).
     pub(crate) fn run_job_metrics(
         &self,
         app: App,
@@ -725,13 +739,18 @@ impl Engine {
         config_index: usize,
         scale: WorkloadScale,
         cfg: &DesignConfig,
-    ) -> (Result<Row, DiscardedRun>, Box<MetricsRow>) {
-        let (stats, counters) = self.simulate_config_metrics(app, scale, cfg);
+    ) -> (Result<Row, DiscardedRun>, Vec<MetricsRow>) {
+        let w = self.cache.get(app, scale, cfg.core.vector_length);
+        let (stats, counters, per_core) = self
+            .backend
+            .run_with_metrics_per_core(&w.program, &cfg.core, &cfg.mem);
         let outcome = Engine::job_outcome(app, config_index, cfg, &stats);
-        let row = Box::new(MetricsRow {
+        let mut rows = Vec::with_capacity(1 + per_core.len());
+        rows.push(MetricsRow {
             job,
             config_index,
             app,
+            core: None,
             validated: stats.validated,
             cycles: stats.cycles,
             retired: stats.retired,
@@ -739,7 +758,21 @@ impl Engine {
             stalls: stats.stalls,
             mem: stats.mem,
         });
-        (outcome, row)
+        for pc in per_core {
+            rows.push(MetricsRow {
+                job,
+                config_index,
+                app,
+                core: Some(pc.core),
+                validated: pc.stats.validated,
+                cycles: pc.stats.cycles,
+                retired: pc.stats.retired,
+                counters: pc.counters,
+                stalls: pc.stats.stalls,
+                mem: pc.stats.mem,
+            });
+        }
+        (outcome, rows)
     }
 
     /// Run one simulation; `Err` reports a run that failed validation

@@ -48,7 +48,7 @@ use crate::json::{json_num, parse_json, write_json_string, Json};
 use crate::orchestrator::GenOptions;
 use crate::space::ParamSpace;
 use armdse_kernels::{App, WorkloadScale};
-use armdse_simcore::Fidelity;
+use armdse_simcore::{Fidelity, Topology};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -147,6 +147,16 @@ pub struct JobSpec {
     pub fidelity: Fidelity,
     /// Also stream a per-job metrics CSV (cycle accounting per job).
     pub metrics: bool,
+    /// Cores of the simulated machine: 1 (the default) runs the
+    /// single-core path; larger values run the [`MultiCore`] layer, one
+    /// workload replica per core over a shared L2+DRAM. Multicore jobs
+    /// require full fidelity (validated at parse time).
+    ///
+    /// [`MultiCore`]: armdse_simcore::MultiCore
+    pub cores: u32,
+    /// Interleaved banks of the shared L2 (the shared-bandwidth design
+    /// axis); the default is the single-core hierarchy's bank count.
+    pub banks: u32,
 }
 
 impl Default for JobSpec {
@@ -162,6 +172,8 @@ impl Default for JobSpec {
             priority: 0,
             fidelity: Fidelity::Full,
             metrics: false,
+            cores: Topology::default().cores,
+            banks: Topology::default().banks,
         }
     }
 }
@@ -180,9 +192,25 @@ impl JobSpec {
         Ok(RunPlan::pinned(space, &opts, &pins)?.with_chunk_jobs(self.chunk_jobs))
     }
 
-    /// Build the job's private engine at the requested fidelity tier.
+    /// The machine topology the spec requests (values clamped to 1).
+    pub fn topology(&self) -> Topology {
+        Topology {
+            cores: self.cores.max(1),
+            banks: self.banks.max(1),
+        }
+    }
+
+    /// Build the job's private engine: the requested fidelity tier on
+    /// the default machine, or the multicore machine layer when the
+    /// spec asks for a non-default topology (always full fidelity —
+    /// the parser rejects multicore + memoized/sampled combinations).
     pub fn engine(&self) -> Engine {
-        Engine::with_fidelity(self.fidelity)
+        let t = self.topology();
+        if t == Topology::default() {
+            Engine::with_fidelity(self.fidelity)
+        } else {
+            Engine::multicore(t.cores, t.banks)
+        }
     }
 
     /// Serialize to the canonical wire JSON (round-trips through
@@ -212,6 +240,12 @@ impl JobSpec {
         }
         out.push_str("},\n");
         out.push_str(&format!("  \"chunk_jobs\": {},\n", self.chunk_jobs));
+        // The machine topology is emitted only when non-default, so
+        // pre-multicore specs keep their wire bytes.
+        if self.topology() != Topology::default() {
+            out.push_str(&format!("  \"cores\": {},\n", self.cores));
+            out.push_str(&format!("  \"banks\": {},\n", self.banks));
+        }
         out.push_str(&format!("  \"priority\": {},\n", self.priority));
         out.push_str(&format!("  \"fidelity\": \"{}\",\n", self.fidelity.tag()));
         match self.fidelity {
@@ -292,6 +326,20 @@ impl JobSpec {
                         .collect::<Result<Vec<(String, f64)>, ArmdseError>>()?;
                 }
                 "chunk_jobs" => spec.chunk_jobs = (uint()? as usize).max(1),
+                "cores" => {
+                    let n = uint()?;
+                    if n == 0 {
+                        return Err(bad("\"cores\" must be at least 1".into()));
+                    }
+                    spec.cores = n as u32;
+                }
+                "banks" => {
+                    let n = uint()?;
+                    if n == 0 {
+                        return Err(bad("\"banks\" must be at least 1".into()));
+                    }
+                    spec.banks = n as u32;
+                }
                 "priority" => {
                     let n = val
                         .as_f64()
@@ -339,6 +387,11 @@ impl JobSpec {
             },
             other => return Err(bad(format!("unknown fidelity \"{other}\""))),
         };
+        if spec.topology() != Topology::default() && spec.fidelity != Fidelity::Full {
+            return Err(bad(
+                "multicore jobs (\"cores\"/\"banks\") require full fidelity".into(),
+            ));
+        }
         Ok(spec)
     }
 }
@@ -812,6 +865,8 @@ mod tests {
             priority: 7,
             fidelity: Fidelity::Memoized { interval_len: 512 },
             metrics: true,
+            cores: 1,
+            banks: Topology::default().banks,
         }
     }
 
@@ -829,6 +884,43 @@ mod tests {
             ..spec()
         };
         assert_eq!(JobSpec::from_json(&s2.to_json()).unwrap(), s2);
+        // Multicore topology round-trips too (full fidelity required).
+        let s3 = JobSpec {
+            fidelity: Fidelity::Full,
+            cores: 2,
+            banks: 4,
+            ..spec()
+        };
+        assert_eq!(JobSpec::from_json(&s3.to_json()).unwrap(), s3);
+    }
+
+    #[test]
+    fn default_topology_keeps_the_wire_bytes() {
+        // A single-core spec must not mention cores/banks at all, so
+        // pre-multicore clients and stored specs stay byte-compatible.
+        let s = JobSpec {
+            fidelity: Fidelity::Full,
+            ..spec()
+        };
+        let wire = s.to_json();
+        assert!(!wire.contains("cores"), "{wire}");
+        assert!(!wire.contains("banks"), "{wire}");
+    }
+
+    #[test]
+    fn multicore_spec_is_validated() {
+        // cores/banks must be positive.
+        assert!(JobSpec::from_json("{\"configs\": 2, \"cores\": 0}").is_err());
+        assert!(JobSpec::from_json("{\"configs\": 2, \"banks\": 0}").is_err());
+        // Multicore requires full fidelity: the machine layer has no
+        // memoized/sampled tier.
+        let e = JobSpec::from_json("{\"configs\": 2, \"cores\": 2, \"fidelity\": \"memoized\"}")
+            .unwrap_err();
+        assert!(e.to_string().contains("full fidelity"), "{e}");
+        // And a valid multicore spec builds a multicore engine.
+        let s = JobSpec::from_json("{\"configs\": 2, \"cores\": 2, \"banks\": 4}").unwrap();
+        assert_eq!(s.topology(), Topology { cores: 2, banks: 4 });
+        assert_eq!(s.engine().backend().topology(), s.topology());
     }
 
     #[test]

@@ -63,6 +63,12 @@ pub struct MetricsRow {
     pub config_index: usize,
     /// Application simulated.
     pub app: App,
+    /// Which core the row describes on a multicore backend: `None` is
+    /// the per-job aggregate (always emitted, and the only row kind on
+    /// single-core backends); `Some(i)` is the per-core detail row for
+    /// core `i`, emitted after the aggregate when the backend runs more
+    /// than one core. The CSV cell is empty for aggregate rows.
+    pub core: Option<u32>,
     /// Whether the run passed output validation (discarded jobs still
     /// emit a metrics row, with this flag false).
     pub validated: bool,
@@ -108,6 +114,7 @@ pub fn metrics_csv_columns() -> Vec<String> {
         "job",
         "config_index",
         "app",
+        "core",
         "validated",
         "cycles",
         "retired",
@@ -129,12 +136,14 @@ pub fn write_metrics_header(w: &mut impl Write) -> std::io::Result<()> {
 /// Write one metrics CSV row (column order pinned by
 /// [`metrics_csv_columns`]).
 pub fn write_metrics_row(w: &mut impl Write, r: &MetricsRow) -> std::io::Result<()> {
+    let core = r.core.map_or(String::new(), |c| c.to_string());
     write!(
         w,
-        "{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{}",
         r.job,
         r.config_index,
         r.app.name(),
+        core,
         u8::from(r.validated),
         r.cycles,
         r.retired
@@ -204,6 +213,7 @@ mod tests {
             job: 3,
             config_index: 1,
             app: App::Stream,
+            core: None,
             validated: true,
             cycles: 100,
             retired: 250,
@@ -231,11 +241,12 @@ mod tests {
     fn identity_columns_lead_the_header() {
         let cols = metrics_csv_columns();
         assert_eq!(
-            &cols[..6],
+            &cols[..7],
             &[
                 "job",
                 "config_index",
                 "app",
+                "core",
                 "validated",
                 "cycles",
                 "retired"
@@ -289,8 +300,23 @@ mod tests {
         }
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body.lines().count(), 3, "header + two rows");
-        assert!(body.lines().nth(1).unwrap().starts_with("3,1,STREAM,1,"));
-        assert!(body.lines().nth(2).unwrap().starts_with("4,1,STREAM,1,"));
+        assert!(body.lines().nth(1).unwrap().starts_with("3,1,STREAM,,1,"));
+        assert!(body.lines().nth(2).unwrap().starts_with("4,1,STREAM,,1,"));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn per_core_rows_carry_the_core_index() {
+        let mut out = Vec::new();
+        let mut r = sample_row();
+        r.core = Some(1);
+        write_metrics_row(&mut out, &r).unwrap();
+        let line = String::from_utf8(out).unwrap();
+        assert!(line.starts_with("3,1,STREAM,1,1,"), "{line}");
+        // Arity is unchanged between aggregate and per-core rows.
+        assert_eq!(
+            line.trim_end().split(',').count(),
+            metrics_csv_columns().len()
+        );
     }
 }

@@ -44,15 +44,16 @@ use crate::engine::{
 use crate::error::ArmdseError;
 use crate::jobstore::{Job, JobId, JobOpError, JobSpec, JobState, JobStatus, JobStore};
 use crate::metrics::{MetricsCsvSink, MetricsRow, MetricsSink};
-use armdse_simcore::Fidelity;
+use armdse_simcore::{Fidelity, Topology};
 use std::collections::BinaryHeap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
-/// One job's chunk result: index, dataset outcome, optional metrics row.
-pub(crate) type ChunkResult = (usize, Result<Row, DiscardedRun>, Option<Box<MetricsRow>>);
+/// One job's chunk result: index, dataset outcome, optional metrics
+/// rows (aggregate first, then per-core detail on multicore backends).
+pub(crate) type ChunkResult = (usize, Result<Row, DiscardedRun>, Option<Vec<MetricsRow>>);
 
 /// The checkpoint v2 extra keys recording a non-default fidelity tier.
 /// [`Fidelity::Full`] maps to no keys at all so default campaigns keep
@@ -72,6 +73,20 @@ pub(crate) fn fidelity_extra(f: Fidelity) -> Vec<(String, String)> {
             ("reuse.interval_len".into(), interval_len.to_string()),
             ("reuse.warmup".into(), warmup.to_string()),
         ],
+    }
+}
+
+/// The checkpoint v2 extra keys recording a non-default machine
+/// topology. The single-core default maps to no keys at all, so every
+/// pre-multicore campaign keeps its on-disk checkpoint bytes.
+pub(crate) fn topology_extra(t: Topology) -> Vec<(String, String)> {
+    if t == Topology::default() {
+        Vec::new()
+    } else {
+        vec![
+            ("mc.cores".into(), t.cores.to_string()),
+            ("mc.banks".into(), t.banks.to_string()),
+        ]
     }
 }
 
@@ -113,13 +128,13 @@ pub(crate) fn run_span(
                     let cfg = plan
                         .space()
                         .sample_seeded_pinned(plan.seed() + plan.config_offset(cfg_idx), pins);
-                    let (result, metrics_row) = if with_metrics {
+                    let (result, metrics_rows) = if with_metrics {
                         let (r, m) = engine.run_job_metrics(app, job, cfg_idx, plan.scale(), &cfg);
                         (r, Some(m))
                     } else {
                         (engine.run_job(app, cfg_idx, plan.scale(), &cfg), None)
                     };
-                    local.push((job, result, metrics_row));
+                    local.push((job, result, metrics_rows));
                 }
                 if let Some(counts) = shards {
                     counts[t].fetch_add(local.len(), Ordering::Relaxed);
@@ -151,11 +166,13 @@ pub(crate) fn run_job_loop(
 ) -> Result<RunSummary, ArmdseError> {
     let total_jobs = plan.jobs();
     let fingerprint = plan.fingerprint();
-    // Fidelity keys ride along in the checkpoint's v2 extra section so a
-    // resume cannot silently splice rows produced at a different
-    // fidelity into one dataset. Full fidelity writes no keys, keeping
-    // the default on-disk format byte-identical.
-    let reuse_extra = fidelity_extra(engine.backend().fidelity());
+    // Fidelity and machine-topology keys ride along in the checkpoint's
+    // v2 extra section so a resume cannot silently splice rows produced
+    // at a different fidelity — or on a different machine shape — into
+    // one dataset. Full fidelity on the single-core default writes no
+    // keys, keeping the default on-disk format byte-identical.
+    let mut reuse_extra = fidelity_extra(engine.backend().fidelity());
+    reuse_extra.extend(topology_extra(engine.backend().topology()));
     let mut done = 0usize;
     let mut resumed_from = 0usize;
     let (mut prior_rows, mut prior_discarded) = (0usize, 0usize);
@@ -181,7 +198,13 @@ pub(crate) fn run_job_loop(
                     c.jobs_done
                 )));
             }
-            for key in ["reuse.fidelity", "reuse.interval_len", "reuse.warmup"] {
+            for key in [
+                "reuse.fidelity",
+                "reuse.interval_len",
+                "reuse.warmup",
+                "mc.cores",
+                "mc.banks",
+            ] {
                 let want = reuse_extra
                     .iter()
                     .find(|(k, _)| k == key)
@@ -189,7 +212,8 @@ pub(crate) fn run_job_loop(
                 if c.extra_get(key) != want {
                     return Err(ArmdseError::Checkpoint(format!(
                         "{}: {key} {:?} does not match this engine's {:?} — \
-                         refusing to mix fidelity tiers in one dataset",
+                         refusing to mix fidelity tiers or machine shapes \
+                         in one dataset",
                         path.display(),
                         c.extra_get(key),
                         want
@@ -210,7 +234,7 @@ pub(crate) fn run_job_loop(
     let (mut rows, mut discarded) = (0usize, 0usize);
     while done < total_jobs {
         let end = (done + plan.chunk_jobs()).min(total_jobs);
-        for (_, result, metrics_row) in run_span(engine, plan, done, end, with_metrics, shards) {
+        for (_, result, metrics_rows) in run_span(engine, plan, done, end, with_metrics, shards) {
             match result {
                 Ok(row) => {
                     sink.row(&row)?;
@@ -221,8 +245,10 @@ pub(crate) fn run_job_loop(
                     discarded += 1;
                 }
             }
-            if let (Some(m), Some(msink)) = (metrics_row, ctl.metrics.as_deref_mut()) {
-                msink.metrics(&m)?;
+            if let (Some(rows), Some(msink)) = (metrics_rows, ctl.metrics.as_deref_mut()) {
+                for m in &rows {
+                    msink.metrics(m)?;
+                }
             }
         }
         done = end;

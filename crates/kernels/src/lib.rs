@@ -26,9 +26,12 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod gemm;
+pub mod graph;
 pub mod layout;
 pub mod minibude;
 pub mod minisweep;
+pub mod spmv;
 pub mod stream;
 pub mod tealeaf;
 
@@ -51,11 +54,34 @@ pub enum App {
     /// MiniSweep radiation-transport mini-app (SPEChpc); compute bound on
     /// a single rank, poorly vectorised.
     MiniSweep,
+    /// CSR sparse matrix-vector multiply; gather bound, vectorised
+    /// (extension beyond the paper's four codes).
+    Spmv,
+    /// Register-blocked dense matrix multiply; FMA dense, heavily
+    /// vectorised (extension).
+    Gemm,
+    /// Pointer-chasing graph traversal; load-latency bound, fully
+    /// scalar (extension).
+    Graph,
 }
 
 impl App {
-    /// All applications in presentation order.
+    /// The paper's four applications in presentation order. Campaigns
+    /// and figures that reproduce the paper iterate this set.
     pub const ALL: [App; 4] = [App::Stream, App::MiniBude, App::TeaLeaf, App::MiniSweep];
+
+    /// The paper's four applications plus the extension kernels
+    /// ([`App::Spmv`], [`App::Gemm`], [`App::Graph`]) — the pool the
+    /// unseen-app generalisation experiment draws from.
+    pub const EXTENDED: [App; 7] = [
+        App::Stream,
+        App::MiniBude,
+        App::TeaLeaf,
+        App::MiniSweep,
+        App::Spmv,
+        App::Gemm,
+        App::Graph,
+    ];
 
     /// Display name matching the paper.
     pub fn name(self) -> &'static str {
@@ -64,6 +90,9 @@ impl App {
             App::MiniBude => "MiniBude",
             App::TeaLeaf => "TeaLeaf",
             App::MiniSweep => "MiniSweep",
+            App::Spmv => "SpMV",
+            App::Gemm => "GEMM",
+            App::Graph => "Graph",
         }
     }
 
@@ -74,6 +103,9 @@ impl App {
             App::MiniBude => 1,
             App::TeaLeaf => 2,
             App::MiniSweep => 3,
+            App::Spmv => 4,
+            App::Gemm => 5,
+            App::Graph => 6,
         }
     }
 
@@ -84,6 +116,9 @@ impl App {
             "minibude" | "bude" => Some(App::MiniBude),
             "tealeaf" => Some(App::TeaLeaf),
             "minisweep" => Some(App::MiniSweep),
+            "spmv" => Some(App::Spmv),
+            "gemm" => Some(App::Gemm),
+            "graph" => Some(App::Graph),
             _ => None,
         }
     }
@@ -149,6 +184,9 @@ pub fn build_workload(app: App, scale: WorkloadScale, vl_bits: u32) -> Workload 
         App::MiniBude => minibude::kernel(&minibude::BudeParams::for_scale(scale), vl_bits),
         App::TeaLeaf => tealeaf::kernel(&tealeaf::TeaLeafParams::for_scale(scale), vl_bits),
         App::MiniSweep => minisweep::kernel(&minisweep::SweepParams::for_scale(scale), vl_bits),
+        App::Spmv => spmv::kernel(&spmv::SpmvParams::for_scale(scale), vl_bits),
+        App::Gemm => gemm::kernel(&gemm::GemmParams::for_scale(scale), vl_bits),
+        App::Graph => graph::kernel(&graph::GraphParams::for_scale(scale), vl_bits),
     };
     let program = Program::lower(&kernel);
     let summary = OpSummary::of(&program);
@@ -166,16 +204,19 @@ mod tests {
     #[test]
     fn app_names_and_indices() {
         assert_eq!(App::Stream.name(), "STREAM");
-        let mut seen = [false; 4];
-        for a in App::ALL {
+        let mut seen = [false; App::EXTENDED.len()];
+        for a in App::EXTENDED {
             assert!(!seen[a.index()]);
             seen[a.index()] = true;
         }
+        assert!(seen.iter().all(|&s| s), "index gaps in EXTENDED");
+        // The paper set is a strict prefix of the extended pool.
+        assert_eq!(App::EXTENDED[..4], App::ALL);
     }
 
     #[test]
     fn parse_round_trips() {
-        for a in App::ALL {
+        for a in App::EXTENDED {
             assert_eq!(App::parse(a.name()), Some(a));
         }
         assert_eq!(App::parse("bude"), Some(App::MiniBude));
@@ -184,7 +225,7 @@ mod tests {
 
     #[test]
     fn all_apps_build_at_all_scales() {
-        for a in App::ALL {
+        for a in App::EXTENDED {
             for s in [
                 WorkloadScale::Tiny,
                 WorkloadScale::Small,
@@ -193,6 +234,24 @@ mod tests {
                 for vl in [128, 512, 2048] {
                     let w = build_workload(a, s, vl);
                     assert!(w.summary.total() > 0, "{a:?} {s:?} vl={vl} empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extension_apps_keep_the_vectorisation_split() {
+        // SpMV and GEMM join the vectorised side; the pointer chase
+        // joins the scalar side.
+        for vl in [128, 512, 2048] {
+            for (a, vectorised) in [(App::Spmv, true), (App::Gemm, true), (App::Graph, false)] {
+                let f = build_workload(a, WorkloadScale::Small, vl)
+                    .summary
+                    .sve_fraction();
+                if vectorised {
+                    assert!(f > 0.35, "{a:?} sve {f} at vl={vl}");
+                } else {
+                    assert!(f < 0.15, "{a:?} sve {f} at vl={vl}");
                 }
             }
         }
@@ -264,7 +323,7 @@ mod tests {
         // Keep dataset-generation runs tractable: between 10^4 and 4x10^5
         // retired instructions at the shortest (most instruction-hungry)
         // vector length.
-        for a in App::ALL {
+        for a in App::EXTENDED {
             let n = build_workload(a, WorkloadScale::Standard, 128)
                 .summary
                 .total();

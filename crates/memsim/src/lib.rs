@@ -29,12 +29,14 @@ pub mod cache;
 pub mod fasthash;
 pub mod hierarchy;
 pub mod params;
+pub mod shared;
 pub mod stats;
 
 pub use banked::BankedHierarchy;
 pub use cache::Cache;
 pub use hierarchy::Hierarchy;
 pub use params::MemParams;
+pub use shared::{CorePort, SharedL2, CORE_ADDR_STRIDE};
 pub use stats::MemStats;
 
 /// Completion time (in core cycles) of a memory access.

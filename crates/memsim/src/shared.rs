@@ -1,0 +1,419 @@
+//! Shared L2 + DRAM backside for the multicore machine layer.
+//!
+//! [`crate::BankedHierarchy`] models multicore contention with *phantom*
+//! co-runners: a single core pays an analytically inflated DRAM service
+//! time. This module replaces the phantoms with real traffic. A
+//! [`SharedL2`] owns the resources N cores genuinely share — the L2 tag
+//! array and the finite DRAM bank queues — and each core drives its own
+//! [`CorePort`]: a private L1, private MSHRs, and private [`MemStats`],
+//! with misses forwarded into the shared backside. Contention is then
+//! emergent (two cores streaming evict each other's L2 lines and queue
+//! on the same banks) instead of assumed.
+//!
+//! ## Equivalence contract
+//!
+//! A single `CorePort` over a fresh `SharedL2` is access-for-access
+//! identical — completion times *and* statistics — to
+//! [`crate::BankedHierarchy::with_banks`] with the same parameters. The
+//! port replicates the banked model's request path (merge window, L1
+//! probe, serial L2 probe, bank-queued DRAM access) statement for
+//! statement; only the L2-and-below half lives behind the shared
+//! handle. `tests::single_port_matches_banked_hierarchy` pins this, and
+//! it is what makes the N=1 multicore backend bit-identical to the
+//! single-core proxy path.
+//!
+//! ## Address disjointness
+//!
+//! Every core in the homogeneous multicore model runs its own instance
+//! of the same workload, so the raw addresses coincide. A real machine
+//! would give each process its own physical pages; [`CorePort`] models
+//! that with a per-core base offset of [`CORE_ADDR_STRIDE`] bytes
+//! (applied inside [`MemoryModel::access`]). Core 0's offset is zero,
+//! preserving the single-core equivalence byte for byte. The stride is
+//! a power of two far above any workload footprint, so line alignment
+//! is preserved and per-core heaps never alias in the shared L2.
+//!
+//! ## Attribution
+//!
+//! Shared-resource events are charged to the *requesting* core's
+//! `MemStats` (`l2_hits`/`l2_misses`, `l2_writebacks`,
+//! `dram_queue_waits`/`dram_queue_wait_cycles`), so each port's
+//! counters conserve on their own and summing the ports accounts for
+//! every event in the machine exactly once.
+
+use crate::cache::{Cache, LookupResult};
+use crate::fasthash::FastMap;
+use crate::params::MemParams;
+use crate::stats::MemStats;
+use crate::{Cycle, MemoryModel};
+use std::cell::RefCell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Per-core address-space stride: core `i` offsets every line address by
+/// `i * CORE_ADDR_STRIDE`. A power of two (so line alignment survives)
+/// and far larger than any workload footprint (so per-core heaps never
+/// alias in the shared L2 or DRAM banks).
+pub const CORE_ADDR_STRIDE: u64 = 1 << 32;
+
+/// The memory-system half that N cores genuinely share: the L2 cache
+/// and the finite DRAM bank queues. Always accessed through a
+/// [`CorePort`]; the port hands its own [`MemStats`] in so shared
+/// events are attributed to the requesting core.
+#[derive(Debug)]
+pub struct SharedL2 {
+    params: MemParams,
+    l2: Cache,
+    /// Per-bank busy-until cycle.
+    bank_free: Vec<Cycle>,
+    /// Cycles a bank is occupied per line transfer.
+    bank_occupancy: u64,
+    ram_lat: u64,
+}
+
+impl SharedL2 {
+    /// Build the shared backside with an explicit DRAM bank count.
+    ///
+    /// Uses the same bank-occupancy derivation as
+    /// [`crate::BankedHierarchy::with_banks`] (zero phantom co-runners:
+    /// contention comes from real cross-core traffic instead).
+    pub fn new(params: MemParams, banks: usize) -> SharedL2 {
+        assert!(banks > 0);
+        debug_assert!(params.validate().is_ok(), "invalid MemParams");
+        let beats = f64::from(params.line_bytes) / 8.0;
+        let occupancy = crate::params::ns_to_core_cycles(beats / params.ram_clock_ghz);
+        SharedL2 {
+            l2: Cache::new(params.l2_size_kib, params.l2_assoc, params.line_bytes),
+            ram_lat: params.ram_core_cycles(),
+            bank_free: vec![0; banks],
+            bank_occupancy: occupancy,
+            params,
+        }
+    }
+
+    /// Build behind the shared handle the ports hold.
+    pub fn shared(params: MemParams, banks: usize) -> Rc<RefCell<SharedL2>> {
+        Rc::new(RefCell::new(SharedL2::new(params, banks)))
+    }
+
+    /// The memory parameters the backside was built from.
+    pub fn params(&self) -> &MemParams {
+        &self.params
+    }
+
+    /// DRAM bank count.
+    pub fn banks(&self) -> usize {
+        self.bank_free.len()
+    }
+
+    #[inline]
+    fn bank_of(&self, line_addr: u64) -> usize {
+        ((line_addr / u64::from(self.params.line_bytes)) % self.bank_free.len() as u64) as usize
+    }
+
+    /// DRAM access with bank contention, identical to the banked model:
+    /// the access starts when its bank frees up and holds the bank for
+    /// the transfer time. Queue waits land in the *requesting core's*
+    /// counters.
+    fn ram_access(&mut self, line_addr: u64, ready_at: Cycle, stats: &mut MemStats) -> Cycle {
+        let b = self.bank_of(line_addr);
+        let start = ready_at.max(self.bank_free[b]);
+        let wait = start - ready_at;
+        if wait > 0 {
+            stats.dram_queue_waits += 1;
+            stats.dram_queue_wait_cycles += wait;
+        }
+        self.bank_free[b] = start + self.bank_occupancy;
+        start + self.ram_lat
+    }
+
+    /// Resolve an L1 miss below the L1: probe the shared L2 and, on a
+    /// miss, queue on the line's DRAM bank. `probe_done` is the cycle
+    /// the L2 probe completes (the requester already paid L1+L2
+    /// latency). Shared events are charged to `stats` (the requesting
+    /// port's counters).
+    fn lookup(&mut self, line_addr: u64, probe_done: Cycle, stats: &mut MemStats) -> Cycle {
+        match self.l2.access(line_addr, false) {
+            LookupResult::Hit => {
+                stats.l2_hits += 1;
+                probe_done
+            }
+            l2_miss => {
+                stats.l2_misses += 1;
+                if l2_miss == LookupResult::MissEvictDirty {
+                    stats.writebacks += 1;
+                    stats.l2_writebacks += 1;
+                }
+                self.ram_access(line_addr, probe_done, stats)
+            }
+        }
+    }
+}
+
+/// One core's private port into a [`SharedL2`]: its own L1 cache, merge
+/// window (MSHRs), and statistics, forwarding L1 misses into the shared
+/// backside. Implements [`MemoryModel`], so a core pipeline drives it
+/// exactly like any single-core hierarchy.
+#[derive(Debug)]
+pub struct CorePort {
+    shared: Rc<RefCell<SharedL2>>,
+    l1: Cache,
+    stats: MemStats,
+    in_flight: FastMap<u64, Cycle>,
+    /// Completion times of every fill issued; popped eagerly at sample
+    /// time so MSHR occupancy statistics are exact (see
+    /// [`crate::Hierarchy`]'s field of the same name).
+    fills: BinaryHeap<Reverse<Cycle>>,
+    l1_lat: u64,
+    l2_lat: u64,
+    line_bytes: u32,
+    /// Per-core address offset (`core_index * CORE_ADDR_STRIDE`).
+    core_base: u64,
+}
+
+impl CorePort {
+    /// Build core `core_index`'s port into `shared`. Core 0 applies a
+    /// zero address offset (preserving single-core equivalence); core
+    /// `i` shifts its whole address space by `i *`
+    /// [`CORE_ADDR_STRIDE`].
+    pub fn new(shared: Rc<RefCell<SharedL2>>, core_index: u32) -> CorePort {
+        let (l1, l1_lat, l2_lat, line_bytes) = {
+            let s = shared.borrow();
+            let p = s.params;
+            (
+                Cache::new(p.l1_size_kib, p.l1_assoc, p.line_bytes),
+                p.l1_hit_core_cycles(),
+                p.l2_hit_core_cycles(),
+                p.line_bytes,
+            )
+        };
+        debug_assert_eq!(CORE_ADDR_STRIDE % u64::from(line_bytes), 0);
+        CorePort {
+            shared,
+            l1,
+            stats: MemStats::default(),
+            in_flight: FastMap::default(),
+            fills: BinaryHeap::new(),
+            l1_lat,
+            l2_lat,
+            line_bytes,
+            core_base: u64::from(core_index) * CORE_ADDR_STRIDE,
+        }
+    }
+
+    /// Mirror of `BankedHierarchy::access_inner`, with the L2-and-below
+    /// half delegated to the shared backside. The statement order is
+    /// deliberately identical — it is what the single-port equivalence
+    /// test pins.
+    fn access_inner(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+        debug_assert_eq!(line_addr % u64::from(self.line_bytes), 0);
+        self.stats.requests += 1;
+        if self.in_flight.len() > 4096 {
+            self.in_flight.retain(|_, &mut c| c > now);
+        }
+
+        if let Some(&complete) = self.in_flight.get(&line_addr) {
+            if complete > now {
+                self.stats.merged += 1;
+                self.l1.access(line_addr, is_store);
+                return complete;
+            }
+            self.in_flight.remove(&line_addr);
+        }
+
+        match self.l1.access(line_addr, is_store) {
+            LookupResult::Hit => {
+                self.stats.l1_hits += 1;
+                now + self.l1_lat
+            }
+            l1_miss => {
+                self.stats.l1_misses += 1;
+                if l1_miss == LookupResult::MissEvictDirty {
+                    self.stats.writebacks += 1;
+                    self.stats.l1_writebacks += 1;
+                }
+                let probe_done = now + self.l1_lat + self.l2_lat;
+                let complete =
+                    self.shared
+                        .borrow_mut()
+                        .lookup(line_addr, probe_done, &mut self.stats);
+                self.in_flight.insert(line_addr, complete);
+                self.fills.push(Reverse(complete));
+                complete
+            }
+        }
+    }
+}
+
+impl MemoryModel for CorePort {
+    fn access(&mut self, line_addr: u64, is_store: bool, now: Cycle) -> Cycle {
+        let line_addr = line_addr + self.core_base;
+        let complete = self.access_inner(line_addr, is_store, now);
+        // Outstanding-fill (MSHR) occupancy, sampled once per access;
+        // completed fills are dropped first so the sample is exact.
+        while self.fills.peek().is_some_and(|&Reverse(t)| t <= now) {
+            self.fills.pop();
+        }
+        let outstanding = self.fills.len() as u64;
+        self.stats.mshr_peak = self.stats.mshr_peak.max(outstanding);
+        self.stats.mshr_occupancy_sum += outstanding;
+        #[cfg(feature = "check-invariants")]
+        {
+            assert_eq!(
+                line_addr % u64::from(self.line_bytes),
+                0,
+                "unaligned line request {line_addr:#x}"
+            );
+            assert!(
+                complete >= now,
+                "completion time {complete} before request {now}"
+            );
+            assert_eq!(
+                outstanding,
+                self.in_flight.values().filter(|&&c| c > now).count() as u64,
+                "exact fill count diverged from live in-flight entries"
+            );
+            assert!(
+                self.stats.demand_requests_conserved(),
+                "request accounting leak: {:?}",
+                self.stats
+            );
+            assert!(
+                self.stats.writebacks_conserved(),
+                "writeback accounting leak: {:?}",
+                self.stats
+            );
+        }
+        complete
+    }
+
+    fn line_bytes(&self) -> u32 {
+        self.line_bytes
+    }
+
+    fn l1_hit_latency(&self) -> u64 {
+        self.l1_lat
+    }
+
+    fn stats(&self) -> &MemStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::BankedHierarchy;
+
+    /// The N=1 foundation: one port over a fresh shared backside is
+    /// access-for-access identical to the banked hierarchy — completion
+    /// times and the full statistics block.
+    #[test]
+    fn single_port_matches_banked_hierarchy() {
+        let p = MemParams::thunderx2();
+        let mut banked = BankedHierarchy::with_banks(p, 8);
+        let mut port = CorePort::new(SharedL2::shared(p, 8), 0);
+        let lb = u64::from(p.line_bytes);
+        // A mix of misses, re-touches (hits), merges, and strided
+        // conflicts, driven identically through both models.
+        let mut t_a = 0;
+        let mut t_b = 0;
+        for i in 0..512u64 {
+            let addr = (i % 96) * lb * 3;
+            let now = i;
+            let a = banked.access(addr, i % 7 == 0, now);
+            let b = port.access(addr, i % 7 == 0, now);
+            assert_eq!(a, b, "completion diverged at access {i}");
+            t_a = t_a.max(a);
+            t_b = t_b.max(b);
+        }
+        assert_eq!(t_a, t_b);
+        assert_eq!(banked.stats(), port.stats());
+    }
+
+    /// Two streaming cores over one backside must each finish later
+    /// than a solo core (bank queues and L2 capacity are genuinely
+    /// shared), and the ports must record the queueing they suffered.
+    #[test]
+    fn two_ports_contend_on_shared_banks() {
+        let p = MemParams::thunderx2();
+        let lb = u64::from(p.line_bytes);
+        // One access issued per cycle (memory-level parallelism, as an
+        // OoO core's MSHRs sustain), so the banks are kept busy and
+        // queueing is visible.
+        let stream = |m: &mut dyn MemoryModel| {
+            let mut finish = 0;
+            for i in 0..512u64 {
+                finish = finish.max(m.access(i * lb, false, i));
+            }
+            finish
+        };
+        let solo = stream(&mut CorePort::new(SharedL2::shared(p, 2), 0));
+
+        let shared = SharedL2::shared(p, 2);
+        let mut a = CorePort::new(Rc::clone(&shared), 0);
+        let mut b = CorePort::new(shared, 1);
+        // Interleave the two streams access by access, as the slice
+        // loop would at a fine grain.
+        let mut ta = 0;
+        let mut tb = 0;
+        for i in 0..512u64 {
+            ta = ta.max(a.access(i * lb, false, i));
+            tb = tb.max(b.access(i * lb, false, i));
+        }
+        assert!(ta > solo, "core 0 contended: {ta} !> solo {solo}");
+        assert!(tb > solo, "core 1 contended: {tb} !> solo {solo}");
+        assert!(
+            a.stats().dram_queue_wait_cycles + b.stats().dram_queue_wait_cycles > 0,
+            "shared banks must record queue waits"
+        );
+    }
+
+    /// Fewer banks means a narrower shared pipe: total streaming time
+    /// must not shrink as the bank count drops.
+    #[test]
+    fn fewer_banks_never_speed_up_streaming() {
+        let p = MemParams::thunderx2();
+        let lb = u64::from(p.line_bytes);
+        let finish = |banks: usize| {
+            let shared = SharedL2::shared(p, banks);
+            let mut a = CorePort::new(Rc::clone(&shared), 0);
+            let mut b = CorePort::new(shared, 1);
+            let mut finish = 0;
+            for i in 0..256u64 {
+                finish = finish.max(a.access(i * lb, false, i));
+                finish = finish.max(b.access(i * lb, false, i));
+            }
+            finish
+        };
+        let mut prev = finish(8);
+        for banks in [4, 2, 1] {
+            let t = finish(banks);
+            assert!(
+                t >= prev,
+                "{banks} banks finished at {t}, 2x banks at {prev}"
+            );
+            prev = t;
+        }
+    }
+
+    /// Per-core address offsets keep line alignment and keep the cores'
+    /// heaps disjoint: the same raw address from two ports must not
+    /// merge or hit in each other's wake.
+    #[test]
+    fn core_offsets_keep_address_spaces_disjoint() {
+        let p = MemParams::thunderx2();
+        let shared = SharedL2::shared(p, 8);
+        let mut a = CorePort::new(Rc::clone(&shared), 0);
+        let mut b = CorePort::new(shared, 1);
+        a.access(0x1000, false, 0);
+        b.access(0x1000, false, 0);
+        // Both must be cold L1 misses *and* cold L2 misses: no sharing.
+        assert_eq!(a.stats().l1_misses, 1);
+        assert_eq!(b.stats().l1_misses, 1);
+        assert_eq!(a.stats().l2_misses, 1);
+        assert_eq!(b.stats().l2_misses, 1);
+        assert_eq!(a.stats().merged + b.stats().merged, 0);
+    }
+}

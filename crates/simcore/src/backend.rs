@@ -24,6 +24,7 @@
 //!   checks).
 
 use crate::counters::Counters;
+use crate::multicore::{PerCoreMetrics, Topology};
 use crate::params::CoreParams;
 use crate::reuse::{Fidelity, ReuseStats};
 use crate::stats::SimStats;
@@ -86,6 +87,28 @@ pub trait SimBackend: Send + Sync {
     /// Drop any memoized interval results so the next run starts cold.
     /// No-op for backends without reuse state (the default).
     fn clear_reuse_cache(&self) {}
+
+    /// The machine shape this backend simulates. Every classic backend
+    /// is the default single-core machine; [`crate::MultiCore`] reports
+    /// its core and shared-bank counts so orchestration code can label
+    /// rows and checkpoints without downcasting.
+    fn topology(&self) -> Topology {
+        Topology::default()
+    }
+
+    /// Like [`SimBackend::run_with_metrics`], additionally returning one
+    /// [`PerCoreMetrics`] entry per core for machines with more than one
+    /// core. Single-core backends (the default) return an empty vector:
+    /// the aggregate *is* the machine.
+    fn run_with_metrics_per_core(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters, Vec<PerCoreMetrics>) {
+        let (stats, counters) = self.run_with_metrics(program, core, mem);
+        (stats, counters, Vec::new())
+    }
 }
 
 /// The default infinite-bank (SST-like) hierarchy — the paper's

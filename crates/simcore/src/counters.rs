@@ -411,6 +411,33 @@ impl Counters {
             .filter(|b| self.bucket(*b) > 0)
     }
 
+    /// Fold another run's counters into this one — the multicore
+    /// backend's aggregate row. Buckets, attributed cycles, and
+    /// loop-buffer cycles add; occupancy histograms merge bin-wise with
+    /// `peak` taking the max. If both sides satisfy
+    /// [`Counters::conserves`], the merged counters do too (the
+    /// aggregate attributes every core-cycle across all cores, so its
+    /// `cycles` is the *sum* of per-core cycles, not the makespan).
+    pub fn merge(&mut self, other: &Counters) {
+        self.cycles += other.cycles;
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+        self.loop_buffer_cycles += other.loop_buffer_cycles;
+        for (h, o) in self.occupancy.iter_mut().zip(&other.occupancy) {
+            debug_assert_eq!(
+                h.capacity, o.capacity,
+                "merging occupancy across heterogeneous capacities"
+            );
+            h.sum += o.sum;
+            h.peak = h.peak.max(o.peak);
+            h.full_cycles += o.full_cycles;
+            for (b, ob) in h.bins.iter_mut().zip(&o.bins) {
+                *b += ob;
+            }
+        }
+    }
+
     /// CSV column names for [`Counters::values`], in order: the 20
     /// exclusive buckets, `loop_buffer_cycles`, then per structure
     /// `occ_<s>_{sum,peak,full,b0..b7}`.
@@ -518,6 +545,29 @@ mod tests {
             c_step.record(CycleBucket::MemData);
         }
         assert_eq!(c_bulk.buckets, c_step.buckets);
+    }
+
+    #[test]
+    fn merge_preserves_conservation_and_sums() {
+        let mut a = Counters::default();
+        a.record(CycleBucket::RetireScalar);
+        a.record_n(CycleBucket::MemData, 4);
+        a.cycles = 5;
+        a.loop_buffer_cycles = 2;
+        a.occupancy[0].observe_n(3, 5);
+        let mut b = Counters::default();
+        b.record_n(CycleBucket::RetireVector, 7);
+        b.cycles = 7;
+        b.occupancy[0].observe_n(6, 7);
+        assert!(a.conserves() && b.conserves());
+        a.merge(&b);
+        assert!(a.conserves());
+        assert_eq!(a.cycles, 12);
+        assert_eq!(a.bucket(CycleBucket::RetireVector), 7);
+        assert_eq!(a.loop_buffer_cycles, 2);
+        assert_eq!(a.occupancy[0].samples(), 12);
+        assert_eq!(a.occupancy[0].peak, 6);
+        assert_eq!(a.occupancy[0].sum, 3 * 5 + 6 * 7);
     }
 
     #[test]

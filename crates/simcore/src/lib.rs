@@ -28,6 +28,7 @@
 pub mod backend;
 pub mod counters;
 pub mod events;
+pub mod multicore;
 pub mod params;
 pub mod pipeline;
 pub mod regfile;
@@ -36,6 +37,7 @@ pub mod stats;
 
 pub use backend::{BankedProxy, Contended, Idealized, SimBackend, Traced};
 pub use counters::{Counters, CycleBucket, OccupancyHist, Structure};
+pub use multicore::{MultiCore, PerCoreMetrics, Topology, SLICE_CYCLES};
 pub use params::CoreParams;
 pub use pipeline::{fast_forward_default, set_fast_forward_default, Pipeline, PipelineSnapshot};
 pub use reuse::{

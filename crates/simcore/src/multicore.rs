@@ -1,0 +1,466 @@
+//! The multicore machine layer: N core pipelines over one shared
+//! L2 + DRAM backside, stepped in a bounded round-robin slice loop.
+//!
+//! The paper stops at a closed-form multicore projection (phantom
+//! co-runners inflating DRAM service time, [`crate::Contended`]); this
+//! module builds the machine itself. Each of the N cores runs its own
+//! instance of the same workload (homogeneous-rate model) on a private
+//! [`crate::Pipeline`] whose memory port
+//! ([`armdse_memsim::CorePort`]) forwards L1 misses into one shared
+//! [`armdse_memsim::SharedL2`]. Contention is *emergent*: cores evict
+//! each other's L2 lines and queue on the same finite DRAM banks, and
+//! the costs land in the existing per-core accounting — `MemData`
+//! stall cycles in the [`Counters`] buckets, `dram_queue_*` and
+//! MSHR occupancy in each core's `MemStats`.
+//!
+//! ## The slice loop and determinism
+//!
+//! Cores are co-simulated cooperatively (the SystemC-TLM / `aero`
+//! `run_slice` pattern): the machine picks a global cycle boundary
+//! every [`SLICE_CYCLES`] cycles and advances each core — in fixed core
+//! order 0..N — up to that boundary via
+//! [`Pipeline::drive_until_cycle`] before any core may pass it. All
+//! cross-core interaction flows through the shared backside, whose
+//! bank-queue and L2 state is therefore mutated in a deterministic
+//! order that depends only on (program, params, topology) — never on
+//! wall clock or worker-thread count. Results are bit-identical at any
+//! host thread count and across checkpoint/resume. Within one slice a
+//! core sees the backside state its predecessors left; the slice bound
+//! caps that causality skew at `SLICE_CYCLES` core cycles, which is
+//! also why the N=1 machine is *exactly* the single-core banked path:
+//! with one core there is no interleaving to approximate, and
+//! segmented driving is cycle-step-identical to one uninterrupted run.
+//!
+//! ## Aggregation
+//!
+//! [`MultiCore::run`] returns machine-level statistics: `cycles` is the
+//! makespan (the slowest core), `retired` and the memory/stall counters
+//! are summed across cores, `validated` requires every core to
+//! validate, and `hit_cycle_limit` is sticky if any core wedged.
+//! [`MultiCore::run_with_metrics_per_core`] additionally exposes each
+//! core's own statistics and attribution counters for the per-core
+//! metrics CSV rows.
+
+use crate::backend::SimBackend;
+use crate::counters::Counters;
+use crate::cycle_limit;
+use crate::params::CoreParams;
+use crate::pipeline::Pipeline;
+use crate::stats::{SimStats, StallStats};
+use armdse_isa::instr::DynInstr;
+use armdse_isa::{OpSummary, Program};
+use armdse_memsim::{CorePort, MemParams, SharedL2};
+use std::rc::Rc;
+
+/// Global slice length of the round-robin loop, in core cycles: every
+/// core reaches each multiple of this boundary before any core passes
+/// it. Small enough to bound cross-core causality skew well below the
+/// DRAM round-trip, large enough that slice bookkeeping is invisible in
+/// the profile.
+pub const SLICE_CYCLES: u64 = 128;
+
+/// A machine shape: how many cores share how many DRAM banks. The
+/// default — one core over [`armdse_memsim::banked::DEFAULT_BANKS`]
+/// banks — is the classic single-core machine every existing backend
+/// models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Core count (each runs its own instance of the workload).
+    pub cores: u32,
+    /// Shared DRAM bank count (the shared-bandwidth axis: fewer banks =
+    /// a narrower shared memory pipe).
+    pub banks: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Topology {
+        Topology {
+            cores: 1,
+            banks: armdse_memsim::banked::DEFAULT_BANKS as u32,
+        }
+    }
+}
+
+impl Topology {
+    /// Whether this is the implicit single-core shape (no multicore
+    /// plumbing — checkpoints, CSV columns — needs to surface it).
+    pub fn is_single_core(&self) -> bool {
+        *self == Topology::default()
+    }
+}
+
+/// One core's share of a multicore metrics run: its own statistics
+/// (cycles, retired, memory and stall counters for *its* port and
+/// pipeline) and its own conservation-checked attribution counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerCoreMetrics {
+    /// Core index, 0-based (core 0 is the address-offset-free core).
+    pub core: u32,
+    /// The core's own run statistics.
+    pub stats: SimStats,
+    /// The core's own cycle-attribution counters.
+    pub counters: Counters,
+}
+
+/// The N-core shared-memory backend (the `Contended` projection
+/// generalized to real cores; see the module docs).
+///
+/// ```
+/// use armdse_simcore::{CoreParams, MultiCore, SimBackend};
+/// use armdse_memsim::MemParams;
+/// use armdse_kernels::{build_workload, App, WorkloadScale};
+///
+/// let core = CoreParams::thunderx2();
+/// let mem = MemParams::thunderx2();
+/// let w = build_workload(App::Stream, WorkloadScale::Tiny, core.vector_length);
+///
+/// let solo = MultiCore::new(1, 8).run(&w.program, &core, &mem);
+/// let duo = MultiCore::new(2, 8).run(&w.program, &core, &mem);
+/// assert!(solo.validated && duo.validated);
+/// // Two streaming cores share the banks: the makespan cannot shrink.
+/// assert!(duo.cycles >= solo.cycles);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MultiCore {
+    /// Core count (>= 1).
+    pub cores: u32,
+    /// Shared DRAM bank count (>= 1).
+    pub banks: u32,
+}
+
+impl Default for MultiCore {
+    fn default() -> MultiCore {
+        let t = Topology::default();
+        MultiCore {
+            cores: t.cores,
+            banks: t.banks,
+        }
+    }
+}
+
+/// One core's raw outcome from the slice loop.
+struct CoreRun {
+    stats: SimStats,
+    counters: Option<Counters>,
+    trace: Option<Vec<DynInstr>>,
+}
+
+impl MultiCore {
+    /// A machine with `cores` cores over `banks` shared DRAM banks.
+    pub fn new(cores: u32, banks: u32) -> MultiCore {
+        assert!(cores >= 1, "a machine needs at least one core");
+        assert!(banks >= 1, "the shared backside needs at least one bank");
+        MultiCore { cores, banks }
+    }
+
+    /// The machine shape as a [`Topology`] value.
+    pub fn shape(&self) -> Topology {
+        Topology {
+            cores: self.cores,
+            banks: self.banks,
+        }
+    }
+
+    /// Drive all cores to completion through the slice loop. Exactly
+    /// one simulation, shared by every public entry point; `counters`
+    /// and `trace` toggle the zero-cost-by-default observation hooks
+    /// (trace is captured on core 0 only — every core runs the same
+    /// program, and the oracle replays one architectural stream).
+    fn run_cores(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+        counters: bool,
+        trace: bool,
+    ) -> Vec<CoreRun> {
+        core.validate().expect("core parameters must validate");
+        let shared = SharedL2::shared(*mem, self.banks as usize);
+        let max_cycles = cycle_limit(program);
+        let mut pipes: Vec<Pipeline<CorePort>> = (0..self.cores)
+            .map(|i| Pipeline::new(program, *core, CorePort::new(Rc::clone(&shared), i)))
+            .collect();
+        if counters {
+            for p in &mut pipes {
+                p.enable_counters();
+            }
+        }
+        if trace {
+            pipes[0].enable_trace();
+        }
+
+        // The bounded round-robin slice loop: every core reaches the
+        // global boundary (in fixed core order) before any core passes
+        // it. See the module docs for the determinism argument.
+        let mut boundary = SLICE_CYCLES;
+        loop {
+            let mut all_done = true;
+            for p in pipes.iter_mut() {
+                if !p.is_finished() {
+                    p.drive_until_cycle(max_cycles, boundary);
+                    all_done &= p.is_finished();
+                }
+            }
+            if all_done || pipes.iter().any(|p| p.stats().hit_cycle_limit) {
+                break;
+            }
+            boundary += SLICE_CYCLES;
+        }
+
+        let expected = OpSummary::of(program);
+        pipes
+            .into_iter()
+            .map(|mut p| {
+                let counters = p.take_counters_finalized().map(|c| *c);
+                let trace = p.take_trace();
+                let mut stats = p.stats().clone();
+                stats.validated = !stats.hit_cycle_limit && stats.observed == expected;
+                CoreRun {
+                    stats,
+                    counters,
+                    trace,
+                }
+            })
+            .collect()
+    }
+
+    /// Fold per-core statistics into the machine view: makespan cycles,
+    /// summed retirement/memory/stall counters, all-cores validation.
+    fn aggregate(runs: &[CoreRun]) -> SimStats {
+        let mut agg = runs[0].stats.clone();
+        for r in &runs[1..] {
+            let s = &r.stats;
+            agg.cycles = agg.cycles.max(s.cycles);
+            agg.retired += s.retired;
+            agg.mem.merge(&s.mem);
+            agg.stalls = sum_stalls(&agg.stalls, &s.stalls);
+            agg.validated &= s.validated;
+            agg.hit_cycle_limit |= s.hit_cycle_limit;
+        }
+        agg
+    }
+}
+
+fn sum_stalls(a: &StallStats, b: &StallStats) -> StallStats {
+    StallStats {
+        rename_gp: a.rename_gp + b.rename_gp,
+        rename_fp: a.rename_fp + b.rename_fp,
+        rename_pred: a.rename_pred + b.rename_pred,
+        rename_cond: a.rename_cond + b.rename_cond,
+        rob_full: a.rob_full + b.rob_full,
+        rs_full: a.rs_full + b.rs_full,
+        lq_full: a.lq_full + b.lq_full,
+        sq_full: a.sq_full + b.sq_full,
+        fetch_starved: a.fetch_starved + b.fetch_starved,
+        loop_buffer_cycles: a.loop_buffer_cycles + b.loop_buffer_cycles,
+    }
+}
+
+impl SimBackend for MultiCore {
+    fn name(&self) -> &'static str {
+        "multicore"
+    }
+
+    fn run(&self, program: &Program, core: &CoreParams, mem: &MemParams) -> SimStats {
+        MultiCore::aggregate(&self.run_cores(program, core, mem, false, false))
+    }
+
+    fn run_traced(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Vec<DynInstr>) {
+        let mut runs = self.run_cores(program, core, mem, false, true);
+        let stats = MultiCore::aggregate(&runs);
+        let trace = runs[0].trace.take().expect("tracing enabled on core 0");
+        (stats, trace)
+    }
+
+    fn run_with_metrics(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters) {
+        let (stats, counters, _) = self.run_with_metrics_per_core(program, core, mem);
+        (stats, counters)
+    }
+
+    fn run_with_metrics_per_core(
+        &self,
+        program: &Program,
+        core: &CoreParams,
+        mem: &MemParams,
+    ) -> (SimStats, Counters, Vec<PerCoreMetrics>) {
+        let runs = self.run_cores(program, core, mem, true, false);
+        let stats = MultiCore::aggregate(&runs);
+        let mut merged: Option<Counters> = None;
+        let per_core: Vec<PerCoreMetrics> = runs
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let c = r.counters.expect("counters enabled on every core");
+                match &mut merged {
+                    Some(m) => m.merge(&c),
+                    None => merged = Some(c.clone()),
+                }
+                PerCoreMetrics {
+                    core: i as u32,
+                    stats: r.stats,
+                    counters: c,
+                }
+            })
+            .collect();
+        let merged = merged.expect("at least one core");
+        // Per-core rows are only interesting when there is more than
+        // one core: the single-core machine IS its aggregate.
+        let per_core = if per_core.len() > 1 {
+            per_core
+        } else {
+            Vec::new()
+        };
+        (stats, merged, per_core)
+    }
+
+    fn topology(&self) -> Topology {
+        self.shape()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BankedProxy;
+    use armdse_kernels::{build_workload, App, WorkloadScale};
+
+    fn fixture(app: App) -> (Program, CoreParams, MemParams) {
+        let core = CoreParams::thunderx2();
+        let w = build_workload(app, WorkloadScale::Tiny, core.vector_length);
+        (w.program, core, MemParams::thunderx2())
+    }
+
+    /// The acceptance bound: the one-core machine is the single-core
+    /// banked path, exactly — full statistics, trace, and counters.
+    #[test]
+    fn n1_is_bit_identical_to_banked_proxy() {
+        for app in App::ALL {
+            let (p, c, m) = fixture(app);
+            let mc = MultiCore::new(1, 8);
+            assert_eq!(mc.run(&p, &c, &m), BankedProxy.run(&p, &c, &m), "{app:?}");
+            let (ts, trace) = mc.run_traced(&p, &c, &m);
+            let (rs, rtrace) = BankedProxy.run_traced(&p, &c, &m);
+            assert_eq!(ts, rs, "{app:?} traced stats diverged");
+            assert_eq!(trace.len(), rtrace.len(), "{app:?} trace diverged");
+            let (ms, counters) = mc.run_with_metrics(&p, &c, &m);
+            let (bs, bcounters) = BankedProxy.run_with_metrics(&p, &c, &m);
+            assert_eq!(ms, bs, "{app:?} metrics stats diverged");
+            assert_eq!(counters, bcounters, "{app:?} counters diverged");
+        }
+    }
+
+    #[test]
+    fn more_cores_never_shrink_the_makespan() {
+        let (p, c, m) = fixture(App::Stream);
+        let solo_retired = MultiCore::new(1, 8).run(&p, &c, &m).retired;
+        let mut prev = 0;
+        for cores in [1u32, 2, 4] {
+            let s = MultiCore::new(cores, 8).run(&p, &c, &m);
+            assert!(s.validated, "{cores} cores failed validation");
+            assert!(
+                s.cycles >= prev,
+                "{cores} cores ran in {} cycles, fewer cores took {prev}",
+                s.cycles
+            );
+            assert_eq!(s.retired, u64::from(cores) * solo_retired);
+            prev = s.cycles;
+        }
+    }
+
+    /// The shared-bandwidth axis: shrinking the bank count must not
+    /// speed the machine up (satellite: contention monotonicity).
+    #[test]
+    fn fewer_banks_never_shrink_the_makespan() {
+        let (p, c, m) = fixture(App::Stream);
+        let mut prev = 0;
+        for &banks in [1u32, 2, 4, 8].iter().rev() {
+            let s = MultiCore::new(2, banks).run(&p, &c, &m);
+            assert!(s.validated);
+            assert!(
+                s.cycles >= prev,
+                "{banks} banks ran in {} cycles, more banks took {prev}",
+                s.cycles
+            );
+            prev = s.cycles;
+        }
+    }
+
+    #[test]
+    fn metrics_are_transparent_and_conserve_per_core_and_aggregate() {
+        let (p, c, m) = fixture(App::TeaLeaf);
+        let mc = MultiCore::new(2, 4);
+        let plain = mc.run(&p, &c, &m);
+        let (stats, agg, per_core) = mc.run_with_metrics_per_core(&p, &c, &m);
+        assert_eq!(stats, plain, "metrics perturbed the multicore run");
+        assert!(agg.conserves());
+        assert_eq!(per_core.len(), 2);
+        let mut cycle_sum = 0;
+        for pc in &per_core {
+            assert!(pc.counters.conserves(), "core {} leaked a cycle", pc.core);
+            assert_eq!(pc.counters.cycles, pc.stats.cycles);
+            assert!(pc.stats.validated);
+            cycle_sum += pc.stats.cycles;
+        }
+        assert_eq!(
+            agg.cycles, cycle_sum,
+            "aggregate attributes all core-cycles"
+        );
+        assert!(stats.cycles <= cycle_sum && stats.cycles >= cycle_sum / 2);
+        // Per-core rows are suppressed for the single-core machine.
+        let (_, _, solo) = MultiCore::new(1, 8).run_with_metrics_per_core(&p, &c, &m);
+        assert!(solo.is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_repeat_runs() {
+        let (p, c, m) = fixture(App::MiniSweep);
+        let mc = MultiCore::new(3, 4);
+        let a = mc.run(&p, &c, &m);
+        let b = mc.run(&p, &c, &m);
+        assert_eq!(a, b);
+        assert!(a.validated);
+    }
+
+    #[test]
+    fn contention_charges_the_memory_buckets() {
+        let (p, c, m) = fixture(App::Stream);
+        let (_, solo_c) = MultiCore::new(1, 2).run_with_metrics(&p, &c, &m);
+        let (_, duo_c, per_core) = {
+            let mc = MultiCore::new(2, 2);
+            let (s, agg, pc) = mc.run_with_metrics_per_core(&p, &c, &m);
+            assert!(s.validated);
+            (s, agg, pc)
+        };
+        use crate::counters::CycleBucket;
+        let solo_mem = solo_c.bucket(CycleBucket::MemData);
+        let duo_mem = duo_c.bucket(CycleBucket::MemData);
+        assert!(
+            duo_mem > solo_mem,
+            "shared-bank contention must surface as MemData stalls: {duo_mem} !> {solo_mem}"
+        );
+        // The queueing the cores suffered is visible in their ports.
+        let waits: u64 = per_core
+            .iter()
+            .map(|pc| pc.stats.mem.dram_queue_wait_cycles)
+            .sum();
+        assert!(waits > 0, "two streaming cores on two banks must queue");
+    }
+
+    #[test]
+    fn topology_reports_the_shape() {
+        assert!(MultiCore::default().topology().is_single_core());
+        let t = MultiCore::new(4, 2).topology();
+        assert_eq!((t.cores, t.banks), (4, 2));
+        assert!(!t.is_single_core());
+    }
+}

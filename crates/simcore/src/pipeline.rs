@@ -499,6 +499,55 @@ impl<'p, M: MemoryModel> Pipeline<'p, M> {
         self.stats.mem = *self.mem.stats();
     }
 
+    /// Drive until the global clock reaches `cycle_target` (or the run
+    /// finishes / hits `max_cycles`), then pause — the multicore slice
+    /// loop's primitive: every core is advanced to the same global
+    /// cycle boundary before any core proceeds past it.
+    ///
+    /// The loop body is identical to the one-shot `drive` path (see
+    /// [`drive_until_retired`](Self::drive_until_retired) for the
+    /// argument); the only differences are the `now < cycle_target`
+    /// condition and that the fast-forward jump is clamped to the slice
+    /// boundary. The clamp is timing-exact: the bulk advance is linear
+    /// in the number of skipped cycles, so two clamped jumps accumulate
+    /// exactly what one unclamped jump would. A run executed as a
+    /// sequence of `drive_until_cycle` segments therefore performs the
+    /// same cycle steps as one uninterrupted `drive` call.
+    pub fn drive_until_cycle(&mut self, max_cycles: u64, cycle_target: u64) {
+        let bound = max_cycles.min(cycle_target);
+        while !self.finished() && self.now < cycle_target {
+            if self.now >= max_cycles {
+                self.stats.hit_cycle_limit = true;
+                break;
+            }
+            if self.fast_forward && self.try_fast_forward(bound) {
+                continue;
+            }
+            self.step();
+        }
+        self.stats.cycles = self.now;
+        self.stats.mem = *self.mem.stats();
+    }
+
+    /// The pipeline's current global cycle.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Enable commit-order tracing on an incrementally driven pipeline
+    /// (the consuming entry point is [`run_traced`](Self::run_traced)).
+    /// Must be called before the first cycle so the trace is complete.
+    pub fn enable_trace(&mut self) {
+        debug_assert_eq!(self.now, 0, "tracing must be enabled before cycle 0");
+        self.log = Some(CommitLog::default());
+    }
+
+    /// Take the commit-order retirement stream of an incrementally
+    /// driven pipeline (`None` when tracing was never enabled).
+    pub fn take_trace(&mut self) -> Option<Vec<DynInstr>> {
+        self.log.take().map(|l| l.committed)
+    }
+
     /// Whether the run has completed (all instructions fetched, retired,
     /// and every store drained to memory).
     pub fn is_finished(&self) -> bool {

@@ -3,9 +3,10 @@
 //! Sparse matrix-vector multiply (CSR) is the canonical gather-bound HPC
 //! kernel: for each row, the values stream contiguously, but the `x`
 //! vector is read through the column-index array — an SVE gather that
-//! issues one memory request per lane. This example builds a synthetic
-//! CSR SpMV on the kernel IR twice — once with real gathers, once with an
-//! idealised contiguous-`x` variant — and measures the "gather tax"
+//! issues one memory request per lane. The kernel itself is first-class
+//! now ([`armdse::kernels::spmv`], `App::Spmv` in campaigns); this
+//! example compares it against an idealised contiguous-`x` variant — the
+//! "perfectly sorted matrix" bound — and measures the "gather tax"
 //! across vector lengths and request-rate limits.
 //!
 //! ```sh
@@ -15,57 +16,42 @@
 use armdse::core::DesignConfig;
 use armdse::isa::kir::{AddrExpr, Kernel, Stmt};
 use armdse::isa::{lanes, op::OpClass, InstrTemplate, OpSummary, Program, Reg};
+use armdse::kernels::spmv::{self, SpmvParams};
 
-/// A synthetic CSR SpMV: `rows` rows of `nnz_per_row` nonzeros; the
-/// gathered `x` accesses are spread with `spread` bytes between
-/// consecutive touched elements (modelling the matrix's bandwidth).
-/// With `idealised = true`, the gather is replaced by a contiguous
-/// vector load of the same width — the "perfectly sorted matrix" bound.
-fn spmv_kernel(rows: u64, nnz_per_row: u64, spread: i64, vl_bits: u32, idealised: bool) -> Kernel {
+/// The idealised "perfectly sorted matrix" bound: the same loop nest as
+/// [`spmv::kernel`], but the gather replaced by a contiguous vector
+/// load of the same width — the difference against the real kernel is
+/// purely the per-element request cost of the irregular access.
+fn idealised_kernel(p: &SpmvParams, vl_bits: u32) -> Kernel {
     let lanes64 = lanes(vl_bits, 64);
     let vb = vl_bits / 8;
-    let vals = 0x1000_0000u64; // matrix values (streamed)
-    let xvec = 0x3000_0000u64; // dense vector (gathered)
-    let yvec = 0x5000_0000u64; // result (streamed)
+    let vals = 0x1000_0000u64;
+    let xvec = 0x3000_0000u64;
+    let yvec = 0x5000_0000u64;
 
     let p0 = Reg::pred(0);
-    // Depths: 0 = row, 1 = nnz block within the row.
-    let blocks = nnz_per_row.div_ceil(lanes64);
+    let blocks = p.nnz_per_row.div_ceil(lanes64);
     let block_body = vec![
         Stmt::Instr(InstrTemplate::compute(
             OpClass::PredOp,
             &[p0],
             &[Reg::gp(5)],
         )),
-        // Stream the matrix values.
         Stmt::Instr(InstrTemplate::load(
             OpClass::VecLoad,
             Reg::fp(0),
             &[Reg::gp(1), p0],
-            AddrExpr::bilinear(vals, 0, (nnz_per_row * 8) as i64, 1, (lanes64 * 8) as i64),
+            AddrExpr::bilinear(vals, 0, (p.nnz_per_row * 8) as i64, 1, (lanes64 * 8) as i64),
             vb,
         )),
-        // Gather x[col[j]] — one request per lane — or its idealised
-        // contiguous stand-in.
-        if idealised {
-            Stmt::Instr(InstrTemplate::load(
-                OpClass::VecLoad,
-                Reg::fp(1),
-                &[Reg::gp(2), p0],
-                AddrExpr::bilinear(xvec, 0, spread * 3, 1, spread * lanes64 as i64),
-                vb,
-            ))
-        } else {
-            Stmt::Instr(InstrTemplate::gather(
-                Reg::fp(1),
-                &[Reg::gp(2), p0],
-                AddrExpr::bilinear(xvec, 0, spread * 3, 1, spread * lanes64 as i64),
-                8,
-                spread,
-                lanes64 as u32,
-            ))
-        },
-        // Accumulate val * x.
+        // Contiguous stand-in for the gather.
+        Stmt::Instr(InstrTemplate::load(
+            OpClass::VecLoad,
+            Reg::fp(1),
+            &[Reg::gp(2), p0],
+            AddrExpr::bilinear(xvec, 0, p.spread * 3, 1, p.spread * lanes64 as i64),
+            vb,
+        )),
         Stmt::Instr(InstrTemplate::compute(
             OpClass::VecFma,
             &[Reg::fp(2)],
@@ -74,7 +60,6 @@ fn spmv_kernel(rows: u64, nnz_per_row: u64, spread: i64, vl_bits: u32, idealised
     ];
     let row_body = vec![
         Stmt::repeat(blocks, block_body),
-        // Horizontal reduce + store y[row].
         Stmt::Instr(InstrTemplate::compute(
             OpClass::VecAlu,
             &[Reg::fp(3)],
@@ -87,11 +72,20 @@ fn spmv_kernel(rows: u64, nnz_per_row: u64, spread: i64, vl_bits: u32, idealised
             8,
         )),
     ];
-    Kernel::new("spmv", vec![Stmt::repeat(rows, row_body)])
+    Kernel::new("spmv-idealised", vec![Stmt::repeat(p.rows, row_body)])
 }
 
 fn run(vl: u32, spread: i64, idealised: bool, loads_per_cycle: u32) -> u64 {
-    let program = Program::lower(&spmv_kernel(256, 32, spread, vl, idealised));
+    let p = SpmvParams {
+        rows: 256,
+        nnz_per_row: 32,
+        spread,
+    };
+    let program = if idealised {
+        Program::lower(&idealised_kernel(&p, vl))
+    } else {
+        Program::lower(&spmv::kernel(&p, vl))
+    };
     let summary = OpSummary::of(&program);
     let mut cfg = DesignConfig::thunderx2();
     cfg.core.vector_length = vl;

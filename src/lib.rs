@@ -4,8 +4,11 @@
 //!
 //! * [`isa`] — Arm-like ISA model, kernel IR, trace cursor.
 //! * [`memsim`] — SST-like memory hierarchy (L1D/L2/DRAM).
-//! * [`kernels`] — VLA workload generators (STREAM, miniBUDE, TeaLeaf, MiniSweep).
-//! * [`simcore`] — SimEng-like out-of-order core simulator.
+//! * [`kernels`] — VLA workload generators (STREAM, miniBUDE, TeaLeaf,
+//!   MiniSweep, plus the extended SpMV / GEMM / Graph kernels).
+//! * [`simcore`] — SimEng-like out-of-order core simulator and the
+//!   multicore machine layer (N cores over a shared banked L2 + DRAM;
+//!   docs/MULTICORE.md).
 //! * [`rng`] — zero-dependency deterministic PRNG (SplitMix64 seeding,
 //!   xoshiro256++ streams) behind a `rand`-shaped API.
 //! * [`mltree`] — decision-tree regression, random forest, linear regression,
